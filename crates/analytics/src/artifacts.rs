@@ -1,0 +1,182 @@
+//! Distribution-artifact metrics (§IV-C motivation).
+//!
+//! The paper lists the tells of a nonstochastic Kronecker graph's degree
+//! and triangle distributions: *"no large primes are possible; large
+//! holes in the distributions; excessive ties for large values"*. These
+//! metrics quantify each tell so the edge-rejection experiment can show
+//! rejection mitigating them relative to an R-MAT baseline.
+
+use serde::{Deserialize, Serialize};
+
+use crate::Histogram;
+
+/// Summary of one integer-valued distribution's artifacts.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ArtifactReport {
+    /// Number of distinct values in the support.
+    pub distinct_values: usize,
+    /// Largest prime value present (Kronecker products of composite
+    /// factor degrees cannot produce large primes).
+    pub largest_prime: Option<u64>,
+    /// Largest multiplicative gap between consecutive support values in
+    /// the upper half of the support ("large holes").
+    pub max_upper_gap_ratio: f64,
+    /// Largest multiplicity among the top-10 support values
+    /// ("excessive ties for large values").
+    pub max_top_tie: u64,
+}
+
+/// Deterministic Miller–Rabin primality for `u64` (exact: the standard
+/// 7-witness set covers all 64-bit integers).
+pub fn is_prime(n: u64) -> bool {
+    if n < 2 {
+        return false;
+    }
+    for p in [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        if n == p {
+            return true;
+        }
+        if n.is_multiple_of(p) {
+            return false;
+        }
+    }
+    let mut d = n - 1;
+    let mut r = 0u32;
+    while d.is_multiple_of(2) {
+        d /= 2;
+        r += 1;
+    }
+    'witness: for &a in &[2u64, 325, 9375, 28178, 450775, 9780504, 1795265022] {
+        let a = a % n;
+        if a == 0 {
+            continue;
+        }
+        let mut x = mod_pow(a, d, n);
+        if x == 1 || x == n - 1 {
+            continue;
+        }
+        for _ in 0..r - 1 {
+            x = mod_mul(x, x, n);
+            if x == n - 1 {
+                continue 'witness;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+fn mod_mul(a: u64, b: u64, m: u64) -> u64 {
+    ((a as u128 * b as u128) % m as u128) as u64
+}
+
+fn mod_pow(mut base: u64, mut exp: u64, m: u64) -> u64 {
+    let mut acc = 1u64 % m;
+    base %= m;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            acc = mod_mul(acc, base, m);
+        }
+        base = mod_mul(base, base, m);
+        exp >>= 1;
+    }
+    acc
+}
+
+/// Analyzes a histogram's artifacts.
+pub fn analyze(hist: &Histogram) -> ArtifactReport {
+    let support: Vec<(u64, u64)> = hist.iter().collect();
+    let distinct_values = support.len();
+    let largest_prime = support
+        .iter()
+        .rev()
+        .map(|&(v, _)| v)
+        .find(|&v| is_prime(v));
+
+    // Holes: max ratio between consecutive support values in the upper
+    // half of the support (ratios are scale-free, unlike differences).
+    let mut max_upper_gap_ratio: f64 = 1.0;
+    let start = distinct_values / 2;
+    for window in support[start.saturating_sub(1)..].windows(2) {
+        let (lo, hi) = (window[0].0, window[1].0);
+        if lo > 0 {
+            max_upper_gap_ratio = max_upper_gap_ratio.max(hi as f64 / lo as f64);
+        }
+    }
+
+    // Ties among the largest values.
+    let max_top_tie = support
+        .iter()
+        .rev()
+        .take(10)
+        .map(|&(_, c)| c)
+        .max()
+        .unwrap_or(0);
+
+    ArtifactReport { distinct_values, largest_prime, max_upper_gap_ratio, max_top_tie }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primality_known_values() {
+        let primes = [2u64, 3, 5, 7, 31, 97, 7919, 2_147_483_647];
+        for p in primes {
+            assert!(is_prime(p), "{p} is prime");
+        }
+        let composites = [0u64, 1, 4, 9, 91, 7917, 2_147_483_649];
+        for c in composites {
+            assert!(!is_prime(c), "{c} is composite");
+        }
+    }
+
+    #[test]
+    fn primality_large_carmichael_like() {
+        // 3215031751 is the smallest strong pseudoprime to bases 2,3,5,7.
+        assert!(!is_prime(3_215_031_751));
+        assert!(is_prime(18_446_744_073_709_551_557)); // largest u64 prime
+    }
+
+    #[test]
+    fn analyze_simple_histogram() {
+        let h = Histogram::from_values([2, 2, 4, 4, 4, 16, 16]);
+        let r = analyze(&h);
+        assert_eq!(r.distinct_values, 3);
+        assert_eq!(r.largest_prime, Some(2));
+        assert!((r.max_upper_gap_ratio - 4.0).abs() < 1e-12); // 4 → 16
+        assert_eq!(r.max_top_tie, 3);
+    }
+
+    #[test]
+    fn analyze_prime_rich_histogram() {
+        let h = Histogram::from_values([3, 5, 7, 11, 13]);
+        let r = analyze(&h);
+        assert_eq!(r.largest_prime, Some(13));
+        assert_eq!(r.distinct_values, 5);
+    }
+
+    #[test]
+    fn analyze_empty() {
+        let r = analyze(&Histogram::new());
+        assert_eq!(r.distinct_values, 0);
+        assert_eq!(r.largest_prime, None);
+        assert_eq!(r.max_top_tie, 0);
+        assert_eq!(r.max_upper_gap_ratio, 1.0);
+    }
+
+    #[test]
+    fn kronecker_degrees_lack_primes_above_factor_degrees() {
+        // Products of composite values > p have no primes at all.
+        let factor_degrees = [4u64, 6, 8, 9];
+        let mut h = Histogram::new();
+        for &a in &factor_degrees {
+            for &b in &factor_degrees {
+                h.add(a * b);
+            }
+        }
+        let r = analyze(&h);
+        assert_eq!(r.largest_prime, None);
+    }
+}

@@ -1,0 +1,106 @@
+//! Clustering coefficients (Def. 7).
+//!
+//! `η(i) = 2 t_i / (d_i (d_i − 1))` at vertices and
+//! `ξ(i,j) = Δ_ij / (min(d_i, d_j) − 1)` at edges, where degrees and
+//! triangle counts are taken on the **loop-free core** (Thm. 1/2 assume
+//! loop-free factors). Vertices/edges whose denominator vanishes get a
+//! coefficient of 0 by convention.
+
+use kron_graph::{CsrGraph, VertexId};
+
+use crate::triangles::{edge_triangles, vertex_triangles};
+
+/// Loop-free degree of `v` (self loop excluded).
+fn core_degree(g: &CsrGraph, v: VertexId) -> u64 {
+    g.degree(v) - u64::from(g.has_self_loop(v))
+}
+
+/// Vertex clustering coefficients for all vertices.
+pub fn vertex_clustering(g: &CsrGraph) -> Vec<f64> {
+    let t = vertex_triangles(g).per_vertex;
+    (0..g.n())
+        .map(|v| {
+            let d = core_degree(g, v);
+            if d < 2 {
+                0.0
+            } else {
+                2.0 * t[v as usize] as f64 / (d as f64 * (d - 1) as f64)
+            }
+        })
+        .collect()
+}
+
+/// Edge clustering coefficients, as `((u, v), ξ_uv)` per canonical edge.
+pub fn edge_clustering(g: &CsrGraph) -> Vec<((VertexId, VertexId), f64)> {
+    let et = edge_triangles(g);
+    et.iter()
+        .map(|((u, v), delta)| {
+            let dmin = core_degree(g, u).min(core_degree(g, v));
+            let xi = if dmin < 2 { 0.0 } else { delta as f64 / (dmin - 1) as f64 };
+            ((u, v), xi)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kron_graph::generators::{clique, cycle, star};
+    use kron_graph::{CsrGraph, EdgeList};
+
+    #[test]
+    fn clique_is_fully_clustered() {
+        let eta = vertex_clustering(&clique(5));
+        assert!(eta.iter().all(|&e| (e - 1.0).abs() < 1e-12));
+        for (_, xi) in edge_clustering(&clique(5)) {
+            assert!((xi - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn triangle_free_is_zero() {
+        for g in [cycle(6), star(5)] {
+            assert!(vertex_clustering(&g).iter().all(|&e| e == 0.0));
+            assert!(edge_clustering(&g).iter().all(|&(_, xi)| xi == 0.0));
+        }
+    }
+
+    #[test]
+    fn degenerate_degrees_zero_not_nan() {
+        // A single edge: degrees 1, denominator would vanish.
+        let g = CsrGraph::from_arcs(2, vec![(0, 1), (1, 0)]).unwrap();
+        assert_eq!(vertex_clustering(&g), vec![0.0, 0.0]);
+        assert_eq!(edge_clustering(&g)[0].1, 0.0);
+    }
+
+    #[test]
+    fn paw_graph_partial_clustering() {
+        // Triangle {0,1,2} plus pendant 3 attached to 0.
+        let mut list = EdgeList::new(4);
+        for (u, v) in [(0, 1), (1, 2), (0, 2), (0, 3)] {
+            list.add_undirected(u, v).unwrap();
+        }
+        let g = CsrGraph::from_edge_list(&list);
+        let eta = vertex_clustering(&g);
+        assert!((eta[0] - 2.0 / 6.0).abs() < 1e-12); // d=3, t=1
+        assert!((eta[1] - 1.0).abs() < 1e-12);
+        assert!((eta[3] - 0.0).abs() < 1e-12);
+        let xi = edge_clustering(&g);
+        let get = |u, v| {
+            xi.iter()
+                .find(|&&((a, b), _)| (a, b) == (u, v))
+                .map(|&(_, x)| x)
+                .unwrap()
+        };
+        assert!((get(1, 2) - 1.0).abs() < 1e-12); // Δ=1, min(d)=2
+        assert!((get(0, 3) - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn self_loops_do_not_change_clustering() {
+        let g = clique(4);
+        let looped = g.with_full_self_loops();
+        assert_eq!(vertex_clustering(&g), vertex_clustering(&looped));
+        assert_eq!(edge_clustering(&g), edge_clustering(&looped));
+    }
+}

@@ -1,0 +1,398 @@
+//! Hop counts, eccentricity, diameter, and closeness centrality (§V).
+//!
+//! The paper's Def. 9 measures distance as
+//! `hops(i, j) = min { h ≥ 1 : (A^h)_ij > 0 }` — note the minimum walk
+//! length starts at 1, so the "distance" from a vertex to itself is 1 when
+//! it has a self loop (and 2 via any neighbor otherwise). For `i ≠ j` this
+//! coincides with the ordinary BFS shortest-path distance. All routines
+//! here follow Def. 9 exactly so they can be compared verbatim against the
+//! Kronecker formulas (Thm. 3–5, Cor. 3–5, Thm. 4).
+
+use std::collections::VecDeque;
+
+use kron_graph::{CsrGraph, VertexId};
+use serde::{Deserialize, Serialize};
+
+/// Sentinel for unreachable pairs.
+pub const UNREACHABLE: u32 = u32::MAX;
+
+/// Standard BFS distances from `source` (`dist[source] = 0`,
+/// [`UNREACHABLE`] for unreached vertices).
+///
+/// ```
+/// use kron_analytics::distance::bfs_distances;
+/// use kron_graph::generators::path;
+///
+/// assert_eq!(bfs_distances(&path(4), 0), vec![0, 1, 2, 3]);
+/// ```
+pub fn bfs_distances(g: &CsrGraph, source: VertexId) -> Vec<u32> {
+    let n = g.n() as usize;
+    let mut dist = vec![UNREACHABLE; n];
+    let mut queue = VecDeque::new();
+    dist[source as usize] = 0;
+    queue.push_back(source);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u as usize];
+        for &v in g.neighbors(u) {
+            if dist[v as usize] == UNREACHABLE {
+                dist[v as usize] = du + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// Def. 9 hop counts from `source`: BFS distance off the diagonal; at the
+/// diagonal, 1 with a self loop, else 2 via any neighbor, else unreachable.
+pub fn bfs_hops(g: &CsrGraph, source: VertexId) -> Vec<u32> {
+    let mut hops = bfs_distances(g, source);
+    hops[source as usize] = if g.has_self_loop(source) {
+        1
+    } else if g.degree(source) > 0 {
+        2
+    } else {
+        UNREACHABLE
+    };
+    hops
+}
+
+/// Full Def. 9 hop-count matrix (row `i` = `hops(i, ·)`). Quadratic memory;
+/// only for factor-sized graphs.
+pub fn hops_matrix(g: &CsrGraph) -> Vec<Vec<u32>> {
+    (0..g.n()).map(|v| bfs_hops(g, v)).collect()
+}
+
+/// Eccentricity of one vertex (Def. 11): `max_j hops(i, j)`;
+/// [`UNREACHABLE`] when some vertex cannot be reached.
+pub fn eccentricity(g: &CsrGraph, v: VertexId) -> u32 {
+    bfs_hops(g, v).into_iter().max().unwrap_or(UNREACHABLE)
+}
+
+/// Eccentricities of every vertex by running a BFS from each (`O(n·m)`).
+pub fn all_eccentricities_naive(g: &CsrGraph) -> Vec<u32> {
+    (0..g.n()).map(|v| eccentricity(g, v)).collect()
+}
+
+/// Exact eccentricities of every vertex of a **connected undirected** graph
+/// using the bounds-refinement algorithm of Takes & Kosters (the approach
+/// behind the paper's reference [3] for massive-scale exact eccentricity).
+///
+/// Maintains per-vertex lower/upper eccentricity bounds; each pivot BFS
+/// tightens `lower(u) ≥ max(d(u), ecc(pivot) − d(u))` and
+/// `upper(u) ≤ ecc(pivot) + d(u)`, resolving most vertices of small-world
+/// graphs within a handful of sweeps. Falls back to per-vertex BFS for any
+/// stragglers, so the result is always exact.
+///
+/// Panics if the graph is disconnected (bounds would never close) — extract
+/// the largest connected component first, as the paper does.
+pub fn all_eccentricities(g: &CsrGraph) -> Vec<u32> {
+    let n = g.n() as usize;
+    if n == 0 {
+        return vec![];
+    }
+    let mut lower = vec![0u32; n];
+    let mut upper = vec![u32::MAX; n];
+    let mut resolved = vec![false; n];
+    let mut remaining = n;
+    let mut pick_max_upper = true;
+
+    while remaining > 0 {
+        // Pivot selection: alternate the vertex with the largest upper bound
+        // and the one with the smallest lower bound among unresolved
+        // vertices (the classic interchanging strategy).
+        let pivot = if pick_max_upper {
+            (0..n)
+                .filter(|&v| !resolved[v])
+                .max_by_key(|&v| (upper[v], g.degree(v as u64)))
+                .expect("remaining > 0")
+        } else {
+            (0..n)
+                .filter(|&v| !resolved[v])
+                .min_by_key(|&v| (lower[v], std::cmp::Reverse(g.degree(v as u64))))
+                .expect("remaining > 0")
+        };
+        pick_max_upper = !pick_max_upper;
+
+        let hops = bfs_hops(g, pivot as u64);
+        let ecc_pivot = hops.iter().copied().max().unwrap_or(UNREACHABLE);
+        assert!(
+            ecc_pivot != UNREACHABLE,
+            "all_eccentricities requires a connected graph"
+        );
+        for u in 0..n {
+            if resolved[u] {
+                continue;
+            }
+            let d = hops[u];
+            let lo = d.max(ecc_pivot.saturating_sub(d));
+            let hi = ecc_pivot.saturating_add(d);
+            if lo > lower[u] {
+                lower[u] = lo;
+            }
+            if hi < upper[u] {
+                upper[u] = hi;
+            }
+            if lower[u] == upper[u] {
+                resolved[u] = true;
+                remaining -= 1;
+            }
+        }
+        // Resolve the pivot itself exactly.
+        if !resolved[pivot] {
+            lower[pivot] = ecc_pivot;
+            upper[pivot] = ecc_pivot;
+            resolved[pivot] = true;
+            remaining -= 1;
+        }
+    }
+    lower
+}
+
+/// Graph diameter (Def. 10): the maximum hop count over all vertex pairs;
+/// [`UNREACHABLE`] when disconnected, 0 when empty.
+pub fn diameter(g: &CsrGraph) -> u32 {
+    if g.n() == 0 {
+        return 0;
+    }
+    // diameter = max eccentricity; two-phase: naive for tiny graphs,
+    // bounds-based otherwise would need connectivity — keep naive max here
+    // since diameter() is used on factor-scale graphs.
+    all_eccentricities_naive(g).into_iter().max().unwrap_or(0)
+}
+
+/// Closeness centrality of one vertex (Def. 12):
+/// `ζ(i) = Σ_j 1 / hops(i, j)`, summing only reachable `j`.
+pub fn closeness(g: &CsrGraph, v: VertexId) -> f64 {
+    bfs_hops(g, v)
+        .into_iter()
+        .filter(|&h| h != UNREACHABLE)
+        .map(|h| 1.0 / h as f64)
+        .sum()
+}
+
+/// Per-vertex eccentricity bounds from `k` pivot BFS passes — the cheap
+/// approximation regime the paper's Fig. 1 notes ("30% of vertices may be
+/// estimating a value 1 greater than actual eccentricity").
+///
+/// Each pivot `c` with exact `ε(c)` tightens, for every `v`:
+/// `lower(v) ≥ max(d(c,v), ε(c) − d(c,v))` and `upper(v) ≤ d(c,v) + ε(c)`.
+/// Pivots are chosen as the highest-degree vertex plus a deterministic
+/// spread. Cost: `O(k (n + m))` vs the exact algorithm's data-dependent
+/// sweep count.
+pub fn eccentricity_bounds_via_pivots(g: &CsrGraph, pivots: usize) -> Vec<(u32, u32)> {
+    let n = g.n() as usize;
+    if n == 0 {
+        return vec![];
+    }
+    let mut bounds = vec![(0u32, u32::MAX); n];
+    // Pivot 1: max degree; the rest: deterministic stride over V.
+    let mut picks: Vec<VertexId> =
+        vec![(0..g.n()).max_by_key(|&v| g.degree(v)).expect("n > 0")];
+    let stride = (g.n() / pivots.max(1) as u64).max(1);
+    let mut v = 0;
+    while picks.len() < pivots && v < g.n() {
+        if !picks.contains(&v) {
+            picks.push(v);
+        }
+        v += stride;
+    }
+    for c in picks {
+        let hops = bfs_hops(g, c);
+        let ecc_c = hops.iter().copied().max().unwrap_or(UNREACHABLE);
+        if ecc_c == UNREACHABLE {
+            continue; // disconnected: bounds stay open
+        }
+        for (u, &d) in hops.iter().enumerate() {
+            let (lo, hi) = &mut bounds[u];
+            *lo = (*lo).max(d.max(ecc_c.saturating_sub(d)));
+            *hi = (*hi).min(ecc_c.saturating_add(d));
+        }
+    }
+    bounds
+}
+
+/// Summary of a graph's distance structure.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DistanceSummary {
+    /// Per-vertex eccentricity.
+    pub eccentricities: Vec<u32>,
+    /// Graph diameter (max eccentricity).
+    pub diameter: u32,
+    /// Graph radius (min eccentricity).
+    pub radius: u32,
+}
+
+/// Computes the distance summary of a connected graph exactly.
+pub fn distance_summary(g: &CsrGraph) -> DistanceSummary {
+    let eccentricities = all_eccentricities(g);
+    let diameter = eccentricities.iter().copied().max().unwrap_or(0);
+    let radius = eccentricities.iter().copied().min().unwrap_or(0);
+    DistanceSummary { eccentricities, diameter, radius }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kron_graph::generators::{clique, cycle, path, star};
+    use kron_graph::CsrGraph;
+
+    #[test]
+    fn bfs_distances_path() {
+        let g = path(5);
+        assert_eq!(bfs_distances(&g, 0), vec![0, 1, 2, 3, 4]);
+        assert_eq!(bfs_distances(&g, 2), vec![2, 1, 0, 1, 2]);
+    }
+
+    #[test]
+    fn bfs_unreachable() {
+        let g = CsrGraph::from_arcs(3, vec![(0, 1), (1, 0)]).unwrap();
+        let d = bfs_distances(&g, 0);
+        assert_eq!(d[2], UNREACHABLE);
+    }
+
+    #[test]
+    fn hops_diagonal_conventions() {
+        // No self loop, has neighbors → hops(i,i) = 2.
+        let g = path(3);
+        assert_eq!(bfs_hops(&g, 1)[1], 2);
+        // Self loop → 1.
+        let with_loop = g.with_full_self_loops();
+        assert_eq!(bfs_hops(&with_loop, 1)[1], 1);
+        // Isolated vertex → unreachable.
+        let iso = CsrGraph::from_arcs(2, vec![]).unwrap();
+        assert_eq!(bfs_hops(&iso, 0)[0], UNREACHABLE);
+    }
+
+    #[test]
+    fn hops_off_diagonal_matches_bfs() {
+        let g = cycle(6).with_full_self_loops();
+        let hops = bfs_hops(&g, 0);
+        assert_eq!(hops[3], 3);
+        assert_eq!(hops[5], 1);
+        assert_eq!(hops[0], 1);
+    }
+
+    #[test]
+    fn eccentricity_known_families() {
+        let g = path(5).with_full_self_loops();
+        assert_eq!(eccentricity(&g, 0), 4);
+        assert_eq!(eccentricity(&g, 2), 2);
+        let k = clique(4).with_full_self_loops();
+        assert_eq!(eccentricity(&k, 0), 1);
+        // Clique without loops: hops(i,i)=2 dominates the 1-hop neighbors.
+        let k_plain = clique(4);
+        assert_eq!(eccentricity(&k_plain, 0), 2);
+    }
+
+    #[test]
+    fn diameter_known_families() {
+        assert_eq!(diameter(&path(6).with_full_self_loops()), 5);
+        assert_eq!(diameter(&cycle(8).with_full_self_loops()), 4);
+        assert_eq!(diameter(&clique(5).with_full_self_loops()), 1);
+        assert_eq!(diameter(&star(5).with_full_self_loops()), 2);
+    }
+
+    #[test]
+    fn bounded_matches_naive_on_families() {
+        for g in [
+            path(9).with_full_self_loops(),
+            cycle(10).with_full_self_loops(),
+            star(12).with_full_self_loops(),
+            clique(6).with_full_self_loops(),
+            path(9),
+            cycle(10),
+            star(12),
+        ] {
+            assert_eq!(all_eccentricities(&g), all_eccentricities_naive(&g));
+        }
+    }
+
+    #[test]
+    fn bounded_matches_naive_on_random() {
+        use kron_graph::generators::barabasi_albert;
+        let g = barabasi_albert(200, 2, 9).with_full_self_loops();
+        assert_eq!(all_eccentricities(&g), all_eccentricities_naive(&g));
+    }
+
+    #[test]
+    #[should_panic(expected = "connected")]
+    fn bounded_rejects_disconnected() {
+        let g = CsrGraph::from_arcs(4, vec![(0, 1), (1, 0), (2, 3), (3, 2)]).unwrap();
+        all_eccentricities(&g);
+    }
+
+    #[test]
+    fn closeness_star_center_vs_leaf() {
+        let g = star(5).with_full_self_loops();
+        // Center: self 1 + four leaves at 1 → 5.
+        assert!((closeness(&g, 0) - 5.0).abs() < 1e-12);
+        // Leaf: self 1 + center 1 + three leaves at 2 → 3.5.
+        assert!((closeness(&g, 1) - 3.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn closeness_skips_unreachable() {
+        let g = CsrGraph::from_arcs(3, vec![(0, 1), (1, 0), (0, 0), (1, 1), (2, 2)]).unwrap();
+        assert!((closeness(&g, 0) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_consistency() {
+        let g = cycle(7).with_full_self_loops();
+        let s = distance_summary(&g);
+        assert_eq!(s.diameter, 3);
+        assert_eq!(s.radius, 3);
+        assert_eq!(s.eccentricities.len(), 7);
+    }
+
+    #[test]
+    fn pivot_bounds_contain_exact_eccentricities() {
+        use kron_graph::generators::barabasi_albert;
+        let g = barabasi_albert(120, 2, 5).with_full_self_loops();
+        let exact = all_eccentricities(&g);
+        for pivots in [1usize, 4, 16] {
+            let bounds = eccentricity_bounds_via_pivots(&g, pivots);
+            for (v, &(lo, hi)) in bounds.iter().enumerate() {
+                assert!(
+                    lo <= exact[v] && exact[v] <= hi,
+                    "pivots={pivots} v={v}: {} not in [{lo}, {hi}]",
+                    exact[v]
+                );
+            }
+        }
+        // More pivots resolve most small-world vertices within +1 — the
+        // paper's Fig. 1 error regime.
+        let bounds = eccentricity_bounds_via_pivots(&g, 16);
+        let near = bounds
+            .iter()
+            .zip(&exact)
+            .filter(|(&(lo, hi), _)| hi - lo <= 1)
+            .count();
+        assert!(
+            near * 10 >= 7 * bounds.len(),
+            "only {near}/{} vertices within +1",
+            bounds.len()
+        );
+    }
+
+    #[test]
+    fn pivot_bounds_edge_cases() {
+        let empty = CsrGraph::from_arcs(0, vec![]).unwrap();
+        assert!(eccentricity_bounds_via_pivots(&empty, 4).is_empty());
+        let disconnected = CsrGraph::from_arcs(3, vec![(0, 1), (1, 0)]).unwrap();
+        let bounds = eccentricity_bounds_via_pivots(&disconnected, 2);
+        assert_eq!(bounds.len(), 3);
+    }
+
+    #[test]
+    fn hops_matrix_is_symmetric_for_undirected() {
+        let g = cycle(6).with_full_self_loops();
+        let m = hops_matrix(&g);
+        for (i, row) in m.iter().enumerate() {
+            for (j, &h) in row.iter().enumerate() {
+                assert_eq!(h, m[j][i]);
+            }
+        }
+    }
+}

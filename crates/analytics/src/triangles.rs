@@ -1,0 +1,286 @@
+//! Triangle participation at vertices and edges (§IV, Def. 5 / Def. 6).
+//!
+//! Both definitions strip the diagonal first (`A − A ∘ I_A`), so all
+//! routines here operate on the loop-free core of the input graph: a self
+//! loop never participates in a triangle.
+//!
+//! The enumeration order follows the degree-ordered intersection approach
+//! of Chiba–Nishizeki (the paper's reference [22]): each triangle
+//! `{u, v, w}` with `u < v < w` is visited exactly once.
+
+use kron_graph::{CsrGraph, VertexId};
+use serde::{Deserialize, Serialize};
+
+/// Vertex triangle counts plus the global total.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TriangleCounts {
+    /// `per_vertex[v]` = number of triangles containing `v`
+    /// (`t_A` of Def. 5).
+    pub per_vertex: Vec<u64>,
+    /// Total distinct triangles (`τ_A = (1/3) Σ t_v`).
+    pub global: u64,
+}
+
+/// Edge triangle counts (`Δ_A` of Def. 6), stored per canonical edge.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EdgeTriangles {
+    edges: Vec<(VertexId, VertexId)>,
+    counts: Vec<u64>,
+}
+
+impl EdgeTriangles {
+    /// The triangle count at edge `{u, v}`; `None` when the edge is absent
+    /// (or is a self loop, which by Def. 6 has no triangle count).
+    pub fn get(&self, u: VertexId, v: VertexId) -> Option<u64> {
+        let key = (u.min(v), u.max(v));
+        self.edges.binary_search(&key).ok().map(|idx| self.counts[idx])
+    }
+
+    /// Iterates `((u, v), Δ_uv)` over canonical edges (`u < v`).
+    pub fn iter(&self) -> impl Iterator<Item = ((VertexId, VertexId), u64)> + '_ {
+        self.edges.iter().copied().zip(self.counts.iter().copied())
+    }
+
+    /// Number of stored (canonical, loop-free) edges.
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// True when the graph had no loop-free edges.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+}
+
+/// Counts common neighbors of two sorted neighbor slices, skipping entries
+/// equal to `a` or `b` (self-loop arcs in either list).
+fn intersect_count(left: &[VertexId], right: &[VertexId], a: VertexId, b: VertexId) -> u64 {
+    let mut i = 0;
+    let mut j = 0;
+    let mut count = 0;
+    while i < left.len() && j < right.len() {
+        match left[i].cmp(&right[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                let w = left[i];
+                if w != a && w != b {
+                    count += 1;
+                }
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    count
+}
+
+/// Triangle participation at every vertex (Def. 5) and the global count.
+///
+/// Expects an undirected graph; self loops are ignored per the definition.
+///
+/// ```
+/// use kron_analytics::triangles::vertex_triangles;
+/// use kron_graph::generators::clique;
+///
+/// let t = vertex_triangles(&clique(4));
+/// assert_eq!(t.per_vertex, vec![3, 3, 3, 3]);
+/// assert_eq!(t.global, 4);
+/// ```
+pub fn vertex_triangles(g: &CsrGraph) -> TriangleCounts {
+    let n = g.n() as usize;
+    let mut per_vertex = vec![0u64; n];
+    let mut triple_sum = 0u64;
+    enumerate_triangles(g, |u, v, w| {
+        per_vertex[u as usize] += 1;
+        per_vertex[v as usize] += 1;
+        per_vertex[w as usize] += 1;
+        triple_sum += 1;
+    });
+    TriangleCounts { per_vertex, global: triple_sum }
+}
+
+/// Global triangle count `τ_A`.
+pub fn global_triangles(g: &CsrGraph) -> u64 {
+    let mut count = 0u64;
+    enumerate_triangles(g, |_, _, _| count += 1);
+    count
+}
+
+/// Triangle participation at every edge (Def. 6):
+/// `Δ_uv = |N(u) ∩ N(v)|` on the loop-free core.
+pub fn edge_triangles(g: &CsrGraph) -> EdgeTriangles {
+    let mut edges = Vec::new();
+    let mut counts = Vec::new();
+    for u in 0..g.n() {
+        for &v in g.neighbors(u) {
+            if u < v {
+                edges.push((u, v));
+                counts.push(intersect_count(g.neighbors(u), g.neighbors(v), u, v));
+            }
+        }
+    }
+    EdgeTriangles { edges, counts }
+}
+
+/// Enumerates each triangle `{u, v, w}` with `u < v < w` exactly once.
+///
+/// Used directly by the probabilistic-edge-rejection experiment (§IV-C),
+/// which filters enumerated triangles of `G_C` by edge-hash thresholds to
+/// count triangles of every `G_{C,ν}` in one pass.
+pub fn enumerate_triangles<F: FnMut(VertexId, VertexId, VertexId)>(g: &CsrGraph, mut visit: F) {
+    for u in 0..g.n() {
+        let nu = g.neighbors(u);
+        for &v in nu {
+            if v <= u {
+                continue;
+            }
+            // Walk the intersection of N(u) and N(v) above v.
+            let nv = g.neighbors(v);
+            let mut i = match nu.binary_search(&(v + 1)) {
+                Ok(p) | Err(p) => p,
+            };
+            let mut j = match nv.binary_search(&(v + 1)) {
+                Ok(p) | Err(p) => p,
+            };
+            while i < nu.len() && j < nv.len() {
+                match nu[i].cmp(&nv[j]) {
+                    std::cmp::Ordering::Less => i += 1,
+                    std::cmp::Ordering::Greater => j += 1,
+                    std::cmp::Ordering::Equal => {
+                        visit(u, v, nu[i]);
+                        i += 1;
+                        j += 1;
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kron_graph::generators::{clique, complete_bipartite, cycle, path, star};
+
+    #[test]
+    fn clique_counts() {
+        // K5: each vertex in C(4,2)=6 triangles, 10 total.
+        let g = clique(5);
+        let t = vertex_triangles(&g);
+        assert_eq!(t.per_vertex, vec![6; 5]);
+        assert_eq!(t.global, 10);
+        assert_eq!(global_triangles(&g), 10);
+        // Every edge of K5 lies in 3 triangles.
+        let e = edge_triangles(&g);
+        assert_eq!(e.len(), 10);
+        assert!(e.iter().all(|(_, c)| c == 3));
+        assert_eq!(e.get(0, 4), Some(3));
+        assert_eq!(e.get(4, 0), Some(3));
+    }
+
+    #[test]
+    fn triangle_free_families() {
+        for g in [path(6), cycle(6), star(7), complete_bipartite(3, 4)] {
+            assert_eq!(global_triangles(&g), 0);
+            assert!(vertex_triangles(&g).per_vertex.iter().all(|&t| t == 0));
+            assert!(edge_triangles(&g).iter().all(|(_, c)| c == 0));
+        }
+    }
+
+    #[test]
+    fn self_loops_ignored() {
+        let plain = clique(4);
+        let looped = plain.with_full_self_loops();
+        assert_eq!(vertex_triangles(&looped), vertex_triangles(&plain));
+        let e = edge_triangles(&looped);
+        // Self-loop "edges" are not canonical u<v pairs, so counts match.
+        for ((u, v), c) in edge_triangles(&plain).iter() {
+            assert_eq!(e.get(u, v), Some(c));
+        }
+    }
+
+    #[test]
+    fn single_triangle_counts() {
+        let g = clique(3);
+        let t = vertex_triangles(&g);
+        assert_eq!(t.per_vertex, vec![1, 1, 1]);
+        assert_eq!(t.global, 1);
+        let e = edge_triangles(&g);
+        assert_eq!(e.get(0, 1), Some(1));
+        assert_eq!(e.get(1, 2), Some(1));
+        assert_eq!(e.get(0, 2), Some(1));
+    }
+
+    #[test]
+    fn edge_lookup_missing() {
+        let g = path(4);
+        let e = edge_triangles(&g);
+        assert_eq!(e.get(0, 1), Some(0));
+        assert_eq!(e.get(0, 3), None);
+        assert!(!e.is_empty());
+    }
+
+    #[test]
+    fn enumeration_visits_each_once_in_order() {
+        let g = clique(4);
+        let mut seen = Vec::new();
+        enumerate_triangles(&g, |u, v, w| seen.push((u, v, w)));
+        assert_eq!(seen.len(), 4);
+        for &(u, v, w) in &seen {
+            assert!(u < v && v < w);
+        }
+        let mut dedup = seen.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), seen.len());
+    }
+
+    #[test]
+    fn vertex_counts_consistent_with_edge_counts() {
+        // t_u = (1/2) Σ_{v ∈ N(u)} Δ_uv on the loop-free core.
+        use kron_graph::generators::erdos_renyi;
+        let g = erdos_renyi(40, 0.25, 5);
+        let tv = vertex_triangles(&g);
+        let et = edge_triangles(&g);
+        for u in 0..g.n() {
+            let sum: u64 = g
+                .neighbors(u)
+                .iter()
+                .filter(|&&v| v != u)
+                .map(|&v| et.get(u, v).expect("edge exists"))
+                .sum();
+            assert_eq!(sum % 2, 0);
+            assert_eq!(tv.per_vertex[u as usize], sum / 2, "vertex {u}");
+        }
+        // Global count = (1/3) Σ_v t_v.
+        let total: u64 = tv.per_vertex.iter().sum();
+        assert_eq!(total % 3, 0);
+        assert_eq!(tv.global, total / 3);
+    }
+
+    #[test]
+    fn matches_matrix_oracle() {
+        // Def. 5/6 verbatim on the dense oracle: t = ½ diag((A−A∘I)³),
+        // Δ = (A−A∘I) ∘ (A−A∘I)².
+        use kron_graph::generators::erdos_renyi;
+        use kron_linalg::DenseMatrix;
+        let g = erdos_renyi(25, 0.3, 11).with_full_self_loops();
+        let n = g.n() as usize;
+        let mut a = DenseMatrix::zeros(n, n);
+        for (u, v) in g.arcs() {
+            a.set(u as usize, v as usize, 1);
+        }
+        let core = &a - &a.hadamard(&DenseMatrix::identity(n));
+        let cubed = core.pow(3);
+        let expected_t: Vec<u64> =
+            cubed.diag_vector().iter().map(|&x| (x / 2) as u64).collect();
+        assert_eq!(vertex_triangles(&g).per_vertex, expected_t);
+
+        let delta = core.hadamard(&core.pow(2));
+        let et = edge_triangles(&g);
+        for ((u, v), c) in et.iter() {
+            assert_eq!(delta.get(u as usize, v as usize) as u64, c, "edge ({u},{v})");
+        }
+    }
+}

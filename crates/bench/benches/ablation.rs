@@ -1,0 +1,69 @@
+//! Ablation benches for the distributed generator's design choices:
+//! batch size, storage-owner mapping, and exchange mode — the knobs §III
+//! leaves open ("dependent on the method used to distribute edges to
+//! processors").
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kron_core::{KroneckerPair, SelfLoopMode};
+use kron_dist::generator::{
+    generate_distributed, DistConfig, ExchangeMode, OwnerConfig,
+};
+use kron_graph::generators::{rmat, RmatConfig};
+
+fn pair() -> KroneckerPair {
+    let a = rmat(&RmatConfig::graph500(6, 71));
+    let b = rmat(&RmatConfig::graph500(6, 72));
+    KroneckerPair::new(a, b, SelfLoopMode::AsIs).expect("loop-free R-MAT")
+}
+
+fn bench_batch_size(c: &mut Criterion) {
+    let pair = pair();
+    let mut group = c.benchmark_group("ablation_batch_size");
+    group.sample_size(10);
+    for batch in [16usize, 256, 4096] {
+        group.bench_with_input(BenchmarkId::from_parameter(batch), &batch, |bencher, &batch| {
+            let mut cfg = DistConfig::new(4);
+            cfg.batch_size = batch;
+            bencher.iter(|| generate_distributed(&pair, &cfg).stats.total_stored())
+        });
+    }
+    group.finish();
+}
+
+fn bench_owner_scheme(c: &mut Criterion) {
+    let pair = pair();
+    let mut group = c.benchmark_group("ablation_owner");
+    group.sample_size(10);
+    for (name, owner) in [
+        ("vertex_block", OwnerConfig::VertexBlock),
+        ("hash", OwnerConfig::Hash { seed: 9 }),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &owner, |bencher, &owner| {
+            let mut cfg = DistConfig::new(4);
+            cfg.owner = owner;
+            bencher.iter(|| generate_distributed(&pair, &cfg).stats.storage_imbalance())
+        });
+    }
+    group.finish();
+}
+
+fn bench_exchange_mode(c: &mut Criterion) {
+    let pair = pair();
+    let mut group = c.benchmark_group("ablation_exchange");
+    group.sample_size(10);
+    for (name, mode) in [
+        ("phased", ExchangeMode::Phased),
+        ("interleaved", ExchangeMode::Interleaved),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &mode, |bencher, &mode| {
+            let mut cfg = DistConfig::new(4);
+            cfg.exchange = mode;
+            cfg.batch_size = 256;
+            bencher.iter(|| generate_distributed(&pair, &cfg).stats.total_stored())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_batch_size, bench_owner_scheme, bench_exchange_mode);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Bench for Thm. 4 (§V-B): per-vertex closeness centrality of C — naive
+//! O(n_A·n_B) double sum vs the hop-histogram factored evaluator.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kron_core::closeness::{closeness_fast, closeness_naive};
+use kron_core::distance::DistanceOracle;
+use kron_core::KroneckerPair;
+use kron_datasets::gnutella::{synthetic_gnutella, GnutellaConfig};
+
+fn bench_closeness(c: &mut Criterion) {
+    let mut group = c.benchmark_group("closeness");
+    group.sample_size(10);
+
+    for factor_n in [300u64, 900] {
+        let mut cfg = GnutellaConfig::tiny();
+        cfg.vertices = factor_n;
+        let a = synthetic_gnutella(&cfg);
+        let pair =
+            KroneckerPair::with_full_self_loops(a.clone(), a).expect("loop-free factor");
+        let oracle = DistanceOracle::new(&pair).expect("full loops");
+        let p = pair.n_c() / 2;
+
+        group.bench_with_input(
+            BenchmarkId::new("naive_per_vertex", factor_n),
+            &factor_n,
+            |bencher, _| bencher.iter(|| closeness_naive(&oracle, p).expect("in range")),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("factored_per_vertex", factor_n),
+            &factor_n,
+            |bencher, _| bencher.iter(|| closeness_fast(&oracle, p).expect("in range")),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_closeness);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Bench for Fig. 2 (§VI): Kronecker-partition community profiles — Thm. 6
+//! factor-side computation vs direct profiling of the materialized product.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kron_analytics::community::partition_profiles;
+use kron_core::community::CommunityOracle;
+use kron_core::generate::materialize;
+use kron_core::KroneckerPair;
+use kron_datasets::graphchallenge::groundtruth_scaled;
+
+fn bench_community(c: &mut Criterion) {
+    // Small replica so the direct side can materialize C.
+    let ds = groundtruth_scaled(400, 5);
+    let k = ds.communities;
+    let pair = KroneckerPair::with_full_self_loops(ds.graph.clone(), ds.graph.clone())
+        .expect("loop-free factor");
+    let oracle = CommunityOracle::new(&pair).expect("FullBoth");
+    let materialized = materialize(&pair);
+    let labels_c: Vec<u32> = (0..pair.n_c())
+        .map(|p| oracle.kron_partition_label(&ds.labels, &ds.labels, k, p))
+        .collect();
+
+    let mut group = c.benchmark_group("community");
+    group.sample_size(10);
+
+    group.bench_function("thm6_factor_side_1089_profiles", |bencher| {
+        bencher.iter(|| {
+            oracle
+                .kron_partition_profiles(&ds.labels, k, &ds.labels, k)
+                .len()
+        })
+    });
+    group.bench_function("direct_on_materialized", |bencher| {
+        bencher.iter(|| partition_profiles(&materialized, &labels_c, k * k).len())
+    });
+
+    // Paper-scale factor-side computation: 20,000-vertex factor, C never
+    // materialized (83B-edge equivalent).
+    let full = groundtruth_scaled(20_000, 5);
+    let full_pair =
+        KroneckerPair::with_full_self_loops(full.graph.clone(), full.graph.clone())
+            .expect("loop-free factor");
+    let full_oracle = CommunityOracle::new(&full_pair).expect("FullBoth");
+    group.bench_function("thm6_factor_side_paper_scale", |bencher| {
+        bencher.iter(|| {
+            full_oracle
+                .kron_partition_profiles(&full.labels, k, &full.labels, k)
+                .len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_community);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Bench for Fig. 1 (§V-A): eccentricity pipelines — factor-side exact
+//! eccentricities (naive all-BFS vs bounds refinement) and the Cor. 4
+//! histogram convolution that produces C's distribution without touching C.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kron_analytics::distance::{all_eccentricities, all_eccentricities_naive};
+use kron_core::distance::eccentricity_histogram_from_factors;
+use kron_datasets::gnutella::{synthetic_gnutella, GnutellaConfig};
+
+fn bench_eccentricity(c: &mut Criterion) {
+    let mut cfg = GnutellaConfig::tiny();
+    cfg.vertices = 600;
+    let a = synthetic_gnutella(&cfg).with_full_self_loops();
+    let ecc = all_eccentricities(&a);
+
+    let mut group = c.benchmark_group("eccentricity");
+    group.sample_size(10);
+
+    group.bench_function("factor_naive_all_bfs", |bencher| {
+        bencher.iter(|| all_eccentricities_naive(&a).len())
+    });
+    group.bench_function("factor_bounds_refinement", |bencher| {
+        bencher.iter(|| all_eccentricities(&a).len())
+    });
+    group.bench_function("cor4_histogram_convolution", |bencher| {
+        bencher.iter(|| eccentricity_histogram_from_factors(&ecc, &ecc).total())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_eccentricity);
+criterion_main!(benches);

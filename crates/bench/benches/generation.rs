@@ -1,0 +1,55 @@
+//! Bench for Table 2 (§III): Kronecker edge-generation throughput,
+//! sequential streaming vs the distributed engine at several rank counts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use kron_core::{generate, KroneckerPair, SelfLoopMode};
+use kron_dist::generator::{generate_distributed, DistConfig, StorageMode};
+use kron_graph::generators::{rmat, RmatConfig};
+
+fn pair(scale: u32) -> KroneckerPair {
+    let a = rmat(&RmatConfig::graph500(scale, 1));
+    let b = rmat(&RmatConfig::graph500(scale, 2));
+    KroneckerPair::new(a, b, SelfLoopMode::AsIs).expect("loop-free R-MAT")
+}
+
+fn bench_generation(c: &mut Criterion) {
+    let pair = pair(6);
+    let arcs = pair.nnz_c() as u64;
+    let mut group = c.benchmark_group("generation");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(arcs));
+
+    group.bench_function("sequential_stream", |bencher| {
+        bencher.iter(|| {
+            let mut count = 0u64;
+            generate::for_each_arc(&pair, |p, q| {
+                count += p.wrapping_add(q) & 1;
+            });
+            count
+        })
+    });
+
+    for ranks in [1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("distributed_count_only", ranks),
+            &ranks,
+            |bencher, &ranks| {
+                let mut cfg = DistConfig::new(ranks);
+                cfg.storage = StorageMode::CountOnly;
+                bencher.iter(|| generate_distributed(&pair, &cfg).stats.total_generated())
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("distributed_store", ranks),
+            &ranks,
+            |bencher, &ranks| {
+                let cfg = DistConfig::new(ranks);
+                bencher.iter(|| generate_distributed(&pair, &cfg).stats.total_stored())
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_generation);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Bench for Table 1 (§I): ground-truth formulas from factor state vs
+//! direct measurement on the materialized product — the sublinear-vs-
+//! linear computation claim, quantity by quantity.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kron_core::generate::materialize;
+use kron_core::triangles::TriangleOracle;
+use kron_core::{degree, KroneckerPair, SelfLoopMode};
+use kron_graph::generators::{rmat, RmatConfig};
+
+fn bench_ground_truth(c: &mut Criterion) {
+    let a = rmat(&RmatConfig::graph500(5, 21));
+    let b = rmat(&RmatConfig::graph500(5, 22));
+    let pair = KroneckerPair::new(a, b, SelfLoopMode::FullBoth).expect("loop-free");
+    let materialized = materialize(&pair);
+
+    let mut group = c.benchmark_group("ground_truth");
+    group.sample_size(20);
+
+    group.bench_function("degree_histogram_formula", |bencher| {
+        bencher.iter(|| degree::degree_histogram(&pair).total())
+    });
+    group.bench_function("degree_histogram_direct", |bencher| {
+        bencher.iter(|| {
+            kron_analytics::Histogram::from_values(materialized.degrees()).total()
+        })
+    });
+
+    group.bench_function("global_triangles_formula", |bencher| {
+        bencher.iter(|| {
+            let oracle = TriangleOracle::new(&pair).expect("loop-free base");
+            oracle.global_triangles()
+        })
+    });
+    group.bench_function("global_triangles_direct", |bencher| {
+        bencher.iter(|| kron_analytics::triangles::global_triangles(&materialized))
+    });
+
+    group.bench_function("vertex_triangles_formula_all", |bencher| {
+        let oracle = TriangleOracle::new(&pair).expect("loop-free base");
+        bencher.iter(|| oracle.vertex_triangle_vector().len())
+    });
+    group.bench_function("vertex_triangles_direct_all", |bencher| {
+        bencher.iter(|| kron_analytics::triangles::vertex_triangles(&materialized).global)
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_ground_truth);
+criterion_main!(benches);

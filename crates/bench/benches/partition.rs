@@ -1,0 +1,35 @@
+//! Bench for Table 3 (Rem. 1): cost of building 1D vs 2D factor
+//! partitions across rank counts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kron_dist::partition::{FactorPartition, PartitionScheme};
+use kron_graph::generators::{rmat, RmatConfig};
+use kron_graph::Arc;
+
+fn bench_partition(c: &mut Criterion) {
+    let a = rmat(&RmatConfig::graph500(9, 11));
+    let b = rmat(&RmatConfig::graph500(9, 12));
+    let a_arcs: Vec<Arc> = a.arcs().collect();
+    let b_arcs: Vec<Arc> = b.arcs().collect();
+
+    let mut group = c.benchmark_group("partition");
+    group.sample_size(20);
+    for ranks in [16usize, 256, 4096] {
+        group.bench_with_input(BenchmarkId::new("one_d", ranks), &ranks, |bencher, &ranks| {
+            bencher.iter(|| {
+                let p = FactorPartition::new(PartitionScheme::OneD, ranks, &a_arcs, &b_arcs);
+                p.workload_imbalance()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("two_d", ranks), &ranks, |bencher, &ranks| {
+            bencher.iter(|| {
+                let p = FactorPartition::new(PartitionScheme::TwoD, ranks, &a_arcs, &b_arcs);
+                p.workload_imbalance()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_partition);
+criterion_main!(benches);

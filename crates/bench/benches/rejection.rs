@@ -1,0 +1,49 @@
+//! Bench for §IV-C (Def. 8): probabilistic edge rejection — joint
+//! multi-threshold generation/counting vs one pass per threshold.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kron_core::generate::materialize;
+use kron_core::rejection::{joint_global_triangles, RejectionFamily};
+use kron_core::KroneckerPair;
+use kron_graph::generators::{rmat, RmatConfig};
+
+fn bench_rejection(c: &mut Criterion) {
+    let a = rmat(&RmatConfig::graph500(5, 41));
+    let b = rmat(&RmatConfig::graph500(5, 42));
+    let pair = KroneckerPair::with_full_self_loops(a, b).expect("loop-free");
+    let family = RejectionFamily::new(&pair, 2019);
+    let thresholds = [1.0, 0.99, 0.95, 0.90];
+    let materialized = materialize(&pair);
+
+    let mut group = c.benchmark_group("rejection");
+    group.sample_size(10);
+
+    group.bench_function("arc_counts_joint_4_thresholds", |bencher| {
+        bencher.iter(|| family.arc_counts(&thresholds))
+    });
+    group.bench_function("arc_counts_separate_4_passes", |bencher| {
+        bencher.iter(|| {
+            thresholds
+                .iter()
+                .map(|&nu| family.arc_counts(&[nu])[0])
+                .collect::<Vec<u64>>()
+        })
+    });
+    group.bench_function("joint_triangle_counts", |bencher| {
+        bencher.iter(|| joint_global_triangles(&materialized, family.hash(), &thresholds))
+    });
+    group.bench_function("hash_throughput", |bencher| {
+        let h = family.hash();
+        bencher.iter(|| {
+            let mut acc = 0.0f64;
+            for p in 0..100_000u64 {
+                acc += h.hash01(p, p + 7);
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_rejection);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Bench for the §IV-C spectral remark: factored Kronecker spectrum vs
+//! direct Jacobi diagonalization of the materialized product.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kron_core::spectrum::{adjacency_spectrum, kronecker_spectrum};
+use kron_core::{generate, KroneckerPair, SelfLoopMode};
+use kron_graph::generators::{rmat, RmatConfig};
+
+fn bench_spectrum(c: &mut Criterion) {
+    let a = rmat(&RmatConfig::graph500(4, 61));
+    let b = rmat(&RmatConfig::graph500(4, 62));
+    let pair = KroneckerPair::new(a, b, SelfLoopMode::AsIs).expect("loop-free");
+    let materialized = generate::materialize(&pair);
+
+    let mut group = c.benchmark_group("spectrum");
+    group.sample_size(10);
+    group.bench_function("factored_kronecker_spectrum", |bencher| {
+        bencher.iter(|| kronecker_spectrum(&pair).expect("undirected").len())
+    });
+    group.bench_function("direct_jacobi_on_product", |bencher| {
+        bencher.iter(|| adjacency_spectrum(&materialized).expect("undirected").len())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_spectrum);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Bench for Cor. 1/2 (§IV): local triangle ground truth — per-vertex and
+//! per-edge formula queries vs direct enumeration on materialized C.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kron_core::generate::materialize;
+use kron_core::triangles::TriangleOracle;
+use kron_core::KroneckerPair;
+use kron_graph::generators::{rmat, RmatConfig};
+
+fn bench_triangles(c: &mut Criterion) {
+    let a = rmat(&RmatConfig::graph500(5, 31));
+    let b = rmat(&RmatConfig::graph500(5, 32));
+    let pair = KroneckerPair::with_full_self_loops(a, b).expect("loop-free");
+    let oracle = TriangleOracle::new(&pair).expect("loop-free base");
+    let materialized = materialize(&pair);
+    let n_c = pair.n_c();
+
+    let mut group = c.benchmark_group("triangles");
+    group.sample_size(10);
+
+    group.bench_function("oracle_build", |bencher| {
+        bencher.iter(|| TriangleOracle::new(&pair).expect("loop-free base").global_triangles())
+    });
+    group.bench_function("vertex_formula_all", |bencher| {
+        bencher.iter(|| {
+            let mut acc = 0u64;
+            for p in 0..n_c {
+                acc = acc.wrapping_add(oracle.vertex_triangles_of(p).expect("in range"));
+            }
+            acc
+        })
+    });
+    group.bench_function("vertex_histogram_sublinear", |bencher| {
+        bencher.iter(|| oracle.vertex_triangle_histogram().total())
+    });
+    group.bench_function("direct_enumeration", |bencher| {
+        bencher.iter(|| kron_analytics::triangles::vertex_triangles(&materialized).global)
+    });
+    group.bench_function("materialize_and_enumerate", |bencher| {
+        bencher.iter(|| {
+            let c = materialize(&pair);
+            kron_analytics::triangles::global_triangles(&c)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_triangles);
+criterion_main!(benches);

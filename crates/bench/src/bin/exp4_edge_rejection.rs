@@ -1,0 +1,15 @@
+//! Regenerates the §IV-C probabilistic edge-rejection experiment.
+//!
+//! Usage: `exp4_edge_rejection [--json]`
+
+use kron_bench::experiments::exp4_rejection::{run, Exp4Config};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let report = run(&Exp4Config::default_scale());
+    if args.iter().any(|a| a == "--json") {
+        println!("{}", serde_json::to_string_pretty(&report).expect("serializable"));
+    } else {
+        println!("{report}");
+    }
+}

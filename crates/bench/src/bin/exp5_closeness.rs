@@ -1,0 +1,15 @@
+//! Regenerates the Thm. 4 closeness-centrality fast-path experiment.
+//!
+//! Usage: `exp5_closeness [--json]`
+
+use kron_bench::experiments::exp5_closeness::{run, Exp5Config};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let report = run(&Exp5Config::default_scale());
+    if args.iter().any(|a| a == "--json") {
+        println!("{}", serde_json::to_string_pretty(&report).expect("serializable"));
+    } else {
+        println!("{report}");
+    }
+}

@@ -1,0 +1,15 @@
+//! Regenerates the Cor. 1/2 triangle-ground-truth experiment.
+//!
+//! Usage: `exp6_triangle_ground_truth [--json]`
+
+use kron_bench::experiments::exp6_triangles::{run, Exp6Config};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let report = run(&Exp6Config::default_scale());
+    if args.iter().any(|a| a == "--json") {
+        println!("{}", serde_json::to_string_pretty(&report).expect("serializable"));
+    } else {
+        println!("{report}");
+    }
+}

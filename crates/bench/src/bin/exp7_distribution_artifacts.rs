@@ -1,0 +1,15 @@
+//! Regenerates the §IV-C degree-distribution artifact comparison.
+//!
+//! Usage: `exp7_distribution_artifacts [--json]`
+
+use kron_bench::experiments::exp7_artifacts::{run, Exp7Config};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let report = run(&Exp7Config::default_scale());
+    if args.iter().any(|a| a == "--json") {
+        println!("{}", serde_json::to_string_pretty(&report).expect("serializable"));
+    } else {
+        println!("{report}");
+    }
+}

@@ -1,0 +1,44 @@
+//! Regenerates Fig. 1 + the §V-A size table.
+//!
+//! Usage: `fig1_eccentricity [--paper | --validate] [--json]`
+//!   --paper     full 6.3K-vertex factor, Cor. 4 formula histograms only
+//!   --validate  small factor, plus exact direct validation of C (default)
+//!   --json      machine-readable output
+
+use kron_bench::experiments::fig1_eccentricity::{run, Fig1Config};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let config = if args.iter().any(|a| a == "--paper") {
+        Fig1Config::paper_scale()
+    } else {
+        Fig1Config::validation_scale()
+    };
+    let report = run(&config);
+    if args.iter().any(|a| a == "--json") {
+        println!("{}", serde_json::to_string_pretty(&report).expect("serializable"));
+    } else {
+        println!("{report}");
+    }
+    if args.iter().any(|a| a == "--svg") {
+        let series = vec![
+            (
+                "A".to_string(),
+                "steelblue".to_string(),
+                report.hist_a.iter().collect::<Vec<_>>(),
+            ),
+            (
+                "C = A ⊗ A (Cor. 4)".to_string(),
+                "darkorange".to_string(),
+                report.hist_c_formula.iter().collect::<Vec<_>>(),
+            ),
+        ];
+        let svg = kron_bench::svg::render_histogram(
+            "Fig. 1: vertex eccentricity distributions",
+            "eccentricity",
+            &series,
+        );
+        std::fs::write("fig1_eccentricity.svg", svg).expect("writable cwd");
+        eprintln!("wrote fig1_eccentricity.svg");
+    }
+}

@@ -1,0 +1,42 @@
+//! Regenerates Fig. 2 + the §VI-A community density table.
+//!
+//! Usage: `fig2_community [--paper | --small] [--json]`
+
+use kron_bench::experiments::fig2_community::{run, Fig2Config};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let config = if args.iter().any(|a| a == "--small") {
+        Fig2Config::small()
+    } else {
+        Fig2Config::paper_scale()
+    };
+    let report = run(&config);
+    if args.iter().any(|a| a == "--json") {
+        println!("{}", serde_json::to_string_pretty(&report).expect("serializable"));
+    } else {
+        println!("{report}");
+    }
+    if args.iter().any(|a| a == "--svg") {
+        use kron_bench::svg::{render_loglog_scatter, Series};
+        let svg = render_loglog_scatter(
+            "Fig. 2: community internal vs external edge density",
+            "rho_in",
+            "rho_out",
+            &[
+                Series {
+                    label: "A (33 communities)".into(),
+                    color: "steelblue".into(),
+                    points: report.points_a.clone(),
+                },
+                Series {
+                    label: "C (1089 communities)".into(),
+                    color: "darkorange".into(),
+                    points: report.points_c.clone(),
+                },
+            ],
+        );
+        std::fs::write("fig2_community.svg", svg).expect("writable cwd");
+        eprintln!("wrote fig2_community.svg");
+    }
+}

@@ -1,0 +1,19 @@
+//! Regenerates the §I scaling-law table with formula-vs-direct checks.
+//!
+//! Usage: `table1_scaling_laws [--json]`
+
+use kron_bench::experiments::table1_scaling::{run, Table1Config};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let report = run(&Table1Config::default_scale());
+    if args.iter().any(|a| a == "--json") {
+        println!("{}", serde_json::to_string_pretty(&report).expect("serializable"));
+    } else {
+        println!("{report}");
+    }
+    if !report.all_hold() {
+        eprintln!("FAILURE: at least one scaling law did not hold");
+        std::process::exit(1);
+    }
+}

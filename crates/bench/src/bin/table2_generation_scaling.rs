@@ -1,0 +1,20 @@
+//! Regenerates the §III generation-scaling table (scaled CORAL2 replica).
+//!
+//! Usage: `table2_generation_scaling [--stream] [--json]`
+
+use kron_bench::experiments::table2_generation::{run, Table2Config};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let config = if args.iter().any(|a| a == "--stream") {
+        Table2Config::streaming_scale()
+    } else {
+        Table2Config::default_scale()
+    };
+    let report = run(&config);
+    if args.iter().any(|a| a == "--json") {
+        println!("{}", serde_json::to_string_pretty(&report).expect("serializable"));
+    } else {
+        println!("{report}");
+    }
+}

@@ -1,0 +1,15 @@
+//! Regenerates the Rem. 1 comparison: 1D vs 2D factor partitioning.
+//!
+//! Usage: `table3_partition_1d_vs_2d [--json]`
+
+use kron_bench::experiments::table3_partition::{run, Table3Config};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let report = run(&Table3Config::default_scale());
+    if args.iter().any(|a| a == "--json") {
+        println!("{}", serde_json::to_string_pretty(&report).expect("serializable"));
+    } else {
+        println!("{report}");
+    }
+}

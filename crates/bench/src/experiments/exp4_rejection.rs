@@ -1,0 +1,203 @@
+//! Experiment 4 (§IV-C, Def. 8): probabilistic edge rejection.
+//!
+//! Generates the family `G_C, G_{C,.99}, G_{C,.95}, G_{C,.90}` jointly,
+//! counts triangles of every member in one enumeration pass over `G_C`,
+//! and compares against the expectations `ν·|arcs|`, `ν³·τ_C`, and the
+//! per-vertex `ν³ t_p` law.
+
+use std::fmt;
+
+use serde::Serialize;
+
+use kron_core::generate::materialize;
+use kron_core::rejection::{joint_global_triangles, joint_vertex_triangles, RejectionFamily};
+use kron_core::triangles::TriangleOracle;
+use kron_core::KroneckerPair;
+use kron_datasets::gnutella::{synthetic_gnutella, GnutellaConfig};
+
+use crate::Table;
+
+/// Experiment configuration.
+#[derive(Debug, Clone)]
+pub struct Exp4Config {
+    /// Factor vertex count (gnutella stand-in, before LCC).
+    pub factor_vertices: u64,
+    /// Rejection thresholds ν (paper: 1, .99, .95, .90).
+    pub thresholds: Vec<f64>,
+    /// Hash seed.
+    pub seed: u64,
+}
+
+impl Exp4Config {
+    /// Default: paper's thresholds over a small scale-free factor.
+    pub fn default_scale() -> Self {
+        Exp4Config {
+            factor_vertices: 150,
+            thresholds: vec![1.0, 0.99, 0.95, 0.90],
+            seed: 2019,
+        }
+    }
+}
+
+/// Per-threshold measurements.
+#[derive(Debug, Clone, Serialize)]
+pub struct Exp4Row {
+    /// Threshold ν.
+    pub nu: f64,
+    /// Surviving arcs.
+    pub arcs: u64,
+    /// Expected arcs `ν · nnz_C`.
+    pub expected_arcs: f64,
+    /// Measured global triangles in `G_{C,ν}`.
+    pub triangles: u64,
+    /// Expected `ν³ τ_C`.
+    pub expected_triangles: f64,
+    /// Mean over vertices of measured `t_p` divided by `ν³ t_p`
+    /// (restricted to vertices with `t_p > 0`); 1.0 is perfect.
+    pub vertex_ratio_mean: f64,
+}
+
+/// Experiment output.
+#[derive(Debug, Serialize)]
+pub struct Exp4Report {
+    /// `(n_C, nnz_C, τ_C)` of the full Kronecker graph.
+    pub c_summary: (u64, u128, u128),
+    /// One row per threshold.
+    pub rows: Vec<Exp4Row>,
+}
+
+/// Runs the experiment.
+pub fn run(config: &Exp4Config) -> Exp4Report {
+    let mut gcfg = GnutellaConfig::tiny();
+    gcfg.vertices = config.factor_vertices;
+    let a = synthetic_gnutella(&gcfg);
+    let pair = KroneckerPair::with_full_self_loops(a.clone(), a).expect("loop-free factor");
+    let oracle = TriangleOracle::new(&pair).expect("loop-free base");
+    let tau_c = oracle.global_triangles();
+    let family = RejectionFamily::new(&pair, config.seed);
+
+    // One generation pass counts arcs for every threshold.
+    let arc_counts = family.arc_counts(&config.thresholds);
+    // One enumeration pass over materialized G_C counts triangles for all.
+    let c = materialize(&pair);
+    let tri_counts = joint_global_triangles(&c, family.hash(), &config.thresholds);
+    let vertex_counts = joint_vertex_triangles(&c, family.hash(), &config.thresholds);
+    let t_ground_truth = oracle.vertex_triangle_vector();
+
+    let rows = config
+        .thresholds
+        .iter()
+        .enumerate()
+        .map(|(idx, &nu)| {
+            let ratios: Vec<f64> = t_ground_truth
+                .iter()
+                .zip(&vertex_counts[idx])
+                .filter(|&(&t, _)| t > 0)
+                .map(|(&t, &measured)| measured as f64 / (nu.powi(3) * t as f64))
+                .collect();
+            let vertex_ratio_mean = if ratios.is_empty() {
+                0.0
+            } else {
+                ratios.iter().sum::<f64>() / ratios.len() as f64
+            };
+            Exp4Row {
+                nu,
+                arcs: arc_counts[idx],
+                expected_arcs: family.expected_arcs(nu),
+                triangles: tri_counts[idx],
+                expected_triangles: nu.powi(3) * tau_c as f64,
+                vertex_ratio_mean,
+            }
+        })
+        .collect();
+
+    Exp4Report { c_summary: (pair.n_c(), pair.nnz_c(), tau_c), rows }
+}
+
+impl Exp4Report {
+    /// Renders the per-threshold table.
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(
+            "Experiment 4 (paper §IV-C): probabilistic edge rejection",
+            &["nu", "arcs", "E[arcs]", "triangles", "E[triangles]", "mean t_p ratio"],
+        );
+        for row in &self.rows {
+            t.row(&[
+                format!("{:.2}", row.nu),
+                row.arcs.to_string(),
+                format!("{:.0}", row.expected_arcs),
+                row.triangles.to_string(),
+                format!("{:.0}", row.expected_triangles),
+                format!("{:.3}", row.vertex_ratio_mean),
+            ]);
+        }
+        t
+    }
+}
+
+impl fmt::Display for Exp4Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "G_C: n = {}, arcs = {}, triangles = {}",
+            self.c_summary.0, self.c_summary.1, self.c_summary.2
+        )?;
+        write!(f, "{}", self.table())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_report() -> Exp4Report {
+        run(&Exp4Config {
+            factor_vertices: 60,
+            thresholds: vec![1.0, 0.95, 0.9],
+            seed: 7,
+        })
+    }
+
+    #[test]
+    fn nu_one_is_exact() {
+        let r = small_report();
+        let full = &r.rows[0];
+        assert_eq!(full.nu, 1.0);
+        assert_eq!(full.arcs as u128, r.c_summary.1);
+        assert_eq!(full.triangles as u128, r.c_summary.2);
+        assert!((full.vertex_ratio_mean - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn counts_near_expectations() {
+        let r = small_report();
+        for row in &r.rows {
+            let arc_err = (row.arcs as f64 - row.expected_arcs).abs() / row.expected_arcs;
+            assert!(arc_err < 0.05, "nu={}: arc error {arc_err}", row.nu);
+            let tri_err = (row.triangles as f64 - row.expected_triangles).abs()
+                / row.expected_triangles;
+            assert!(tri_err < 0.15, "nu={}: triangle error {tri_err}", row.nu);
+            assert!(
+                (row.vertex_ratio_mean - 1.0).abs() < 0.15,
+                "nu={}: vertex ratio {}",
+                row.nu,
+                row.vertex_ratio_mean
+            );
+        }
+    }
+
+    #[test]
+    fn family_is_monotone_in_nu() {
+        let r = small_report();
+        for pair in r.rows.windows(2) {
+            assert!(pair[0].nu >= pair[1].nu);
+            assert!(pair[0].arcs >= pair[1].arcs);
+            assert!(pair[0].triangles >= pair[1].triangles);
+        }
+    }
+
+    #[test]
+    fn renders() {
+        assert!(small_report().to_string().contains("edge rejection"));
+    }
+}

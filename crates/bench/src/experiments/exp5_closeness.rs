@@ -1,0 +1,171 @@
+//! Experiment 5 (Thm. 4): closeness-centrality fast path.
+//!
+//! Thm. 4's discussion: the naive double sum costs `O(n_A n_B)` per
+//! vertex, but factoring by hop value reduces `r` queries to
+//! `O(r(n_A + n_B) + r·h*)`. This experiment times both evaluators over a
+//! vertex sample, verifies they agree exactly, and reports the speedup —
+//! the crossover the paper's complexity claim predicts.
+
+use std::fmt;
+
+use serde::Serialize;
+use std::time::Instant;
+
+use kron_core::closeness::{closeness_fast, closeness_naive};
+use kron_core::distance::DistanceOracle;
+use kron_core::KroneckerPair;
+use kron_datasets::gnutella::{synthetic_gnutella, GnutellaConfig};
+
+use crate::Table;
+
+/// Experiment configuration.
+#[derive(Debug, Clone)]
+pub struct Exp5Config {
+    /// Factor vertex count (gnutella stand-in).
+    pub factor_vertices: u64,
+    /// Number of sample vertices `r`.
+    pub samples: usize,
+}
+
+impl Exp5Config {
+    /// Default scale.
+    pub fn default_scale() -> Self {
+        Exp5Config { factor_vertices: 1200, samples: 64 }
+    }
+}
+
+/// Experiment output.
+#[derive(Debug, Serialize)]
+pub struct Exp5Report {
+    /// `(n_A, n_C)`.
+    pub sizes: (u64, u64),
+    /// Sampled vertex count.
+    pub samples: usize,
+    /// Seconds for the naive evaluator over the sample.
+    pub naive_secs: f64,
+    /// Seconds for the factored evaluator over the sample.
+    pub fast_secs: f64,
+    /// Max absolute disagreement between the two (expect ~1e-12).
+    pub max_abs_diff: f64,
+    /// Closeness of the first few sampled vertices (for the record).
+    pub sample_values: Vec<(u64, f64)>,
+}
+
+/// Runs the experiment.
+pub fn run(config: &Exp5Config) -> Exp5Report {
+    let mut gcfg = GnutellaConfig::scaled();
+    gcfg.vertices = config.factor_vertices;
+    let a = synthetic_gnutella(&gcfg);
+    let pair = KroneckerPair::with_full_self_loops(a.clone(), a).expect("loop-free factor");
+    let oracle = DistanceOracle::new(&pair).expect("full self loops");
+
+    // Deterministic spread of sample vertices across V_C.
+    let n_c = pair.n_c();
+    let stride = (n_c / config.samples as u64).max(1);
+    let sample: Vec<u64> = (0..config.samples as u64).map(|s| (s * stride) % n_c).collect();
+
+    let t0 = Instant::now();
+    let naive: Vec<f64> = sample
+        .iter()
+        .map(|&p| closeness_naive(&oracle, p).expect("in range"))
+        .collect();
+    let naive_secs = t0.elapsed().as_secs_f64();
+
+    let t1 = Instant::now();
+    let fast: Vec<f64> = sample
+        .iter()
+        .map(|&p| closeness_fast(&oracle, p).expect("in range"))
+        .collect();
+    let fast_secs = t1.elapsed().as_secs_f64();
+
+    let max_abs_diff = naive
+        .iter()
+        .zip(&fast)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0f64, f64::max);
+
+    let sample_values = sample.iter().copied().zip(fast.iter().copied()).take(5).collect();
+
+    Exp5Report {
+        sizes: (pair.a().n(), n_c),
+        samples: config.samples,
+        naive_secs,
+        fast_secs,
+        max_abs_diff,
+        sample_values,
+    }
+}
+
+impl Exp5Report {
+    /// Speedup of the factored evaluator.
+    pub fn speedup(&self) -> f64 {
+        if self.fast_secs == 0.0 {
+            f64::INFINITY
+        } else {
+            self.naive_secs / self.fast_secs
+        }
+    }
+
+    /// Renders the timing table.
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(
+            "Experiment 5 (paper Thm. 4): closeness centrality evaluation",
+            &["evaluator", "complexity / vertex", "seconds", "speedup"],
+        );
+        t.row(&[
+            "naive double sum".into(),
+            "O(n_A · n_B)".into(),
+            format!("{:.4}", self.naive_secs),
+            "1.0".into(),
+        ]);
+        t.row(&[
+            "hop-histogram factored".into(),
+            "O(n_A + n_B + h*)".into(),
+            format!("{:.4}", self.fast_secs),
+            format!("{:.1}", self.speedup()),
+        ]);
+        t
+    }
+}
+
+impl fmt::Display for Exp5Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "n_A = {}, n_C = {}, r = {} sampled vertices, max |naive − fast| = {:.2e}",
+            self.sizes.0, self.sizes.1, self.samples, self.max_abs_diff
+        )?;
+        writeln!(f, "{}", self.table())?;
+        writeln!(f, "sample closeness values:")?;
+        for (p, zeta) in &self.sample_values {
+            writeln!(f, "  zeta_C({p}) = {zeta:.4}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evaluators_agree_and_fast_wins() {
+        let report = run(&Exp5Config { factor_vertices: 400, samples: 16 });
+        // The two evaluators sum ~n_A·n_B float terms in different orders;
+        // agreement is to accumulation error, not bit-exact.
+        assert!(report.max_abs_diff < 1e-6, "diff {}", report.max_abs_diff);
+        assert_eq!(report.sample_values.len(), 5);
+        // The factored path should not be slower at this scale.
+        assert!(
+            report.speedup() > 1.0,
+            "expected speedup > 1, got {:.2}",
+            report.speedup()
+        );
+    }
+
+    #[test]
+    fn renders() {
+        let report = run(&Exp5Config { factor_vertices: 300, samples: 4 });
+        assert!(report.to_string().contains("closeness"));
+    }
+}

@@ -1,0 +1,184 @@
+//! Fig. 1 + §V-A table: gnutella vertex-eccentricity experiment.
+//!
+//! Paper setup: `A` = undirected LCC of `p2p-Gnutella08` with all self
+//! loops (6.3K vertices / 21K edges); `C = A ⊗ A` (40M vertices / 1.1B
+//! edges). The figure shows the eccentricity histograms of `A` and `C`,
+//! with `C`'s computed two ways: by direct (approximate, in the paper)
+//! eccentricity algorithms on the materialized graph and by the Cor. 4
+//! max-law from `A`'s eccentricities.
+//!
+//! Here the factor is the synthetic gnutella stand-in, `C`'s histogram
+//! comes from the Cor. 4 histogram convolution (exact, sublinear), and —
+//! at validation scale — `C` is materialized and its eccentricities
+//! recomputed exactly with the bounds-refinement algorithm, so the
+//! "direct" column is exact rather than the paper's ±1 approximation.
+
+use std::fmt;
+
+use serde::Serialize;
+
+use kron_analytics::distance::all_eccentricities;
+use kron_analytics::Histogram;
+use kron_core::distance::eccentricity_histogram_from_factors;
+use kron_core::generate::materialize;
+use kron_core::KroneckerPair;
+use kron_datasets::gnutella::{synthetic_gnutella, GnutellaConfig};
+
+use crate::Table;
+
+/// Experiment configuration.
+#[derive(Debug, Clone)]
+pub struct Fig1Config {
+    /// Factor generator parameters.
+    pub gnutella: GnutellaConfig,
+    /// Also materialize `C = A ⊗ A` and validate the histogram directly
+    /// (only feasible at reduced factor scale).
+    pub validate_direct: bool,
+}
+
+impl Fig1Config {
+    /// Paper-scale factor (6.3K vertices), formula-only.
+    pub fn paper_scale() -> Self {
+        Fig1Config { gnutella: GnutellaConfig::full(), validate_direct: false }
+    }
+
+    /// Reduced scale with direct validation of `C`. The factor is kept
+    /// small enough that exact eccentricities of the materialized `C`
+    /// (tens of thousands of vertices, ~1M arcs) take seconds, not
+    /// minutes.
+    pub fn validation_scale() -> Self {
+        let mut gnutella = GnutellaConfig::tiny();
+        gnutella.vertices = 150;
+        Fig1Config { gnutella, validate_direct: true }
+    }
+}
+
+/// Experiment output.
+#[derive(Debug, Serialize)]
+pub struct Fig1Report {
+    /// `(n_A, m_A)`.
+    pub a_size: (u64, u64),
+    /// `(n_C, m_C)`.
+    pub c_size: (u64, u128),
+    /// Eccentricity histogram of `A` (with full self loops).
+    pub hist_a: Histogram,
+    /// Eccentricity histogram of `C` from the Cor. 4 formula.
+    pub hist_c_formula: Histogram,
+    /// Direct histogram of the materialized `C`, when validated.
+    pub hist_c_direct: Option<Histogram>,
+    /// Whether formula and direct histograms agreed.
+    pub formula_matches_direct: Option<bool>,
+}
+
+/// Runs the experiment.
+pub fn run(config: &Fig1Config) -> Fig1Report {
+    let a = synthetic_gnutella(&config.gnutella);
+    let a_size = (a.n(), a.undirected_edge_count());
+    let pair = KroneckerPair::with_full_self_loops(a.clone(), a)
+        .expect("stand-in factor is loop-free");
+    let c_size = (pair.n_c(), pair.undirected_edge_count_c());
+
+    // Factor eccentricities once (Takes–Kosters exact), then Cor. 4.
+    let ecc_a = all_eccentricities(pair.a());
+    let hist_a = Histogram::from_values(ecc_a.iter().map(|&e| e as u64));
+    let hist_c_formula = eccentricity_histogram_from_factors(&ecc_a, &ecc_a);
+
+    let (hist_c_direct, formula_matches_direct) = if config.validate_direct {
+        let c = materialize(&pair);
+        let ecc_c = all_eccentricities(&c);
+        let direct = Histogram::from_values(ecc_c.into_iter().map(|e| e as u64));
+        let matches = direct == hist_c_formula;
+        (Some(direct), Some(matches))
+    } else {
+        (None, None)
+    };
+
+    Fig1Report { a_size, c_size, hist_a, hist_c_formula, hist_c_direct, formula_matches_direct }
+}
+
+impl Fig1Report {
+    /// The §V-A size table (paper: gnutella08 | A 6.3K/21K | A⊗A 40M/1.1B).
+    pub fn size_table(&self) -> Table {
+        let mut t = Table::new(
+            "Experiment gnutella (paper §V-A): graph sizes",
+            &["Graph", "Vertices", "Edges"],
+        );
+        t.row(&["A".into(), self.a_size.0.to_string(), self.a_size.1.to_string()]);
+        t.row(&[
+            "A ⊗ A".into(),
+            self.c_size.0.to_string(),
+            self.c_size.1.to_string(),
+        ]);
+        t
+    }
+
+    /// Histogram table with per-eccentricity vertex counts (Fig. 1 series).
+    pub fn histogram_table(&self) -> Table {
+        let mut t = Table::new(
+            "Fig. 1: vertex eccentricity distributions",
+            &["ecc", "count(A)", "count(C) Cor.4", "count(C) direct"],
+        );
+        let max_e = self
+            .hist_a
+            .max()
+            .unwrap_or(0)
+            .max(self.hist_c_formula.max().unwrap_or(0));
+        for e in 0..=max_e {
+            let direct = match &self.hist_c_direct {
+                Some(h) => h.count(e).to_string(),
+                None => "-".to_string(),
+            };
+            t.row(&[
+                e.to_string(),
+                self.hist_a.count(e).to_string(),
+                self.hist_c_formula.count(e).to_string(),
+                direct,
+            ]);
+        }
+        t
+    }
+}
+
+impl fmt::Display for Fig1Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}", self.size_table())?;
+        writeln!(f, "{}", self.histogram_table())?;
+        if let Some(matches) = self.formula_matches_direct {
+            writeln!(
+                f,
+                "Cor. 4 histogram vs direct eccentricity on materialized C: {}",
+                if matches { "MATCH (exact)" } else { "MISMATCH" }
+            )?;
+        }
+        writeln!(f, "\nEccentricity histogram of C (Cor. 4 max-law):")?;
+        write!(f, "{}", self.hist_c_formula)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation_scale_matches_direct() {
+        let report = run(&Fig1Config::validation_scale());
+        assert_eq!(report.formula_matches_direct, Some(true));
+        assert_eq!(report.hist_c_formula.total(), report.c_size.0);
+        // Max-law: C's max eccentricity equals A's.
+        assert_eq!(report.hist_c_formula.max(), report.hist_a.max());
+        // Max-law skews C's mass toward the larger values.
+        let mean_a = report.hist_a.mean().expect("nonempty");
+        let mean_c = report.hist_c_formula.mean().expect("nonempty");
+        assert!(mean_c >= mean_a, "max-law should not lower the mean");
+    }
+
+    #[test]
+    fn tables_render() {
+        let report = run(&Fig1Config::validation_scale());
+        let text = report.to_string();
+        assert!(text.contains("A ⊗ A"));
+        assert!(text.contains("Fig. 1"));
+        assert!(report.size_table().len() == 2);
+        assert!(!report.histogram_table().is_empty());
+    }
+}

@@ -1,0 +1,222 @@
+//! Fig. 2 + §VI-A table: community density scaling experiment.
+//!
+//! Paper setup: `A` = GraphChallenge `groundtruth_20000` (20,000 vertices,
+//! 408,778 edges, 33 communities); `C = (A+I) ⊗ (A+I)` (400M vertices,
+//! 83.5B edges, 1089 communities via the Kronecker partition). Fig. 2
+//! scatter-plots `ρ_in` vs `ρ_out` per community for `A` and `C`,
+//! validating the Cor. 6 / Cor. 7 scaling laws.
+//!
+//! `C` is never materialized: all 1089 community profiles come from
+//! Thm. 6 exact counts on the factor partitions.
+
+use std::fmt;
+
+use serde::Serialize;
+
+use kron_analytics::community::{partition_profiles, CommunityProfile};
+use kron_core::community::{cor6_theta, cor7_upper_bound_conservative, CommunityOracle};
+use kron_core::KroneckerPair;
+use kron_datasets::graphchallenge::{groundtruth_scaled, Groundtruth20000};
+
+use crate::Table;
+
+/// Experiment configuration.
+#[derive(Debug, Clone)]
+pub struct Fig2Config {
+    /// Factor vertex count (paper: 20,000).
+    pub vertices: u64,
+    /// Dataset seed.
+    pub seed: u64,
+}
+
+impl Fig2Config {
+    /// Paper-scale configuration.
+    pub fn paper_scale() -> Self {
+        Fig2Config { vertices: 20_000, seed: 0xC0FFEE }
+    }
+
+    /// Reduced scale for tests.
+    pub fn small() -> Self {
+        Fig2Config { vertices: 2_000, seed: 0xC0FFEE }
+    }
+}
+
+/// Experiment output.
+#[derive(Debug, Serialize)]
+pub struct Fig2Report {
+    /// `(n, m, #communities)` for `A`.
+    pub a_summary: (u64, u64, usize),
+    /// `(n, m, #communities)` for `C`.
+    pub c_summary: (u64, u128, usize),
+    /// Per-community `(ρ_in, ρ_out)` of `A`.
+    pub points_a: Vec<(f64, f64)>,
+    /// Per-community `(ρ_in, ρ_out)` of `C` (Thm. 6 exact).
+    pub points_c: Vec<(f64, f64)>,
+    /// Number of `C` communities violating Cor. 6's lower bound (expect 0).
+    pub cor6_violations: usize,
+    /// Number violating the paper's Cor. 7 `(1+3ω)` bound.
+    pub cor7_paper_violations: usize,
+    /// Number violating our conservative `(3+4ω)` bound (expect 0 when
+    /// the `m_out ≥ |S|` hypothesis holds).
+    pub cor7_conservative_violations: usize,
+}
+
+fn range(points: &[(f64, f64)], pick: impl Fn(&(f64, f64)) -> f64) -> (f64, f64) {
+    let lo = points.iter().map(&pick).fold(f64::MAX, f64::min);
+    let hi = points.iter().map(&pick).fold(f64::MIN, f64::max);
+    (lo, hi)
+}
+
+/// Runs the experiment.
+pub fn run(config: &Fig2Config) -> Fig2Report {
+    let Groundtruth20000 { graph: a, labels, communities } =
+        groundtruth_scaled(config.vertices, config.seed);
+    let m_a = a.undirected_edge_count();
+    let profiles_a = partition_profiles(&a, &labels, communities);
+
+    let pair = KroneckerPair::with_full_self_loops(a.clone(), a)
+        .expect("dataset factor is loop-free");
+    let oracle = CommunityOracle::new(&pair).expect("FullBoth pair");
+    let profiles_c =
+        oracle.kron_partition_profiles(&labels, communities, &labels, communities);
+
+    let points = |profiles: &[CommunityProfile]| -> Vec<(f64, f64)> {
+        profiles.iter().map(|p| (p.rho_in, p.rho_out)).collect()
+    };
+
+    // Bound checks over all (a, b) community pairs.
+    let (n_a, n_b) = (pair.a().n(), pair.b().n());
+    let mut cor6_violations = 0;
+    let mut cor7_paper_violations = 0;
+    let mut cor7_conservative_violations = 0;
+    for (ai, pa) in profiles_a.iter().enumerate() {
+        for (bi, pb) in profiles_a.iter().enumerate() {
+            let pc = &profiles_c[ai * communities + bi];
+            if pa.size > 1 && pb.size > 1 {
+                let bound = cor6_theta(pa.size, pb.size) * pa.rho_in * pb.rho_in;
+                if pc.rho_in < bound - 1e-12 {
+                    cor6_violations += 1;
+                }
+            }
+            if pa.m_out >= pa.size && pb.m_out >= pb.size {
+                let paper =
+                    kron_core::community::cor7_upper_bound(pa, pb, n_a, n_b);
+                if pc.rho_out > paper + 1e-15 {
+                    cor7_paper_violations += 1;
+                }
+                let conservative = cor7_upper_bound_conservative(pa, pb, n_a, n_b);
+                if pc.rho_out > conservative + 1e-15 {
+                    cor7_conservative_violations += 1;
+                }
+            }
+        }
+    }
+
+    Fig2Report {
+        a_summary: (a_n(&pair), m_a, communities),
+        c_summary: (pair.n_c(), pair.undirected_edge_count_c(), profiles_c.len()),
+        points_a: points(&profiles_a),
+        points_c: points(&profiles_c),
+        cor6_violations,
+        cor7_paper_violations,
+        cor7_conservative_violations,
+    }
+}
+
+fn a_n(pair: &KroneckerPair) -> u64 {
+    pair.base_a().n()
+}
+
+impl Fig2Report {
+    /// The §VI-A summary table.
+    pub fn summary_table(&self) -> Table {
+        let (in_a, in_c) = (range(&self.points_a, |p| p.0), range(&self.points_c, |p| p.0));
+        let (out_a, out_c) = (range(&self.points_a, |p| p.1), range(&self.points_c, |p| p.1));
+        let mut t = Table::new(
+            "Experiment groundtruth_20000 (paper §VI-A)",
+            &["", "A", "C = (A+I) ⊗ (A+I)"],
+        );
+        t.row(&["|V|".into(), self.a_summary.0.to_string(), self.c_summary.0.to_string()]);
+        t.row(&["|E|".into(), self.a_summary.1.to_string(), self.c_summary.1.to_string()]);
+        t.row(&[
+            "# comms".into(),
+            self.a_summary.2.to_string(),
+            self.c_summary.2.to_string(),
+        ]);
+        t.row(&[
+            "rho_in".into(),
+            format!("[{:.1e}, {:.1e}]", in_a.0, in_a.1),
+            format!("[{:.1e}, {:.1e}]", in_c.0, in_c.1),
+        ]);
+        t.row(&[
+            "rho_out".into(),
+            format!("[{:.1e}, {:.1e}]", out_a.0, out_a.1),
+            format!("[{:.1e}, {:.1e}]", out_c.0, out_c.1),
+        ]);
+        t
+    }
+}
+
+impl fmt::Display for Fig2Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}", self.summary_table())?;
+        writeln!(
+            f,
+            "Cor. 6 lower-bound violations: {} / {}",
+            self.cor6_violations,
+            self.points_c.len()
+        )?;
+        writeln!(
+            f,
+            "Cor. 7 violations: paper (1+3w) constant {} / {}, conservative (3+4w) {} / {}",
+            self.cor7_paper_violations,
+            self.points_c.len(),
+            self.cor7_conservative_violations,
+            self.points_c.len()
+        )?;
+        writeln!(f, "\nFig. 2 scatter (first 10 communities of C): rho_in  rho_out")?;
+        for (rho_in, rho_out) in self.points_c.iter().take(10) {
+            writeln!(f, "  {rho_in:.3e}  {rho_out:.3e}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_scale_laws_hold() {
+        let report = run(&Fig2Config::small());
+        assert_eq!(report.a_summary.2, 33);
+        assert_eq!(report.c_summary.2, 33 * 33);
+        assert_eq!(report.cor6_violations, 0, "Cor. 6 must hold exactly");
+        assert_eq!(report.cor7_conservative_violations, 0, "conservative Cor. 7 must hold");
+        // n_C = n_A², |Π_C| = |Π_A|².
+        assert_eq!(report.c_summary.0, report.a_summary.0 * report.a_summary.0);
+    }
+
+    #[test]
+    fn product_densities_scale_quadratically() {
+        let report = run(&Fig2Config::small());
+        let (in_a, _) = (range(&report.points_a, |p| p.0), ());
+        let (in_c, _) = (range(&report.points_c, |p| p.0), ());
+        // ρ_in(C) ≈ ρ_in(A)² regime: C's max internal density is within
+        // an order of magnitude of the squared factor density.
+        let predicted = in_a.1 * in_a.1;
+        assert!(
+            in_c.1 / predicted < 10.0 && in_c.1 / predicted > 0.1,
+            "rho_in(C) max {} vs predicted {predicted}",
+            in_c.1
+        );
+    }
+
+    #[test]
+    fn report_renders() {
+        let report = run(&Fig2Config::small());
+        let text = report.to_string();
+        assert!(text.contains("groundtruth_20000"));
+        assert!(text.contains("rho_out"));
+    }
+}

@@ -1,0 +1,13 @@
+//! One module per paper artifact (table/figure); see DESIGN.md §3 for the
+//! experiment index mapping each to its source in the paper.
+
+pub mod exp4_rejection;
+pub mod exp5_closeness;
+pub mod exp6_triangles;
+pub mod exp7_artifacts;
+pub mod exp8_spectrum;
+pub mod fig1_eccentricity;
+pub mod fig2_community;
+pub mod table1_scaling;
+pub mod table2_generation;
+pub mod table3_partition;

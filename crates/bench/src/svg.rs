@@ -1,0 +1,271 @@
+//! Minimal self-contained SVG rendering for the figure regenerators.
+//!
+//! Fig. 1 is a pair of histograms and Fig. 2 a log–log scatter; this
+//! module renders both shapes with no external dependencies so
+//! `fig1_eccentricity --svg` / `fig2_community --svg` can emit actual
+//! figure files next to their text tables.
+
+use std::fmt::Write as _;
+
+/// Canvas size used by both plots.
+const WIDTH: f64 = 640.0;
+const HEIGHT: f64 = 440.0;
+const MARGIN: f64 = 60.0;
+
+/// A histogram series: `(label, color, (value, count) pairs)`.
+pub type HistogramSeries = (String, String, Vec<(u64, u64)>);
+
+/// A named series of scatter points.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// Fill color (any SVG color string).
+    pub color: String,
+    /// `(x, y)` data points.
+    pub points: Vec<(f64, f64)>,
+}
+
+fn svg_header(title: &str) -> String {
+    format!(
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{WIDTH}" height="{HEIGHT}" viewBox="0 0 {WIDTH} {HEIGHT}">
+<rect width="100%" height="100%" fill="white"/>
+<text x="{x}" y="24" font-family="sans-serif" font-size="16" text-anchor="middle">{title}</text>
+"#,
+        x = WIDTH / 2.0,
+    )
+}
+
+fn axis_lines() -> String {
+    format!(
+        r#"<line x1="{m}" y1="{b}" x2="{r}" y2="{b}" stroke="black"/>
+<line x1="{m}" y1="{t}" x2="{m}" y2="{b}" stroke="black"/>
+"#,
+        m = MARGIN,
+        b = HEIGHT - MARGIN,
+        r = WIDTH - MARGIN / 2.0,
+        t = MARGIN / 2.0,
+    )
+}
+
+/// Renders a grouped bar chart (one group per integer x value, one bar
+/// per series) — the Fig. 1 histogram layout. Y is linear.
+pub fn render_histogram(
+    title: &str,
+    x_label: &str,
+    series: &[HistogramSeries],
+) -> String {
+    let mut svg = svg_header(title);
+    svg.push_str(&axis_lines());
+    let min_x = series
+        .iter()
+        .flat_map(|(_, _, pts)| pts.iter().map(|&(x, _)| x))
+        .min()
+        .unwrap_or(0);
+    let max_x = series
+        .iter()
+        .flat_map(|(_, _, pts)| pts.iter().map(|&(x, _)| x))
+        .max()
+        .unwrap_or(1);
+    let max_y = series
+        .iter()
+        .flat_map(|(_, _, pts)| pts.iter().map(|&(_, y)| y))
+        .max()
+        .unwrap_or(1)
+        .max(1);
+    let groups = (max_x - min_x + 1) as f64;
+    let group_width = (WIDTH - 1.5 * MARGIN) / groups;
+    let bar_width = group_width / (series.len() as f64 + 0.5);
+    let plot_height = HEIGHT - 1.5 * MARGIN;
+
+    for (series_idx, (label, color, points)) in series.iter().enumerate() {
+        for &(x, y) in points {
+            if y == 0 {
+                continue;
+            }
+            let height = y as f64 / max_y as f64 * plot_height;
+            let gx = MARGIN + (x - min_x) as f64 * group_width;
+            let bx = gx + series_idx as f64 * bar_width;
+            let by = HEIGHT - MARGIN - height;
+            let _ = writeln!(
+                svg,
+                r#"<rect x="{bx:.1}" y="{by:.1}" width="{w:.1}" height="{height:.1}" fill="{color}" opacity="0.85"><title>{label}: ecc {x} → {y}</title></rect>"#,
+                w = bar_width * 0.9,
+            );
+        }
+        // Legend.
+        let ly = MARGIN / 2.0 + 16.0 * series_idx as f64;
+        let _ = writeln!(
+            svg,
+            r#"<rect x="{x}" y="{y}" width="12" height="12" fill="{color}"/><text x="{tx}" y="{ty}" font-family="sans-serif" font-size="12">{label}</text>"#,
+            x = WIDTH - 200.0,
+            y = ly,
+            tx = WIDTH - 182.0,
+            ty = ly + 10.0,
+        );
+    }
+    // X tick labels.
+    for x in min_x..=max_x {
+        let gx = MARGIN + (x - min_x) as f64 * group_width + group_width / 2.0;
+        let _ = writeln!(
+            svg,
+            r#"<text x="{gx:.1}" y="{y}" font-family="sans-serif" font-size="11" text-anchor="middle">{x}</text>"#,
+            y = HEIGHT - MARGIN + 16.0,
+        );
+    }
+    let _ = writeln!(
+        svg,
+        r#"<text x="{x}" y="{y}" font-family="sans-serif" font-size="12" text-anchor="middle">{x_label}</text>"#,
+        x = WIDTH / 2.0,
+        y = HEIGHT - 14.0,
+    );
+    svg.push_str("</svg>\n");
+    svg
+}
+
+/// Renders a log–log scatter plot — the Fig. 2 layout. Points with
+/// nonpositive coordinates are skipped (log scale).
+pub fn render_loglog_scatter(
+    title: &str,
+    x_label: &str,
+    y_label: &str,
+    series: &[Series],
+) -> String {
+    let finite: Vec<(f64, f64)> = series
+        .iter()
+        .flat_map(|s| s.points.iter().copied())
+        .filter(|&(x, y)| x > 0.0 && y > 0.0)
+        .collect();
+    let (mut min_x, mut max_x) = (f64::MAX, f64::MIN);
+    let (mut min_y, mut max_y) = (f64::MAX, f64::MIN);
+    for &(x, y) in &finite {
+        min_x = min_x.min(x);
+        max_x = max_x.max(x);
+        min_y = min_y.min(y);
+        max_y = max_y.max(y);
+    }
+    if finite.is_empty() {
+        min_x = 1e-6;
+        max_x = 1.0;
+        min_y = 1e-6;
+        max_y = 1.0;
+    }
+    let (lx0, lx1) = (min_x.log10().floor(), max_x.log10().ceil());
+    let (ly0, ly1) = (min_y.log10().floor(), max_y.log10().ceil());
+    let sx = |x: f64| {
+        MARGIN + (x.log10() - lx0) / (lx1 - lx0).max(1e-9) * (WIDTH - 1.5 * MARGIN)
+    };
+    let sy = |y: f64| {
+        HEIGHT - MARGIN - (y.log10() - ly0) / (ly1 - ly0).max(1e-9) * (HEIGHT - 1.5 * MARGIN)
+    };
+
+    let mut svg = svg_header(title);
+    svg.push_str(&axis_lines());
+    // Decade ticks.
+    let mut decade = lx0 as i64;
+    while decade <= lx1 as i64 {
+        let px = sx(10f64.powi(decade as i32));
+        let _ = writeln!(
+            svg,
+            r#"<text x="{px:.1}" y="{y}" font-family="sans-serif" font-size="11" text-anchor="middle">1e{decade}</text>"#,
+            y = HEIGHT - MARGIN + 16.0,
+        );
+        decade += 1;
+    }
+    decade = ly0 as i64;
+    while decade <= ly1 as i64 {
+        let py = sy(10f64.powi(decade as i32));
+        let _ = writeln!(
+            svg,
+            r#"<text x="{x}" y="{py:.1}" font-family="sans-serif" font-size="11" text-anchor="end">1e{decade}</text>"#,
+            x = MARGIN - 6.0,
+        );
+        decade += 1;
+    }
+    for (idx, s) in series.iter().enumerate() {
+        for &(x, y) in &s.points {
+            if x <= 0.0 || y <= 0.0 {
+                continue;
+            }
+            let _ = writeln!(
+                svg,
+                r#"<circle cx="{cx:.1}" cy="{cy:.1}" r="3" fill="{color}" opacity="0.7"/>"#,
+                cx = sx(x),
+                cy = sy(y),
+                color = s.color,
+            );
+        }
+        let ly = MARGIN / 2.0 + 16.0 * idx as f64;
+        let _ = writeln!(
+            svg,
+            r#"<circle cx="{x}" cy="{y}" r="5" fill="{color}"/><text x="{tx}" y="{ty}" font-family="sans-serif" font-size="12">{label}</text>"#,
+            x = WIDTH - 200.0,
+            y = ly + 6.0,
+            color = s.color,
+            tx = WIDTH - 188.0,
+            ty = ly + 10.0,
+            label = s.label,
+        );
+    }
+    let _ = writeln!(
+        svg,
+        r#"<text x="{x}" y="{y}" font-family="sans-serif" font-size="12" text-anchor="middle">{x_label}</text>
+<text x="16" y="{my}" font-family="sans-serif" font-size="12" text-anchor="middle" transform="rotate(-90 16 {my})">{y_label}</text>"#,
+        x = WIDTH / 2.0,
+        y = HEIGHT - 14.0,
+        my = HEIGHT / 2.0,
+    );
+    svg.push_str("</svg>\n");
+    svg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_renders_bars_and_legend() {
+        let svg = render_histogram(
+            "demo",
+            "eccentricity",
+            &[
+                ("A".into(), "steelblue".into(), vec![(3, 10), (4, 50)]),
+                ("C".into(), "darkorange".into(), vec![(3, 5), (4, 80), (5, 1)]),
+            ],
+        );
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>\n"));
+        assert!(svg.matches("<rect").count() >= 5); // bars + legend + bg
+        assert!(svg.contains("steelblue"));
+        assert!(svg.contains(">A</text>"));
+    }
+
+    #[test]
+    fn histogram_handles_empty() {
+        let svg = render_histogram("empty", "x", &[]);
+        assert!(svg.contains("</svg>"));
+    }
+
+    #[test]
+    fn scatter_renders_points_and_skips_nonpositive() {
+        let svg = render_loglog_scatter(
+            "demo",
+            "rho_in",
+            "rho_out",
+            &[Series {
+                label: "A".into(),
+                color: "crimson".into(),
+                points: vec![(1e-2, 1e-4), (5e-2, 3e-4), (0.0, 1.0), (-1.0, 1.0)],
+            }],
+        );
+        // 2 data points + 1 legend dot.
+        assert_eq!(svg.matches("<circle").count(), 3);
+        assert!(svg.contains("1e-2"));
+    }
+
+    #[test]
+    fn scatter_handles_empty() {
+        let svg = render_loglog_scatter("empty", "x", "y", &[]);
+        assert!(svg.contains("</svg>"));
+    }
+}

@@ -1,0 +1,251 @@
+//! Clustering-coefficient scaling laws (Thm. 1 / Thm. 2).
+//!
+//! For loop-free factors and product vertex `p = (i, k)` with
+//! `t_i, t_k > 0`, `d_i, d_k ≥ 2`:
+//!
+//! ```text
+//! η_C(p) = θ_p · η_A(i) · η_B(k),   θ_p = (d_i−1)(d_k−1) / (d_i d_k − 1) ∈ [1/3, 1)
+//! ```
+//!
+//! and for product edge `(p, q)`:
+//!
+//! ```text
+//! ξ_C(p,q) = φ_pq · ξ_A(i,j) · ξ_B(k,l),
+//! φ_pq = (min(d_i,d_j)−1)(min(d_k,d_l)−1) / (min(d_i d_k, d_j d_l) − 1) ∈ (0, 1)
+//! ```
+//!
+//! `θ` is bounded below by 1/3 — vertex clustering is *controllable* —
+//! while `φ` can be arbitrarily small — edge clustering is not (the
+//! paper's contribution (c)).
+
+use kron_analytics::triangles::{edge_triangles, vertex_triangles, EdgeTriangles};
+use kron_graph::VertexId;
+
+use crate::pair::{KronError, KroneckerPair, SelfLoopMode};
+
+/// Precomputed factor state for clustering ground truth.
+pub struct ClusteringOracle<'a> {
+    pair: &'a KroneckerPair,
+    t_a: Vec<u64>,
+    t_b: Vec<u64>,
+    d_a: Vec<u64>,
+    d_b: Vec<u64>,
+    delta_a: EdgeTriangles,
+    delta_b: EdgeTriangles,
+}
+
+impl<'a> ClusteringOracle<'a> {
+    /// Builds the oracle. Thm. 1/2 are stated for loop-free factors in the
+    /// plain product, so this requires [`SelfLoopMode::AsIs`] with loop-free
+    /// factors.
+    pub fn new(pair: &'a KroneckerPair) -> crate::Result<Self> {
+        if pair.mode() != SelfLoopMode::AsIs {
+            return Err(KronError::RequiresLoopFree { formula: "Thm. 1/2 clustering laws" });
+        }
+        pair.require_base_loop_free("Thm. 1/2 clustering laws")?;
+        let a = pair.a();
+        let b = pair.b();
+        Ok(ClusteringOracle {
+            pair,
+            t_a: vertex_triangles(a).per_vertex,
+            t_b: vertex_triangles(b).per_vertex,
+            d_a: a.degrees(),
+            d_b: b.degrees(),
+            delta_a: edge_triangles(a),
+            delta_b: edge_triangles(b),
+        })
+    }
+
+    /// The scaling factor `θ_p ∈ [1/3, 1)` of Thm. 1 (for `d_i, d_k ≥ 2`).
+    pub fn theta(&self, p: VertexId) -> crate::Result<f64> {
+        self.pair.check_vertex(p)?;
+        let (i, k) = self.pair.split(p);
+        let di = self.d_a[i as usize] as f64;
+        let dk = self.d_b[k as usize] as f64;
+        Ok((di - 1.0) * (dk - 1.0) / (di * dk - 1.0))
+    }
+
+    /// Vertex clustering coefficient of `p` via the Thm. 1 product law.
+    pub fn vertex_clustering_of(&self, p: VertexId) -> crate::Result<f64> {
+        self.pair.check_vertex(p)?;
+        let (i, k) = self.pair.split(p);
+        let (ti, tk) = (self.t_a[i as usize], self.t_b[k as usize]);
+        let (di, dk) = (self.d_a[i as usize], self.d_b[k as usize]);
+        let dp = di * dk;
+        if dp < 2 {
+            return Ok(0.0);
+        }
+        // Direct form 2 t_p / (d_p (d_p − 1)) with t_p = 2 t_i t_k; equals
+        // θ_p η_A η_B when the theorem's hypotheses hold, and extends
+        // gracefully to degenerate vertices.
+        let tp = 2 * ti * tk;
+        Ok(2.0 * tp as f64 / (dp as f64 * (dp - 1) as f64))
+    }
+
+    /// The scaling factor `φ_pq ∈ (0, 1)` of Thm. 2.
+    pub fn phi(&self, p: VertexId, q: VertexId) -> crate::Result<f64> {
+        self.pair.check_vertex(p)?;
+        self.pair.check_vertex(q)?;
+        let (i, k) = self.pair.split(p);
+        let (j, l) = self.pair.split(q);
+        let (di, dj) = (self.d_a[i as usize], self.d_a[j as usize]);
+        let (dk, dl) = (self.d_b[k as usize], self.d_b[l as usize]);
+        let num = (di.min(dj).saturating_sub(1)) * (dk.min(dl).saturating_sub(1));
+        let den = (di * dk).min(dj * dl).saturating_sub(1);
+        Ok(num as f64 / den as f64)
+    }
+
+    /// Edge clustering coefficient of `(p, q)` via the Thm. 2 law.
+    pub fn edge_clustering_of(&self, p: VertexId, q: VertexId) -> crate::Result<f64> {
+        if p == q || !self.pair.has_arc(p, q) {
+            return Err(KronError::NotAnEdge { p, q });
+        }
+        let (i, k) = self.pair.split(p);
+        let (j, l) = self.pair.split(q);
+        let dij = if i == j { 0 } else { self.delta_a.get(i, j).unwrap_or(0) };
+        let dkl = if k == l { 0 } else { self.delta_b.get(k, l).unwrap_or(0) };
+        let delta_pq = dij * dkl; // Δ_C = Δ_A ⊗ Δ_B for loop-free factors
+        let dp = self.d_a[i as usize] * self.d_b[k as usize];
+        let dq = self.d_a[j as usize] * self.d_b[l as usize];
+        let den = dp.min(dq).saturating_sub(1);
+        if den == 0 {
+            return Ok(0.0);
+        }
+        Ok(delta_pq as f64 / den as f64)
+    }
+}
+
+/// Range check helper used by tests and the scaling-law report: Thm. 1's
+/// bound `θ ∈ [1/3, 1)` for degrees `≥ 2`.
+pub fn theta_bounds_hold(d_i: u64, d_k: u64) -> bool {
+    if d_i < 2 || d_k < 2 {
+        return true; // theorem silent outside its hypotheses
+    }
+    let theta =
+        ((d_i - 1) as f64 * (d_k - 1) as f64) / ((d_i * d_k - 1) as f64);
+    (1.0 / 3.0 - 1e-12..1.0).contains(&theta)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::materialize;
+    use kron_analytics::clustering as direct;
+    use kron_graph::generators::{clique, erdos_renyi, star};
+    use kron_graph::CsrGraph;
+
+    fn check_vertex_law(a: CsrGraph, b: CsrGraph) {
+        let eta_a = direct::vertex_clustering(&a);
+        let eta_b = direct::vertex_clustering(&b);
+        let pair = KroneckerPair::as_is(a, b).unwrap();
+        let oracle = ClusteringOracle::new(&pair).unwrap();
+        let c = materialize(&pair);
+        let eta_c = direct::vertex_clustering(&c);
+        for p in 0..pair.n_c() {
+            let (i, k) = pair.split(p);
+            let formula = oracle.vertex_clustering_of(p).unwrap();
+            assert!(
+                (formula - eta_c[p as usize]).abs() < 1e-9,
+                "oracle vs direct at p={p}: {formula} vs {}",
+                eta_c[p as usize]
+            );
+            // Thm. 1 product law where hypotheses hold.
+            let (di, dk) = (pair.a().degree(i), pair.b().degree(k));
+            let ti_tk_pos = eta_a[i as usize] > 0.0 && eta_b[k as usize] > 0.0;
+            if di >= 2 && dk >= 2 && ti_tk_pos {
+                let theta = oracle.theta(p).unwrap();
+                let law = theta * eta_a[i as usize] * eta_b[k as usize];
+                assert!(
+                    (formula - law).abs() < 1e-9,
+                    "Thm. 1 law mismatch at p={p}: {formula} vs {law}"
+                );
+                assert!((1.0 / 3.0 - 1e-12..1.0).contains(&theta), "theta={theta}");
+            }
+        }
+    }
+
+    #[test]
+    fn vertex_law_on_cliques() {
+        check_vertex_law(clique(4), clique(5));
+    }
+
+    #[test]
+    fn vertex_law_on_random() {
+        check_vertex_law(erdos_renyi(9, 0.6, 1), erdos_renyi(8, 0.55, 2));
+    }
+
+    #[test]
+    fn vertex_law_with_degenerate_degrees() {
+        check_vertex_law(star(4), clique(4));
+    }
+
+    fn check_edge_law(a: CsrGraph, b: CsrGraph) {
+        let pair = KroneckerPair::as_is(a, b).unwrap();
+        let oracle = ClusteringOracle::new(&pair).unwrap();
+        let c = materialize(&pair);
+        for ((p, q), want) in direct::edge_clustering(&c) {
+            let got = oracle.edge_clustering_of(p, q).unwrap();
+            assert!(
+                (got - want).abs() < 1e-9,
+                "edge ({p},{q}): oracle {got} vs direct {want}"
+            );
+            let phi = oracle.phi(p, q).unwrap();
+            assert!((0.0..=1.0).contains(&phi), "phi={phi}");
+        }
+    }
+
+    #[test]
+    fn edge_law_on_cliques() {
+        check_edge_law(clique(4), clique(4));
+    }
+
+    #[test]
+    fn edge_law_on_random() {
+        check_edge_law(erdos_renyi(8, 0.6, 7), erdos_renyi(7, 0.6, 8));
+    }
+
+    #[test]
+    fn phi_can_be_tiny() {
+        // Thm. 2's point: negative assortativity makes φ collapse. A star
+        // has min-degree-1 edges; pair a high-degree hub with low-degree
+        // leaves to drive φ down.
+        let a = star(20);
+        let b = star(20);
+        let pair = KroneckerPair::as_is(a, b).unwrap();
+        let oracle = ClusteringOracle::new(&pair).unwrap();
+        // Edge from (hub, leaf) to (leaf, hub): d_p = 19·1, d_q = 1·19.
+        let p = pair.join(0, 1);
+        let q = pair.join(1, 0);
+        let phi = oracle.phi(p, q).unwrap();
+        assert!(phi < 0.01, "expected tiny phi, got {phi}");
+    }
+
+    #[test]
+    fn theta_lower_bound_at_degree_two() {
+        assert!(theta_bounds_hold(2, 2));
+        let theta = ((2 - 1) as f64 * (2 - 1) as f64) / ((4 - 1) as f64);
+        assert!((theta - 1.0 / 3.0).abs() < 1e-12);
+        for d in 2..50 {
+            assert!(theta_bounds_hold(d, 2));
+            assert!(theta_bounds_hold(d, d));
+        }
+    }
+
+    #[test]
+    fn rejects_wrong_mode() {
+        let pair = KroneckerPair::with_full_self_loops(clique(3), clique(3)).unwrap();
+        assert!(ClusteringOracle::new(&pair).is_err());
+        let loopy = KroneckerPair::as_is(clique(3).with_full_self_loops(), clique(3)).unwrap();
+        assert!(ClusteringOracle::new(&loopy).is_err());
+    }
+
+    #[test]
+    fn edge_query_rejects_non_edges() {
+        let pair = KroneckerPair::as_is(clique(3), clique(3)).unwrap();
+        let oracle = ClusteringOracle::new(&pair).unwrap();
+        assert!(matches!(
+            oracle.edge_clustering_of(0, 0),
+            Err(KronError::NotAnEdge { .. })
+        ));
+    }
+}

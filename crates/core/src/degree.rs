@@ -1,0 +1,137 @@
+//! Ground-truth degrees: `d_C = d_A ⊗ d_B` (§I scaling-law table).
+//!
+//! The degree (adjacency row sum) of product vertex `p = (i, k)` is the
+//! product of the effective factor degrees, unconditionally:
+//! `(A ⊗ B)·1 = (A·1) ⊗ (B·1)` by Prop. 1(d) with column vectors. The
+//! degree *histogram* of `C` is therefore the multiplicative convolution of
+//! the factor histograms — computed in `O(distinct_A · distinct_B)`,
+//! independent of `n_C`.
+
+use kron_analytics::Histogram;
+use kron_graph::VertexId;
+
+use crate::pair::KroneckerPair;
+
+/// Degree of product vertex `p`: `d_C(p) = d_A(i) · d_B(k)`.
+///
+/// ```
+/// use kron_core::{degree, KroneckerPair};
+/// use kron_graph::generators::{clique, star};
+///
+/// let pair = KroneckerPair::as_is(clique(4), star(5)).unwrap();
+/// // Vertex (0, 0): clique degree 3 × star-center degree 4.
+/// assert_eq!(degree::degree_of(&pair, 0).unwrap(), 12);
+/// ```
+pub fn degree_of(pair: &KroneckerPair, p: VertexId) -> crate::Result<u64> {
+    pair.check_vertex(p)?;
+    let (i, k) = pair.split(p);
+    Ok(pair.a().degree(i) * pair.b().degree(k))
+}
+
+/// Full degree vector of `C` (size `n_C`): `d_A ⊗ d_B`.
+///
+/// Allocates `n_C` entries — use [`degree_histogram`] at large scale.
+pub fn degrees(pair: &KroneckerPair) -> Vec<u64> {
+    let da = pair.a().degrees();
+    let db = pair.b().degrees();
+    let mut out = Vec::with_capacity(da.len() * db.len());
+    for &di in &da {
+        for &dk in &db {
+            out.push(di * dk);
+        }
+    }
+    out
+}
+
+/// Degree histogram of `C` without touching `C`: counts multiply across
+/// factor histogram entries, values multiply.
+pub fn degree_histogram(pair: &KroneckerPair) -> Histogram {
+    let ha = Histogram::from_values(pair.a().degrees());
+    let hb = Histogram::from_values(pair.b().degrees());
+    let mut out = Histogram::new();
+    for (va, ca) in ha.iter() {
+        for (vb, cb) in hb.iter() {
+            out.add_count(va * vb, ca * cb);
+        }
+    }
+    out
+}
+
+/// Total arc count check: `Σ d_C = nnz_C` (sanity identity used by tests
+/// and the scaling-law report).
+pub fn total_degree(pair: &KroneckerPair) -> u128 {
+    let sum_a: u128 = pair.a().degrees().iter().map(|&d| d as u128).sum();
+    let sum_b: u128 = pair.b().degrees().iter().map(|&d| d as u128).sum();
+    sum_a * sum_b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::materialize;
+    use crate::pair::SelfLoopMode;
+    use kron_graph::generators::{clique, cycle, path, star};
+    use kron_linalg::kronecker::kron_vec;
+
+    fn check_degrees(pair: &KroneckerPair) {
+        let c = materialize(pair);
+        let direct = c.degrees();
+        let formula = degrees(pair);
+        assert_eq!(direct, formula);
+        // Spot-check the per-vertex accessor.
+        for p in (0..pair.n_c()).step_by(3) {
+            assert_eq!(degree_of(pair, p).unwrap(), direct[p as usize]);
+        }
+        // And the Kronecker-vector identity.
+        let da: Vec<i64> = pair.a().degrees().iter().map(|&d| d as i64).collect();
+        let db: Vec<i64> = pair.b().degrees().iter().map(|&d| d as i64).collect();
+        let kron: Vec<u64> = kron_vec(&da, &db).iter().map(|&x| x as u64).collect();
+        assert_eq!(formula, kron);
+    }
+
+    #[test]
+    fn matches_materialized_as_is() {
+        check_degrees(&KroneckerPair::as_is(path(4), cycle(5)).unwrap());
+        check_degrees(&KroneckerPair::as_is(star(4), clique(3)).unwrap());
+    }
+
+    #[test]
+    fn matches_materialized_full_both() {
+        check_degrees(&KroneckerPair::with_full_self_loops(path(4), cycle(5)).unwrap());
+        check_degrees(&KroneckerPair::with_full_self_loops(star(5), clique(3)).unwrap());
+    }
+
+    #[test]
+    fn histogram_matches_direct() {
+        let pair = KroneckerPair::new(star(5), cycle(4), SelfLoopMode::FullBoth).unwrap();
+        let from_formula = degree_histogram(&pair);
+        let direct = Histogram::from_values(materialize(&pair).degrees());
+        assert_eq!(from_formula, direct);
+        assert_eq!(from_formula.total(), pair.n_c());
+    }
+
+    #[test]
+    fn total_degree_equals_nnz() {
+        let pair = KroneckerPair::with_full_self_loops(clique(4), cycle(6)).unwrap();
+        assert_eq!(total_degree(&pair), pair.nnz_c());
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let pair = KroneckerPair::as_is(path(2), path(2)).unwrap();
+        assert!(degree_of(&pair, 4).is_err());
+    }
+
+    #[test]
+    fn no_large_prime_degrees() {
+        // §I: Kronecker graphs lack vertices of large prime degree — every
+        // degree is a product of factor degrees. With factor degrees all
+        // composite/even, the product histogram has no odd primes > max
+        // factor degree.
+        let pair = KroneckerPair::as_is(cycle(5), cycle(7)).unwrap();
+        let h = degree_histogram(&pair);
+        for (value, _) in h.iter() {
+            assert_eq!(value, 4); // 2·2 is the only possible degree
+        }
+    }
+}

@@ -1,0 +1,180 @@
+//! Ground-truth **directed** triangle roles on Kronecker products —
+//! the [11]-style extension the paper's contribution (b) builds on.
+//!
+//! Every role's matrix form from `kron-analytics::directed_triangles`
+//! distributes over `⊗`:
+//!
+//! * cycles: `diag((A⊗B)³) = diag(A³) ⊗ diag(B³)` (Prop. 2(f) + 1(d))
+//! * middle: `(A⊗B)ᵗ ∘ ((A⊗B)(A⊗B)ᵗ) = (Aᵗ ∘ AAᵗ) ⊗ (Bᵗ ∘ BBᵗ)`
+//!   (Prop. 1(c)/(d) + 2(e)), and row sums multiply,
+//!
+//! and likewise for source/target. So each per-vertex directed role count
+//! on `C = A ⊗ B` (loop-free factors) is simply the product of the factor
+//! role counts at the coordinates — four more entries for the paper's
+//! scaling-law table.
+
+use kron_analytics::directed_triangles::{directed_triangles, DirectedTriangleCounts};
+use kron_graph::VertexId;
+
+use crate::pair::{KronError, KroneckerPair, SelfLoopMode};
+
+/// Which role a vertex plays in a directed triangle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TriangleRole {
+    /// On a directed 3-cycle.
+    Cycle,
+    /// Source of a transitive triangle.
+    Source,
+    /// Middle of a transitive triangle.
+    Middle,
+    /// Target of a transitive triangle.
+    Target,
+}
+
+/// Precomputed factor role counts for O(1) product queries.
+pub struct DirectedTriangleOracle<'a> {
+    pair: &'a KroneckerPair,
+    a: DirectedTriangleCounts,
+    b: DirectedTriangleCounts,
+}
+
+impl<'a> DirectedTriangleOracle<'a> {
+    /// Builds the oracle; requires loop-free factors in the plain product
+    /// (the diagonal would otherwise mix walk lengths).
+    pub fn new(pair: &'a KroneckerPair) -> crate::Result<Self> {
+        if pair.mode() != SelfLoopMode::AsIs {
+            return Err(KronError::RequiresLoopFree {
+                formula: "directed triangle product laws",
+            });
+        }
+        pair.require_base_loop_free("directed triangle product laws")?;
+        Ok(DirectedTriangleOracle {
+            pair,
+            a: directed_triangles(pair.a()),
+            b: directed_triangles(pair.b()),
+        })
+    }
+
+    /// Role count of product vertex `p`: the factor counts multiply.
+    pub fn role_count_of(&self, role: TriangleRole, p: VertexId) -> crate::Result<u64> {
+        self.pair.check_vertex(p)?;
+        let (i, k) = self.pair.split(p);
+        let pick = |c: &DirectedTriangleCounts, v: VertexId| -> u64 {
+            let v = v as usize;
+            match role {
+                TriangleRole::Cycle => c.cycle[v],
+                TriangleRole::Source => c.source[v],
+                TriangleRole::Middle => c.middle[v],
+                TriangleRole::Target => c.target[v],
+            }
+        };
+        Ok(pick(&self.a, i) * pick(&self.b, k))
+    }
+
+    /// All four role counts of `p` as `(cycle, source, middle, target)`.
+    pub fn all_roles_of(&self, p: VertexId) -> crate::Result<(u64, u64, u64, u64)> {
+        Ok((
+            self.role_count_of(TriangleRole::Cycle, p)?,
+            self.role_count_of(TriangleRole::Source, p)?,
+            self.role_count_of(TriangleRole::Middle, p)?,
+            self.role_count_of(TriangleRole::Target, p)?,
+        ))
+    }
+
+    /// Global directed 3-cycle count of `C`:
+    /// `Σ_p cycle(p) / 3 = 3 · cyc_A · cyc_B`.
+    pub fn total_cycles(&self) -> u128 {
+        let sa: u128 = self.a.cycle.iter().map(|&x| x as u128).sum();
+        let sb: u128 = self.b.cycle.iter().map(|&x| x as u128).sum();
+        debug_assert_eq!((sa * sb) % 3, 0);
+        sa * sb / 3
+    }
+
+    /// Global transitive triangle count of `C`:
+    /// `Σ_p source(p) = trans_A · trans_B`.
+    pub fn total_transitive(&self) -> u128 {
+        let sa: u128 = self.a.source.iter().map(|&x| x as u128).sum();
+        let sb: u128 = self.b.source.iter().map(|&x| x as u128).sum();
+        sa * sb
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::materialize;
+    use kron_graph::CsrGraph;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_digraph(n: u64, p: f64, seed: u64) -> CsrGraph {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut arcs = Vec::new();
+        for u in 0..n {
+            for v in 0..n {
+                if u != v && rng.gen::<f64>() < p {
+                    arcs.push((u, v));
+                }
+            }
+        }
+        CsrGraph::from_arcs(n, arcs).unwrap()
+    }
+
+    fn check(a: CsrGraph, b: CsrGraph) {
+        let pair = KroneckerPair::as_is(a, b).unwrap();
+        let oracle = DirectedTriangleOracle::new(&pair).unwrap();
+        let c = materialize(&pair);
+        let direct = directed_triangles(&c);
+        for p in 0..pair.n_c() {
+            let (cycle, source, middle, target) = oracle.all_roles_of(p).unwrap();
+            assert_eq!(cycle, direct.cycle[p as usize], "cycle at {p}");
+            assert_eq!(source, direct.source[p as usize], "source at {p}");
+            assert_eq!(middle, direct.middle[p as usize], "middle at {p}");
+            assert_eq!(target, direct.target[p as usize], "target at {p}");
+        }
+        assert_eq!(oracle.total_cycles(), direct.total_cycles() as u128);
+        assert_eq!(oracle.total_transitive(), direct.total_transitive() as u128);
+    }
+
+    #[test]
+    fn directed_roles_match_materialized_random() {
+        check(random_digraph(6, 0.4, 1), random_digraph(5, 0.5, 2));
+        check(random_digraph(7, 0.3, 3), random_digraph(6, 0.4, 4));
+    }
+
+    #[test]
+    fn cycle_times_cycle() {
+        // C3 ⊗ C3 (directed): cycles multiply, no transitive triangles.
+        let c3 = CsrGraph::from_arcs(3, vec![(0, 1), (1, 2), (2, 0)]).unwrap();
+        let pair = KroneckerPair::as_is(c3.clone(), c3).unwrap();
+        let oracle = DirectedTriangleOracle::new(&pair).unwrap();
+        assert_eq!(oracle.total_cycles(), 3); // 3·1·1
+        assert_eq!(oracle.total_transitive(), 0);
+        let c = materialize(&pair);
+        let direct = directed_triangles(&c);
+        assert_eq!(direct.total_cycles(), 3);
+        assert_eq!(direct.total_transitive(), 0);
+    }
+
+    #[test]
+    fn undirected_factors_agree_with_undirected_counts() {
+        // On symmetric factors, cycle count = 2·τ and transitive = 6·τ.
+        use kron_analytics::triangles::global_triangles;
+        use kron_graph::generators::erdos_renyi;
+        let a = erdos_renyi(8, 0.5, 9);
+        let b = erdos_renyi(7, 0.5, 10);
+        let pair = KroneckerPair::as_is(a, b).unwrap();
+        let oracle = DirectedTriangleOracle::new(&pair).unwrap();
+        let c = materialize(&pair);
+        let tau = global_triangles(&c) as u128;
+        assert_eq!(oracle.total_cycles(), 2 * tau);
+        assert_eq!(oracle.total_transitive(), 6 * tau);
+    }
+
+    #[test]
+    fn rejects_full_both_mode() {
+        use kron_graph::generators::clique;
+        let pair = KroneckerPair::with_full_self_loops(clique(3), clique(3)).unwrap();
+        assert!(DirectedTriangleOracle::new(&pair).is_err());
+    }
+}

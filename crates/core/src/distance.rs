@@ -1,0 +1,378 @@
+//! Ground-truth distances, eccentricity, and diameter (§V).
+//!
+//! With full self loops in both factors (Thm. 3):
+//!
+//! ```text
+//! hops_C(p, q) = max( hops_A(i, j), hops_B(k, l) )
+//! ε_C(p)       = max( ε_A(i), ε_B(k) )                  (Cor. 4)
+//! diam(C)      = max( diam(A), diam(B) )                (Cor. 3)
+//! ```
+//!
+//! With loops only in `A` and `B` merely undirected (Thm. 5 / Cor. 5) the
+//! same expressions hold up to `+1`:
+//! `max ≤ hops_C ≤ max + 1` and `max ≤ diam(C) ≤ max + 1`, which is the
+//! paper's diameter-control mechanism (§V-C).
+
+use kron_analytics::distance::{bfs_hops, UNREACHABLE};
+use kron_analytics::Histogram;
+use kron_graph::VertexId;
+
+use crate::pair::{KronError, KroneckerPair};
+
+/// Combines per-vertex factor eccentricities into the product's
+/// eccentricity histogram without building hop matrices: the number of
+/// product vertices with `ε_C = e` is
+/// `cumA(e)·cumB(e) − cumA(e−1)·cumB(e−1)` (Cor. 4 pushed through the
+/// histogram). `O(n_A + n_B + diam)` time and memory — this is what makes
+/// Fig. 1's 40M-vertex histogram computable from a 6.3K-vertex factor.
+pub fn eccentricity_histogram_from_factors(ecc_a: &[u32], ecc_b: &[u32]) -> Histogram {
+    let ha = Histogram::from_values(ecc_a.iter().map(|&e| e as u64));
+    let hb = Histogram::from_values(ecc_b.iter().map(|&e| e as u64));
+    let max_e = ha.max().unwrap_or(0).max(hb.max().unwrap_or(0));
+    let mut out = Histogram::new();
+    let mut prev = 0u64;
+    for e in 0..=max_e {
+        let cum = ha.cumulative(e) * hb.cumulative(e);
+        out.add_count(e, cum - prev);
+        prev = cum;
+    }
+    out
+}
+
+/// Inclusive bounds on a hop count; exact when `lower == upper`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct HopBounds {
+    /// Lower bound (Thm. 5 left inequality).
+    pub lower: u32,
+    /// Upper bound (Thm. 5 right inequality).
+    pub upper: u32,
+}
+
+impl HopBounds {
+    /// The exact value when the bounds coincide.
+    pub fn exact(&self) -> Option<u32> {
+        (self.lower == self.upper).then_some(self.lower)
+    }
+}
+
+/// Precomputed factor hop-count matrices and eccentricities.
+///
+/// Storage is `O(n_A² + n_B²)` — factor-sized, i.e. `O(n_C)` overall is
+/// never touched. This is the "sublinear amount of memory" of the paper's
+/// contribution (d).
+pub struct DistanceOracle<'a> {
+    pair: &'a KroneckerPair,
+    hops_a: Vec<Vec<u32>>,
+    hops_b: Vec<Vec<u32>>,
+    ecc_a: Vec<u32>,
+    ecc_b: Vec<u32>,
+}
+
+impl<'a> DistanceOracle<'a> {
+    /// Builds the oracle by running a BFS from every factor vertex.
+    ///
+    /// Requires Thm. 3's premise: full self loops in both effective
+    /// factors (construct the pair with [`crate::SelfLoopMode::FullBoth`],
+    /// or supply factors that already carry all loops).
+    pub fn new(pair: &'a KroneckerPair) -> crate::Result<Self> {
+        pair.require_full_self_loops("Thm. 3 distance formulas")?;
+        Ok(Self::build(pair))
+    }
+
+    /// Builds the oracle under Thm. 5's weaker premise: full self loops in
+    /// `A` only, `B` undirected. Only the `*_bounds` queries are exact in
+    /// this regime.
+    pub fn new_relaxed(pair: &'a KroneckerPair) -> crate::Result<Self> {
+        if !pair.a().has_full_self_loops() {
+            return Err(KronError::RequiresFullSelfLoops { formula: "Thm. 5 (factor A)" });
+        }
+        if !pair.b().is_undirected() {
+            return Err(KronError::RequiresUndirected { factor: 'B' });
+        }
+        Ok(Self::build(pair))
+    }
+
+    fn build(pair: &'a KroneckerPair) -> Self {
+        let a = pair.a();
+        let b = pair.b();
+        let hops_a: Vec<Vec<u32>> = (0..a.n()).map(|v| bfs_hops(a, v)).collect();
+        let hops_b: Vec<Vec<u32>> = (0..b.n()).map(|v| bfs_hops(b, v)).collect();
+        let ecc = |rows: &[Vec<u32>]| -> Vec<u32> {
+            rows.iter()
+                .map(|row| row.iter().copied().max().unwrap_or(UNREACHABLE))
+                .collect()
+        };
+        let ecc_a = ecc(&hops_a);
+        let ecc_b = ecc(&hops_b);
+        DistanceOracle { pair, hops_a, hops_b, ecc_a, ecc_b }
+    }
+
+    /// The pair this oracle answers for.
+    pub fn pair(&self) -> &KroneckerPair {
+        self.pair
+    }
+
+    /// Hop count row of factor `A` from vertex `i`.
+    pub fn hops_a_row(&self, i: VertexId) -> &[u32] {
+        &self.hops_a[i as usize]
+    }
+
+    /// Hop count row of factor `B` from vertex `k`.
+    pub fn hops_b_row(&self, k: VertexId) -> &[u32] {
+        &self.hops_b[k as usize]
+    }
+
+    /// Exact product hop count `hops_C(p, q)` (Thm. 3).
+    pub fn hops_of(&self, p: VertexId, q: VertexId) -> crate::Result<u32> {
+        self.pair.check_vertex(p)?;
+        self.pair.check_vertex(q)?;
+        let (i, k) = self.pair.split(p);
+        let (j, l) = self.pair.split(q);
+        let ha = self.hops_a[i as usize][j as usize];
+        let hb = self.hops_b[k as usize][l as usize];
+        if ha == UNREACHABLE || hb == UNREACHABLE {
+            return Ok(UNREACHABLE);
+        }
+        Ok(ha.max(hb))
+    }
+
+    /// Thm. 5 bounds on `hops_C(p, q)` for the relaxed regime.
+    pub fn hops_bounds(&self, p: VertexId, q: VertexId) -> crate::Result<HopBounds> {
+        self.pair.check_vertex(p)?;
+        self.pair.check_vertex(q)?;
+        let (i, k) = self.pair.split(p);
+        let (j, l) = self.pair.split(q);
+        let ha = self.hops_a[i as usize][j as usize];
+        let hb = self.hops_b[k as usize][l as usize];
+        if ha == UNREACHABLE || hb == UNREACHABLE {
+            return Ok(HopBounds { lower: UNREACHABLE, upper: UNREACHABLE });
+        }
+        let m = ha.max(hb);
+        Ok(HopBounds { lower: m, upper: m + 1 })
+    }
+
+    /// Exact eccentricity `ε_C(p) = max(ε_A(i), ε_B(k))` (Cor. 4).
+    pub fn eccentricity_of(&self, p: VertexId) -> crate::Result<u32> {
+        self.pair.check_vertex(p)?;
+        let (i, k) = self.pair.split(p);
+        let (ea, eb) = (self.ecc_a[i as usize], self.ecc_b[k as usize]);
+        if ea == UNREACHABLE || eb == UNREACHABLE {
+            return Ok(UNREACHABLE);
+        }
+        Ok(ea.max(eb))
+    }
+
+    /// Exact diameter `diam(C) = max(diam(A), diam(B))` (Cor. 3).
+    pub fn diameter(&self) -> u32 {
+        let da = self.ecc_a.iter().copied().max().unwrap_or(0);
+        let db = self.ecc_b.iter().copied().max().unwrap_or(0);
+        if da == UNREACHABLE || db == UNREACHABLE {
+            return UNREACHABLE;
+        }
+        da.max(db)
+    }
+
+    /// Cor. 5 bounds on the diameter for the relaxed regime.
+    pub fn diameter_bounds(&self) -> HopBounds {
+        let d = self.diameter();
+        if d == UNREACHABLE {
+            HopBounds { lower: UNREACHABLE, upper: UNREACHABLE }
+        } else {
+            HopBounds { lower: d, upper: d + 1 }
+        }
+    }
+
+    /// Eccentricity histogram of all `n_C` product vertices, computed in
+    /// `O(diam)` after factor preprocessing: the number of product
+    /// vertices with `ε_C = e` is
+    /// `cumA(e)·cumB(e) − cumA(e−1)·cumB(e−1)` where `cum` counts factor
+    /// vertices with eccentricity `≤ e`. This regenerates Fig. 1's `C`
+    /// histogram without materializing `C`.
+    pub fn eccentricity_histogram(&self) -> Histogram {
+        eccentricity_histogram_from_factors(&self.ecc_a, &self.ecc_b)
+    }
+
+    /// Per-vertex factor eccentricities (`ε_A`).
+    pub fn ecc_a(&self) -> &[u32] {
+        &self.ecc_a
+    }
+
+    /// Per-vertex factor eccentricities (`ε_B`).
+    pub fn ecc_b(&self) -> &[u32] {
+        &self.ecc_b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::materialize;
+    use crate::pair::SelfLoopMode;
+    use kron_analytics::distance as direct;
+    use kron_graph::generators::{barabasi_albert, clique, cycle, path, star};
+    use kron_graph::CsrGraph;
+
+    fn full_pair(a: CsrGraph, b: CsrGraph) -> KroneckerPair {
+        KroneckerPair::new(a, b, SelfLoopMode::FullBoth).unwrap()
+    }
+
+    #[test]
+    fn hops_match_bfs_on_materialized() {
+        let pair = full_pair(path(4), cycle(5));
+        let oracle = DistanceOracle::new(&pair).unwrap();
+        let c = materialize(&pair);
+        for p in 0..pair.n_c() {
+            let direct_hops = direct::bfs_hops(&c, p);
+            for q in 0..pair.n_c() {
+                assert_eq!(
+                    oracle.hops_of(p, q).unwrap(),
+                    direct_hops[q as usize],
+                    "hops({p},{q})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn eccentricity_matches_direct() {
+        let pair = full_pair(star(5), cycle(6));
+        let oracle = DistanceOracle::new(&pair).unwrap();
+        let c = materialize(&pair);
+        let direct_ecc = direct::all_eccentricities_naive(&c);
+        for p in 0..pair.n_c() {
+            assert_eq!(oracle.eccentricity_of(p).unwrap(), direct_ecc[p as usize]);
+        }
+        assert_eq!(oracle.diameter(), direct::diameter(&c));
+    }
+
+    #[test]
+    fn eccentricity_histogram_matches_direct() {
+        let pair = full_pair(barabasi_albert(12, 2, 1), path(5));
+        let oracle = DistanceOracle::new(&pair).unwrap();
+        let c = materialize(&pair);
+        let direct_hist = Histogram::from_values(
+            direct::all_eccentricities_naive(&c).into_iter().map(|e| e as u64),
+        );
+        assert_eq!(oracle.eccentricity_histogram(), direct_hist);
+        assert_eq!(oracle.eccentricity_histogram().total(), pair.n_c());
+    }
+
+    #[test]
+    fn diameter_is_max_of_factors() {
+        let pair = full_pair(path(7), cycle(5));
+        let oracle = DistanceOracle::new(&pair).unwrap();
+        // path(7) with loops: diameter 6; cycle(5): 2.
+        assert_eq!(oracle.diameter(), 6);
+    }
+
+    #[test]
+    fn requires_full_loops() {
+        let pair = KroneckerPair::as_is(path(3), path(3)).unwrap();
+        assert!(matches!(
+            DistanceOracle::new(&pair),
+            Err(KronError::RequiresFullSelfLoops { .. })
+        ));
+    }
+
+    #[test]
+    fn relaxed_mode_bounds_hold() {
+        // A with full loops, B plain undirected (no loops): Thm. 5.
+        let a = path(4).with_full_self_loops();
+        let b = cycle(5);
+        let pair = KroneckerPair::as_is(a, b).unwrap();
+        let oracle = DistanceOracle::new_relaxed(&pair).unwrap();
+        let c = materialize(&pair);
+        for p in 0..pair.n_c() {
+            let direct_hops = direct::bfs_hops(&c, p);
+            for q in 0..pair.n_c() {
+                if p == q {
+                    continue; // Def. 9 diagonal conventions differ without loops in C
+                }
+                let b = oracle.hops_bounds(p, q).unwrap();
+                let actual = direct_hops[q as usize];
+                assert!(
+                    b.lower <= actual && actual <= b.upper,
+                    "hops({p},{q}) = {actual} outside [{}, {}]",
+                    b.lower,
+                    b.upper
+                );
+            }
+        }
+        // Cor. 5 diameter bounds.
+        let db = oracle.diameter_bounds();
+        let actual = direct::diameter(&c);
+        assert!(db.lower <= actual && actual <= db.upper);
+    }
+
+    #[test]
+    fn relaxed_mode_preconditions() {
+        // Missing loops in A → error.
+        let pair = KroneckerPair::as_is(path(3), path(3)).unwrap();
+        assert!(DistanceOracle::new_relaxed(&pair).is_err());
+        // Directed B → error.
+        let a = path(3).with_full_self_loops();
+        let b = CsrGraph::from_arcs(2, vec![(0, 1)]).unwrap();
+        let pair = KroneckerPair::as_is(a, b).unwrap();
+        assert!(matches!(
+            DistanceOracle::new_relaxed(&pair),
+            Err(KronError::RequiresUndirected { factor: 'B' })
+        ));
+    }
+
+    #[test]
+    fn hop_bounds_exactness() {
+        let b = HopBounds { lower: 3, upper: 3 };
+        assert_eq!(b.exact(), Some(3));
+        let b = HopBounds { lower: 3, upper: 4 };
+        assert_eq!(b.exact(), None);
+    }
+
+    #[test]
+    fn disconnected_factor_propagates_unreachable() {
+        let disconnected = CsrGraph::from_arcs(3, vec![(0, 1), (1, 0)]).unwrap();
+        let pair = full_pair(disconnected, clique(2));
+        let oracle = DistanceOracle::new(&pair).unwrap();
+        let p = pair.join(0, 0);
+        let q = pair.join(2, 0);
+        assert_eq!(oracle.hops_of(p, q).unwrap(), UNREACHABLE);
+        assert_eq!(oracle.eccentricity_of(p).unwrap(), UNREACHABLE);
+        assert_eq!(oracle.diameter(), UNREACHABLE);
+    }
+
+    #[test]
+    fn directed_factors_also_satisfy_thm3() {
+        // Thm. 3's proof never uses symmetry: e_pᵗ C^h e_q factors for
+        // directed adjacencies too. Directed 3-cycles with full loops.
+        let dir_cycle = |n: u64| {
+            let arcs: Vec<(u64, u64)> = (0..n).map(|v| (v, (v + 1) % n)).collect();
+            CsrGraph::from_arcs(n, arcs).unwrap().with_full_self_loops()
+        };
+        let pair =
+            KroneckerPair::new(dir_cycle(3), dir_cycle(4), SelfLoopMode::AsIs).unwrap();
+        let oracle = DistanceOracle::new(&pair).unwrap();
+        let c = materialize(&pair);
+        for p in 0..pair.n_c() {
+            let direct_hops = direct::bfs_hops(&c, p);
+            for q in 0..pair.n_c() {
+                assert_eq!(
+                    oracle.hops_of(p, q).unwrap(),
+                    direct_hops[q as usize],
+                    "directed hops({p},{q})"
+                );
+            }
+        }
+        // Directed diameter: max over ordered pairs — 1-cycle needs n−1
+        // hops the long way, so diam = max(2, 3) = 3.
+        assert_eq!(oracle.diameter(), 3);
+    }
+
+    #[test]
+    fn clique_products_have_diameter_one() {
+        let pair = full_pair(clique(3), clique(4));
+        let oracle = DistanceOracle::new(&pair).unwrap();
+        assert_eq!(oracle.diameter(), 1);
+        for p in 0..pair.n_c() {
+            assert_eq!(oracle.eccentricity_of(p).unwrap(), 1);
+        }
+    }
+}

@@ -1,0 +1,201 @@
+//! Sequential generation of the product graph's edges.
+//!
+//! The edge set of `C = A ⊗ B` is exactly the cross product of the factor
+//! arc sets: for arcs `(i, j) ∈ A` and `(k, l) ∈ B`,
+//! `(γ(i,k), γ(j,l)) ∈ C` (Def. 1 on 0/1 adjacencies). [`ArcIter`] streams
+//! these pairs without materializing anything; [`materialize`] builds an
+//! explicit [`CsrGraph`] for validation at small scale. The distributed
+//! version of this loop lives in `kron-dist`.
+
+use kron_graph::{Arc, CsrGraph, EdgeList};
+
+use crate::pair::KroneckerPair;
+
+/// Streaming iterator over the arcs of `C` in factor-major order.
+pub struct ArcIter<'a> {
+    pair: &'a KroneckerPair,
+    a_arcs: Vec<Arc>,
+    b_arcs: Vec<Arc>,
+    ai: usize,
+    bi: usize,
+}
+
+impl<'a> ArcIter<'a> {
+    fn new(pair: &'a KroneckerPair) -> Self {
+        ArcIter {
+            pair,
+            a_arcs: pair.a().arcs().collect(),
+            b_arcs: pair.b().arcs().collect(),
+            ai: 0,
+            bi: 0,
+        }
+    }
+}
+
+impl Iterator for ArcIter<'_> {
+    type Item = Arc;
+
+    fn next(&mut self) -> Option<Arc> {
+        if self.ai >= self.a_arcs.len() || self.b_arcs.is_empty() {
+            return None;
+        }
+        let (i, j) = self.a_arcs[self.ai];
+        let (k, l) = self.b_arcs[self.bi];
+        self.bi += 1;
+        if self.bi == self.b_arcs.len() {
+            self.bi = 0;
+            self.ai += 1;
+        }
+        Some((self.pair.join(i, k), self.pair.join(j, l)))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let total = self.a_arcs.len() * self.b_arcs.len();
+        let done = self.ai * self.b_arcs.len() + self.bi;
+        (total - done, Some(total - done))
+    }
+}
+
+impl ExactSizeIterator for ArcIter<'_> {}
+
+/// Streams every arc of `C`.
+pub fn arcs(pair: &KroneckerPair) -> ArcIter<'_> {
+    ArcIter::new(pair)
+}
+
+/// Calls `visit(p, q)` for every arc of `C` without collecting factor arcs
+/// (the zero-allocation inner loop used by throughput benchmarks).
+pub fn for_each_arc<F: FnMut(u64, u64)>(pair: &KroneckerPair, mut visit: F) {
+    let a = pair.a();
+    let b = pair.b();
+    let nb = b.n();
+    for i in 0..a.n() {
+        for &j in a.neighbors(i) {
+            let row_base = i * nb;
+            let col_base = j * nb;
+            for k in 0..b.n() {
+                for &l in b.neighbors(k) {
+                    visit(row_base + k, col_base + l);
+                }
+            }
+        }
+    }
+}
+
+/// Materializes `C` as an explicit CSR graph.
+///
+/// Memory is `O(nnz_A · nnz_B)` — intended for validation-scale products
+/// only; panics if the arc count would exceed `usize`.
+pub fn materialize(pair: &KroneckerPair) -> CsrGraph {
+    let total = pair.nnz_c();
+    assert!(total <= usize::MAX as u128, "product too large to materialize");
+    let mut list = EdgeList::new(pair.n_c());
+    for (p, q) in arcs(pair) {
+        list.add_arc(p, q).expect("product arcs are in range");
+    }
+    CsrGraph::from_edge_list(&list)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pair::SelfLoopMode;
+    use kron_graph::generators::{clique, cycle, path, star};
+    use kron_linalg::kronecker::kron_dense;
+    use kron_linalg::DenseMatrix;
+
+    fn dense_of(g: &CsrGraph) -> DenseMatrix {
+        let n = g.n() as usize;
+        let mut m = DenseMatrix::zeros(n, n);
+        for (u, v) in g.arcs() {
+            m.set(u as usize, v as usize, 1);
+        }
+        m
+    }
+
+    fn check_against_oracle(a: CsrGraph, b: CsrGraph, mode: SelfLoopMode) {
+        let pair = KroneckerPair::new(a, b, mode).unwrap();
+        let c = materialize(&pair);
+        let oracle = kron_dense(&dense_of(pair.a()), &dense_of(pair.b()));
+        assert_eq!(c.n() as usize, oracle.rows());
+        for p in 0..c.n() {
+            for q in 0..c.n() {
+                assert_eq!(
+                    c.has_arc(p, q),
+                    oracle.get(p as usize, q as usize) == 1,
+                    "mismatch at ({p},{q})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matches_dense_oracle_as_is() {
+        check_against_oracle(path(3), cycle(4), SelfLoopMode::AsIs);
+        check_against_oracle(clique(3), star(4), SelfLoopMode::AsIs);
+    }
+
+    #[test]
+    fn matches_dense_oracle_full_both() {
+        check_against_oracle(path(3), cycle(4), SelfLoopMode::FullBoth);
+        check_against_oracle(clique(3), clique(3), SelfLoopMode::FullBoth);
+    }
+
+    #[test]
+    fn arc_count_matches() {
+        let pair = KroneckerPair::as_is(clique(4), cycle(5)).unwrap();
+        let collected: Vec<_> = arcs(&pair).collect();
+        assert_eq!(collected.len() as u128, pair.nnz_c());
+        let c = materialize(&pair);
+        assert_eq!(c.nnz() as u128, pair.nnz_c());
+    }
+
+    #[test]
+    fn iterator_and_closure_agree() {
+        let pair = KroneckerPair::with_full_self_loops(path(3), clique(3)).unwrap();
+        let mut via_iter: Vec<_> = arcs(&pair).collect();
+        let mut via_closure = Vec::new();
+        for_each_arc(&pair, |p, q| via_closure.push((p, q)));
+        via_iter.sort_unstable();
+        via_closure.sort_unstable();
+        assert_eq!(via_iter, via_closure);
+    }
+
+    #[test]
+    fn exact_size_iterator() {
+        let pair = KroneckerPair::as_is(path(3), path(3)).unwrap();
+        let mut it = arcs(&pair);
+        let total = it.len();
+        assert_eq!(total as u128, pair.nnz_c());
+        it.next();
+        assert_eq!(it.len(), total - 1);
+    }
+
+    #[test]
+    fn k2_kron_k2_is_two_disjoint_edges() {
+        let pair = KroneckerPair::as_is(clique(2), clique(2)).unwrap();
+        let c = materialize(&pair);
+        assert_eq!(c.undirected_edge_count(), 2);
+        assert!(c.has_arc(0, 3));
+        assert!(c.has_arc(1, 2));
+        assert!(!c.has_arc(0, 1));
+        use kron_graph::connectivity::connected_components;
+        assert_eq!(connected_components(&c).count, 2);
+    }
+
+    #[test]
+    fn full_both_is_connected_when_factors_are() {
+        // With full self loops the product of connected factors stays
+        // connected (the classic fix for Kronecker disconnection).
+        let pair = KroneckerPair::with_full_self_loops(clique(2), clique(2)).unwrap();
+        let c = materialize(&pair);
+        use kron_graph::connectivity::is_connected;
+        assert!(is_connected(&c));
+    }
+
+    #[test]
+    fn product_of_undirected_is_undirected() {
+        let pair = KroneckerPair::as_is(cycle(4), path(3)).unwrap();
+        assert!(materialize(&pair).is_undirected());
+    }
+}

@@ -1,0 +1,298 @@
+//! The implicit Kronecker product graph: a pair of factors plus a
+//! self-loop mode.
+
+use kron_graph::{CsrGraph, VertexId};
+use kron_linalg::BlockIndex;
+
+/// How self loops enter the product construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SelfLoopMode {
+    /// Use the factors exactly as given: `C = A ⊗ B`.
+    AsIs,
+    /// Add a self loop on every vertex of both (loop-free) factors:
+    /// `C = (A + I_A) ⊗ (B + I_B)` — the paper's "densest structure
+    /// possible" construction (§IV-A) and the premise of Cor. 1/2, Thm. 3,
+    /// Cor. 3/4, and Thm. 6.
+    FullBoth,
+}
+
+/// Errors from Kronecker construction and formula preconditions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KronError {
+    /// `FullBoth` requires loop-free inputs (the `+ I` adds the loops).
+    FactorHasSelfLoop { factor: char, vertex: VertexId },
+    /// The requested formula requires loop-free effective factors.
+    RequiresLoopFree { formula: &'static str },
+    /// The requested formula requires full self loops in the named factors.
+    RequiresFullSelfLoops { formula: &'static str },
+    /// The requested formula requires an undirected factor.
+    RequiresUndirected { factor: char },
+    /// A vertex id is outside `0..n_C`.
+    VertexOutOfRange { vertex: VertexId, n: u64 },
+    /// The queried pair is not an edge of `C`.
+    NotAnEdge { p: VertexId, q: VertexId },
+}
+
+impl std::fmt::Display for KronError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            KronError::FactorHasSelfLoop { factor, vertex } => write!(
+                f,
+                "factor {factor} has a self loop at {vertex}; FullBoth mode requires loop-free inputs"
+            ),
+            KronError::RequiresLoopFree { formula } => {
+                write!(f, "{formula} requires loop-free factors")
+            }
+            KronError::RequiresFullSelfLoops { formula } => {
+                write!(f, "{formula} requires full self loops in the factors")
+            }
+            KronError::RequiresUndirected { factor } => {
+                write!(f, "factor {factor} must be undirected")
+            }
+            KronError::VertexOutOfRange { vertex, n } => {
+                write!(f, "vertex {vertex} out of range for n_C = {n}")
+            }
+            KronError::NotAnEdge { p, q } => write!(f, "({p},{q}) is not an edge of C"),
+        }
+    }
+}
+
+impl std::error::Error for KronError {}
+
+/// An implicit Kronecker product graph `C = A ⊗ B` (or
+/// `(A+I) ⊗ (B+I)` in [`SelfLoopMode::FullBoth`]).
+///
+/// Stores only the factors: `O(|E_A| + |E_B|)` memory for a product with
+/// `|E_A| · |E_B|` arcs. `base_a`/`base_b` are the factors as given;
+/// `a`/`b` are the *effective* factors actually multiplied.
+///
+/// ```
+/// use kron_core::KroneckerPair;
+/// use kron_graph::generators::{clique, cycle};
+///
+/// let c = KroneckerPair::with_full_self_loops(clique(4), cycle(5)).unwrap();
+/// assert_eq!(c.n_c(), 20);
+/// assert_eq!(c.nnz_c(), (12 + 4) * (10 + 5)); // (A+I) arcs × (B+I) arcs
+/// let (i, k) = c.split(13);
+/// assert_eq!(c.join(i, k), 13);
+/// ```
+#[derive(Debug, Clone)]
+pub struct KroneckerPair {
+    base_a: CsrGraph,
+    base_b: CsrGraph,
+    a: CsrGraph,
+    b: CsrGraph,
+    mode: SelfLoopMode,
+    index: BlockIndex,
+}
+
+impl KroneckerPair {
+    /// Builds the implicit product. In `FullBoth` mode the inputs must be
+    /// loop-free; the effective factors get a loop on every vertex.
+    pub fn new(a: CsrGraph, b: CsrGraph, mode: SelfLoopMode) -> crate::Result<Self> {
+        assert!(a.n() > 0 && b.n() > 0, "factors must be nonempty");
+        let (eff_a, eff_b) = match mode {
+            SelfLoopMode::AsIs => (a.clone(), b.clone()),
+            SelfLoopMode::FullBoth => {
+                if let Some(v) = (0..a.n()).find(|&v| a.has_self_loop(v)) {
+                    return Err(KronError::FactorHasSelfLoop { factor: 'A', vertex: v });
+                }
+                if let Some(v) = (0..b.n()).find(|&v| b.has_self_loop(v)) {
+                    return Err(KronError::FactorHasSelfLoop { factor: 'B', vertex: v });
+                }
+                (a.with_full_self_loops(), b.with_full_self_loops())
+            }
+        };
+        let index = BlockIndex::new(b.n());
+        Ok(KroneckerPair { base_a: a, base_b: b, a: eff_a, b: eff_b, mode, index })
+    }
+
+    /// Convenience constructor for `C = A ⊗ B` as given.
+    pub fn as_is(a: CsrGraph, b: CsrGraph) -> crate::Result<Self> {
+        Self::new(a, b, SelfLoopMode::AsIs)
+    }
+
+    /// Convenience constructor for `C = (A+I) ⊗ (B+I)`.
+    pub fn with_full_self_loops(a: CsrGraph, b: CsrGraph) -> crate::Result<Self> {
+        Self::new(a, b, SelfLoopMode::FullBoth)
+    }
+
+    /// Effective factor `A` (loops added in `FullBoth` mode).
+    pub fn a(&self) -> &CsrGraph {
+        &self.a
+    }
+
+    /// Effective factor `B`.
+    pub fn b(&self) -> &CsrGraph {
+        &self.b
+    }
+
+    /// Factor `A` exactly as supplied.
+    pub fn base_a(&self) -> &CsrGraph {
+        &self.base_a
+    }
+
+    /// Factor `B` exactly as supplied.
+    pub fn base_b(&self) -> &CsrGraph {
+        &self.base_b
+    }
+
+    /// The self-loop mode.
+    pub fn mode(&self) -> SelfLoopMode {
+        self.mode
+    }
+
+    /// `n_C = n_A · n_B`.
+    pub fn n_c(&self) -> u64 {
+        self.a.n() * self.b.n()
+    }
+
+    /// Arc (adjacency nonzero) count of `C`: `nnz_A · nnz_B`.
+    pub fn nnz_c(&self) -> u128 {
+        self.a.nnz() as u128 * self.b.nnz() as u128
+    }
+
+    /// Self-loop count of `C`: loops pair with loops.
+    pub fn self_loop_count_c(&self) -> u128 {
+        self.a.self_loop_count() as u128 * self.b.self_loop_count() as u128
+    }
+
+    /// Undirected edge count of `C` (self loop = one edge).
+    pub fn undirected_edge_count_c(&self) -> u128 {
+        let loops = self.self_loop_count_c();
+        loops + (self.nnz_c() - loops) / 2
+    }
+
+    /// Splits a product vertex `p` into factor vertices `(i, k)`.
+    #[inline]
+    pub fn split(&self, p: VertexId) -> (VertexId, VertexId) {
+        self.index.split(p)
+    }
+
+    /// Joins factor vertices `(i, k)` into the product vertex `i·n_B + k`.
+    #[inline]
+    pub fn join(&self, i: VertexId, k: VertexId) -> VertexId {
+        self.index.join(i, k)
+    }
+
+    /// Validates a product vertex id.
+    pub fn check_vertex(&self, p: VertexId) -> crate::Result<()> {
+        if p < self.n_c() {
+            Ok(())
+        } else {
+            Err(KronError::VertexOutOfRange { vertex: p, n: self.n_c() })
+        }
+    }
+
+    /// True when `(p, q)` is an arc of `C`:
+    /// `C_{γ(i,k),γ(j,l)} = A_ij · B_kl` (Def. 1).
+    pub fn has_arc(&self, p: VertexId, q: VertexId) -> bool {
+        if p >= self.n_c() || q >= self.n_c() {
+            return false;
+        }
+        let (i, k) = self.split(p);
+        let (j, l) = self.split(q);
+        self.a.has_arc(i, j) && self.b.has_arc(k, l)
+    }
+
+    /// Errors unless the **base** factors are loop-free (precondition of the
+    /// plain triangle formulas and Thm. 1/2).
+    pub fn require_base_loop_free(&self, formula: &'static str) -> crate::Result<()> {
+        if self.base_a.is_loop_free() && self.base_b.is_loop_free() {
+            Ok(())
+        } else {
+            Err(KronError::RequiresLoopFree { formula })
+        }
+    }
+
+    /// Errors unless the **effective** factors both have full self loops
+    /// (precondition of Thm. 3 and Cor. 3/4).
+    pub fn require_full_self_loops(&self, formula: &'static str) -> crate::Result<()> {
+        if self.a.has_full_self_loops() && self.b.has_full_self_loops() {
+            Ok(())
+        } else {
+            Err(KronError::RequiresFullSelfLoops { formula })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kron_graph::generators::{clique, cycle, path};
+
+    #[test]
+    fn sizes_as_is() {
+        let c = KroneckerPair::as_is(clique(3), path(4)).unwrap();
+        assert_eq!(c.n_c(), 12);
+        assert_eq!(c.nnz_c(), 6 * 6);
+        assert_eq!(c.self_loop_count_c(), 0);
+        // m_C = 2 m_A m_B = 2·3·3 = 18.
+        assert_eq!(c.undirected_edge_count_c(), 18);
+    }
+
+    #[test]
+    fn sizes_full_both() {
+        let c = KroneckerPair::with_full_self_loops(clique(3), path(4)).unwrap();
+        assert_eq!(c.a().nnz(), 6 + 3);
+        assert_eq!(c.b().nnz(), 6 + 4);
+        assert_eq!(c.nnz_c(), 9 * 10);
+        assert_eq!(c.self_loop_count_c(), 12);
+        assert_eq!(c.undirected_edge_count_c(), 12 + (90 - 12) / 2);
+        // Base factors unchanged.
+        assert!(c.base_a().is_loop_free());
+    }
+
+    #[test]
+    fn full_both_rejects_loops() {
+        let looped = clique(3).with_full_self_loops();
+        let err = KroneckerPair::with_full_self_loops(looped, path(2)).unwrap_err();
+        assert!(matches!(err, KronError::FactorHasSelfLoop { factor: 'A', .. }));
+    }
+
+    #[test]
+    fn split_join_roundtrip() {
+        let c = KroneckerPair::as_is(clique(3), path(5)).unwrap();
+        for p in 0..c.n_c() {
+            let (i, k) = c.split(p);
+            assert_eq!(c.join(i, k), p);
+            assert!(i < 3 && k < 5);
+        }
+    }
+
+    #[test]
+    fn has_arc_matches_definition() {
+        let c = KroneckerPair::as_is(path(3), path(2)).unwrap();
+        // A: 0-1-2, B: 0-1. p = (i,k) → 2i + k.
+        assert!(c.has_arc(c.join(0, 0), c.join(1, 1)));
+        assert!(!c.has_arc(c.join(0, 0), c.join(1, 0))); // B has no (0,0)
+        assert!(!c.has_arc(c.join(0, 0), c.join(2, 1))); // A has no (0,2)
+        assert!(!c.has_arc(99, 0));
+    }
+
+    #[test]
+    fn precondition_helpers() {
+        let plain = KroneckerPair::as_is(cycle(4), cycle(5)).unwrap();
+        assert!(plain.require_base_loop_free("x").is_ok());
+        assert!(plain.require_full_self_loops("x").is_err());
+
+        let full = KroneckerPair::with_full_self_loops(cycle(4), cycle(5)).unwrap();
+        assert!(full.require_base_loop_free("x").is_ok());
+        assert!(full.require_full_self_loops("x").is_ok());
+
+        let as_is_looped =
+            KroneckerPair::as_is(cycle(4).with_full_self_loops(), cycle(5)).unwrap();
+        assert!(as_is_looped.require_base_loop_free("x").is_err());
+        assert!(as_is_looped.require_full_self_loops("x").is_err());
+    }
+
+    #[test]
+    fn check_vertex_bounds() {
+        let c = KroneckerPair::as_is(path(2), path(2)).unwrap();
+        assert!(c.check_vertex(3).is_ok());
+        assert!(matches!(
+            c.check_vertex(4),
+            Err(KronError::VertexOutOfRange { vertex: 4, n: 4 })
+        ));
+    }
+}

@@ -1,0 +1,165 @@
+//! Ground-truth adjacency spectra of Kronecker products.
+//!
+//! By Prop. 1(d), if `A v = λ v` and `B w = μ w` then
+//! `(A ⊗ B)(v ⊗ w) = λμ (v ⊗ w)`: the spectrum of `C` is the multiset
+//! product of the factor spectra. This is the mechanism behind the
+//! paper's §IV-C warning that "a spectral method can efficiently solve
+//! for large swathes of the eigenspace of C ... without the algorithm
+//! developer even realizing it": `C`'s `n_A·n_B` eigenvalues carry only
+//! `n_A + n_B` degrees of freedom, with enormous multiplicities.
+//!
+//! Eigenvalues come from the from-scratch Jacobi solver in
+//! [`kron_linalg::eigen`]; undirected factors give symmetric
+//! adjacencies, so the solver's preconditions always hold.
+
+use kron_graph::CsrGraph;
+use kron_linalg::eigen::{symmetric_eigenvalues, SymmetricMatrix};
+
+use crate::pair::{KronError, KroneckerPair};
+
+/// Adjacency matrix of an undirected graph as a symmetric f64 matrix.
+pub fn adjacency_matrix(g: &CsrGraph) -> crate::Result<SymmetricMatrix> {
+    if !g.is_undirected() {
+        return Err(KronError::RequiresUndirected { factor: '?' });
+    }
+    let n = g.n() as usize;
+    let mut m = SymmetricMatrix::zeros(n);
+    for (u, v) in g.arcs() {
+        m.set_sym(u as usize, v as usize, 1.0);
+    }
+    Ok(m)
+}
+
+/// All adjacency eigenvalues of an undirected graph, sorted ascending.
+pub fn adjacency_spectrum(g: &CsrGraph) -> crate::Result<Vec<f64>> {
+    Ok(symmetric_eigenvalues(&adjacency_matrix(g)?))
+}
+
+/// Ground-truth spectrum of `C = A ⊗ B` (effective factors): all pairwise
+/// products `λ_i μ_j`, sorted ascending. Costs two factor
+/// eigendecompositions plus an `n_C log n_C` sort — never touches `C`.
+///
+/// ```
+/// use kron_core::{spectrum, KroneckerPair};
+/// use kron_graph::generators::clique;
+///
+/// let pair = KroneckerPair::as_is(clique(3), clique(3)).unwrap();
+/// let eigs = spectrum::kronecker_spectrum(&pair).unwrap();
+/// assert_eq!(eigs.len(), 9);
+/// // K3 has spectrum {2, −1, −1}: max product is 4.
+/// assert!((eigs.last().unwrap() - 4.0).abs() < 1e-9);
+/// ```
+pub fn kronecker_spectrum(pair: &KroneckerPair) -> crate::Result<Vec<f64>> {
+    let eig_a = adjacency_spectrum(pair.a())?;
+    let eig_b = adjacency_spectrum(pair.b())?;
+    let mut products = Vec::with_capacity(eig_a.len() * eig_b.len());
+    for &la in &eig_a {
+        for &mu in &eig_b {
+            products.push(la * mu);
+        }
+    }
+    products.sort_by(|x, y| x.partial_cmp(y).expect("no NaNs"));
+    Ok(products)
+}
+
+/// Spectral radius of `C`: `max|λ_i| · max|μ_j|`.
+pub fn spectral_radius(pair: &KroneckerPair) -> crate::Result<f64> {
+    let radius = |g: &CsrGraph| -> crate::Result<f64> {
+        Ok(adjacency_spectrum(g)?
+            .into_iter()
+            .map(f64::abs)
+            .fold(0.0, f64::max))
+    };
+    Ok(radius(pair.a())? * radius(pair.b())?)
+}
+
+/// The §IV-C exploitability measure: the number of *distinct* eigenvalues
+/// of `C` (within `tol`) is at most `distinct(A) · distinct(B)` — usually
+/// a vanishing fraction of `n_C`.
+pub fn distinct_eigenvalue_count(spectrum: &[f64], tol: f64) -> usize {
+    let mut count = 0;
+    let mut prev = f64::NEG_INFINITY;
+    for &x in spectrum {
+        if (x - prev).abs() > tol {
+            count += 1;
+            prev = x;
+        }
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::materialize;
+    use crate::pair::SelfLoopMode;
+    use kron_graph::generators::{clique, cycle, erdos_renyi, path};
+
+    fn close(a: &[f64], b: &[f64], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (idx, (x, y)) in a.iter().zip(b).enumerate() {
+            assert!((x - y).abs() < tol, "index {idx}: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn factor_spectrum_known() {
+        // K4: {3, −1, −1, −1}.
+        let eigs = adjacency_spectrum(&clique(4)).unwrap();
+        close(&eigs, &[-1.0, -1.0, -1.0, 3.0], 1e-9);
+        // K4 + I shifts by 1.
+        let eigs_loop = adjacency_spectrum(&clique(4).with_full_self_loops()).unwrap();
+        close(&eigs_loop, &[0.0, 0.0, 0.0, 4.0], 1e-9);
+    }
+
+    #[test]
+    fn product_spectrum_matches_direct_as_is() {
+        let pair = KroneckerPair::as_is(clique(3), path(4)).unwrap();
+        let formula = kronecker_spectrum(&pair).unwrap();
+        let direct = adjacency_spectrum(&materialize(&pair)).unwrap();
+        close(&formula, &direct, 1e-8);
+    }
+
+    #[test]
+    fn product_spectrum_matches_direct_full_both() {
+        let pair =
+            KroneckerPair::new(cycle(5), erdos_renyi(6, 0.5, 3), SelfLoopMode::FullBoth)
+                .unwrap();
+        let formula = kronecker_spectrum(&pair).unwrap();
+        let direct = adjacency_spectrum(&materialize(&pair)).unwrap();
+        close(&formula, &direct, 1e-8);
+    }
+
+    #[test]
+    fn spectral_radius_multiplies() {
+        let pair = KroneckerPair::as_is(clique(4), clique(5)).unwrap();
+        // radius(K4) = 3, radius(K5) = 4.
+        assert!((spectral_radius(&pair).unwrap() - 12.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn massive_multiplicity() {
+        // §IV-C: C has n_A·n_B eigenvalues but few distinct values.
+        let pair = KroneckerPair::as_is(clique(6), clique(7)).unwrap();
+        let spectrum = kronecker_spectrum(&pair).unwrap();
+        assert_eq!(spectrum.len(), 42);
+        let distinct = distinct_eigenvalue_count(&spectrum, 1e-9);
+        // K6 has 2 distinct, K7 has 2 distinct → at most 4 products.
+        assert!(distinct <= 4, "distinct = {distinct}");
+    }
+
+    #[test]
+    fn directed_factor_rejected() {
+        let directed = kron_graph::CsrGraph::from_arcs(2, vec![(0, 1)]).unwrap();
+        assert!(adjacency_spectrum(&directed).is_err());
+        let pair = KroneckerPair::as_is(directed, clique(2)).unwrap();
+        assert!(kronecker_spectrum(&pair).is_err());
+    }
+
+    #[test]
+    fn distinct_count_edge_cases() {
+        assert_eq!(distinct_eigenvalue_count(&[], 1e-9), 0);
+        assert_eq!(distinct_eigenvalue_count(&[1.0], 1e-9), 1);
+        assert_eq!(distinct_eigenvalue_count(&[1.0, 1.0 + 1e-12, 2.0], 1e-9), 2);
+    }
+}

@@ -1,0 +1,137 @@
+//! Synthetic stand-in for GraphChallenge `groundtruth_20000`.
+//!
+//! The original (§VI-A, Fig. 2): 20,000 vertices, 408,778 edges, 33
+//! ground-truth communities, per-community internal densities in
+//! `[3e-2, 1e-1]` and external densities in `[2.5e-4, 5.5e-4]`. Cor. 6/7
+//! depend only on the per-community edge counts, so a heterogeneous
+//! stochastic block model planted inside those density ranges exercises
+//! the identical code path. Block sizes and internal densities are spread
+//! deterministically from the seed so the 33 communities are genuinely
+//! non-uniform, like the original's.
+
+use kron_graph::generators::{sbm, SbmConfig};
+use kron_graph::CsrGraph;
+
+/// The generated dataset: graph + planted partition.
+#[derive(Debug, Clone)]
+pub struct Groundtruth20000 {
+    /// The graph (undirected, loop-free).
+    pub graph: CsrGraph,
+    /// Ground-truth community label of each vertex.
+    pub labels: Vec<u32>,
+    /// Number of communities (33, as in the original).
+    pub communities: usize,
+}
+
+/// Number of planted communities.
+pub const COMMUNITIES: usize = 33;
+
+/// Builds the stand-in at full scale (20,000 vertices).
+pub fn groundtruth_20000(seed: u64) -> Groundtruth20000 {
+    groundtruth_scaled(20_000, seed)
+}
+
+/// Builds a smaller replica with the same community count and density
+/// ranges — used by tests and quick experiments.
+pub fn groundtruth_scaled(vertices: u64, seed: u64) -> Groundtruth20000 {
+    assert!(vertices >= 4 * COMMUNITIES as u64, "too few vertices for 33 blocks");
+    let config = block_config(vertices, seed);
+    let graph = sbm(&config);
+    Groundtruth20000 { graph, labels: config.labels(), communities: COMMUNITIES }
+}
+
+/// Deterministic heterogeneous block layout: sizes ramp linearly (factor
+/// ~3 between smallest and largest), internal densities sweep the paper's
+/// `[0.03, 0.1]` range, external density sits mid-range of the paper's
+/// `[2.5e-4, 5.5e-4]`.
+fn block_config(vertices: u64, seed: u64) -> SbmConfig {
+    let k = COMMUNITIES as u64;
+    // Sizes proportional to (base + i), normalized to `vertices`.
+    let base = 8u64;
+    let weight_total: u64 = (0..k).map(|i| base + i).sum();
+    let mut sizes: Vec<u64> = (0..k)
+        .map(|i| (base + i) * vertices / weight_total)
+        .collect();
+    let assigned: u64 = sizes.iter().sum();
+    sizes[(k - 1) as usize] += vertices - assigned; // absorb rounding
+    // Descending ramp: small communities dense, large ones sparse (as in
+    // real community structure); keeps the edge total near the original's
+    // ~409K at full scale.
+    let p_in: Vec<f64> = (0..k)
+        .map(|i| 0.10 - 0.07 * i as f64 / (k - 1) as f64)
+        .collect();
+    SbmConfig { block_sizes: sizes, p_in, p_out: 4.0e-4, seed }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kron_analytics::community::partition_profiles;
+
+    #[test]
+    fn full_scale_matches_paper_table() {
+        let ds = groundtruth_20000(7);
+        assert_eq!(ds.graph.n(), 20_000);
+        assert_eq!(ds.communities, 33);
+        assert_eq!(ds.labels.len(), 20_000);
+        let m = ds.graph.undirected_edge_count();
+        // Paper: 408,778. The stand-in lands in the same regime.
+        assert!((250_000..=550_000).contains(&m), "m = {m}");
+    }
+
+    #[test]
+    fn full_scale_density_ranges() {
+        let ds = groundtruth_20000(7);
+        let profiles = partition_profiles(&ds.graph, &ds.labels, ds.communities);
+        for (idx, p) in profiles.iter().enumerate() {
+            assert!(
+                (0.02..=0.12).contains(&p.rho_in),
+                "community {idx}: rho_in {} outside paper range",
+                p.rho_in
+            );
+            assert!(
+                (1.5e-4..=7.0e-4).contains(&p.rho_out),
+                "community {idx}: rho_out {} outside paper range",
+                p.rho_out
+            );
+        }
+        // Densities genuinely heterogeneous.
+        let min_in = profiles.iter().map(|p| p.rho_in).fold(f64::MAX, f64::min);
+        let max_in = profiles.iter().map(|p| p.rho_in).fold(0.0, f64::max);
+        assert!(max_in / min_in > 2.0, "internal densities too uniform");
+    }
+
+    #[test]
+    fn scaled_replica_keeps_structure() {
+        let ds = groundtruth_scaled(2000, 3);
+        assert_eq!(ds.graph.n(), 2000);
+        assert_eq!(ds.labels.len(), 2000);
+        assert_eq!(*ds.labels.iter().max().unwrap() as usize, COMMUNITIES - 1);
+        assert!(ds.graph.is_undirected());
+        assert!(ds.graph.is_loop_free());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = groundtruth_scaled(1000, 5);
+        let b = groundtruth_scaled(1000, 5);
+        assert_eq!(a.graph, b.graph);
+        assert_ne!(a.graph, groundtruth_scaled(1000, 6).graph);
+    }
+
+    #[test]
+    fn block_sizes_sum_exactly() {
+        for n in [1000u64, 5000, 20_000] {
+            let cfg = block_config(n, 0);
+            assert_eq!(cfg.block_sizes.iter().sum::<u64>(), n);
+            assert_eq!(cfg.block_sizes.len(), 33);
+            assert!(cfg.block_sizes.iter().all(|&s| s > 0));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "too few vertices")]
+    fn rejects_tiny_vertex_count() {
+        groundtruth_scaled(50, 0);
+    }
+}

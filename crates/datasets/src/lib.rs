@@ -1,0 +1,21 @@
+//! # kron-datasets — synthetic stand-ins for the paper's datasets
+//!
+//! The paper's experiments use two external datasets we cannot ship:
+//!
+//! * **SNAP `p2p-Gnutella08`** (§V-A, Fig. 1): a 6.3K-vertex / 21K-edge
+//!   peer-to-peer network, preprocessed to the undirected largest
+//!   connected component with all self loops added.
+//! * **GraphChallenge `groundtruth_20000`** (§VI-A, Fig. 2): a
+//!   20,000-vertex graph with 33 planted communities, internal densities
+//!   in `[3e-2, 1e-1]` and external densities in `[2.5e-4, 5.5e-4]`.
+//!
+//! Each stand-in is a seeded generator reproducing the structural
+//! properties the experiment actually depends on (see DESIGN.md §4 for the
+//! substitution argument), plus the same preprocessing pipeline the paper
+//! applies.
+
+pub mod gnutella;
+pub mod graphchallenge;
+
+pub use gnutella::{synthetic_gnutella, GnutellaConfig};
+pub use graphchallenge::{groundtruth_20000, Groundtruth20000};

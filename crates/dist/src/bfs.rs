@@ -1,0 +1,251 @@
+//! Distributed breadth-first search over the partitioned edge store.
+//!
+//! BFS is *the* Graph500 kernel — the benchmark family the paper's
+//! generator feeds (§I). This is a level-synchronous implementation on a
+//! source-partitioned store: each rank expands the frontier vertices it
+//! owns and sends newly reached vertices to their owners; a round ends
+//! when every rank has drained its peers' frontier messages. The
+//! resulting distances validate against the Thm. 3 ground-truth hop
+//! formula in the tests — the paper's validation workflow for a second,
+//! different analytic.
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use kron_graph::VertexId;
+use std::collections::BTreeMap;
+
+use crate::generator::DistResult;
+use crate::owner::EdgeOwner;
+
+/// Unvisited marker (matches `kron-analytics::distance::UNREACHABLE`).
+pub const UNREACHABLE: u32 = u32::MAX;
+
+enum FrontierMessage {
+    /// Vertices entering the next frontier.
+    Visit(Vec<VertexId>),
+    /// Sender finished the current level.
+    LevelDone,
+}
+
+/// Runs a distributed BFS from `source`, returning the full distance
+/// vector (`dist[source] = 0`). `owner` must match the generation run.
+pub fn distributed_bfs(
+    result: &DistResult,
+    owner: &dyn EdgeOwner,
+    n_c: u64,
+    source: VertexId,
+) -> Vec<u32> {
+    let ranks = result.per_rank.len();
+    assert_eq!(ranks, owner.ranks(), "owner map must match the run");
+    assert!(
+        owner.source_complete(),
+        "row-push analytics require source-complete ownership (not delegates)"
+    );
+
+    // Rank-local adjacency keyed by owned source vertex.
+    let local_rows: Vec<BTreeMap<VertexId, Vec<VertexId>>> = result
+        .per_rank
+        .iter()
+        .map(|edges| {
+            let mut rows: BTreeMap<VertexId, Vec<VertexId>> = BTreeMap::new();
+            for &(p, q) in edges.arcs() {
+                rows.entry(p).or_default().push(q);
+            }
+            rows
+        })
+        .collect();
+
+    let mut senders: Vec<Sender<FrontierMessage>> = Vec::with_capacity(ranks);
+    let mut receivers: Vec<Option<Receiver<FrontierMessage>>> = Vec::with_capacity(ranks);
+    for _ in 0..ranks {
+        let (tx, rx) = unbounded();
+        senders.push(tx);
+        receivers.push(Some(rx));
+    }
+
+    let mut distance_parts: Vec<Vec<(VertexId, u32)>> = Vec::with_capacity(ranks);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(ranks);
+        for (rank, slot) in receivers.iter_mut().enumerate() {
+            let rx = slot.take().expect("taken once");
+            let senders = senders.clone();
+            let local_rows = &local_rows;
+            handles.push(scope.spawn(move || {
+                bfs_rank(rank, rx, senders, local_rows, owner, source)
+            }));
+        }
+        drop(senders);
+        for handle in handles {
+            distance_parts.push(handle.join().expect("rank thread panicked"));
+        }
+    });
+
+    let mut dist = vec![UNREACHABLE; n_c as usize];
+    for part in distance_parts {
+        for (v, d) in part {
+            dist[v as usize] = d;
+        }
+    }
+    dist
+}
+
+fn bfs_rank(
+    rank: usize,
+    rx: Receiver<FrontierMessage>,
+    senders: Vec<Sender<FrontierMessage>>,
+    local_rows: &[BTreeMap<VertexId, Vec<VertexId>>],
+    owner: &dyn EdgeOwner,
+    source: VertexId,
+) -> Vec<(VertexId, u32)> {
+    let ranks = senders.len();
+    let mine = &local_rows[rank];
+    let mut dist: BTreeMap<VertexId, u32> = BTreeMap::new();
+    let mut frontier: Vec<VertexId> = Vec::new();
+
+    // Level 0: the source's owner seeds its own frontier. `owner` routes
+    // by source vertex, so `owner(source, source)` is the owning rank.
+    if owner.owner(source, source) == rank {
+        dist.insert(source, 0);
+        frontier.push(source);
+    }
+
+    let mut level = 0u32;
+    loop {
+        // Expand owned frontier, batching discoveries per destination.
+        let mut outboxes: Vec<Vec<VertexId>> = vec![Vec::new(); ranks];
+        for &v in &frontier {
+            if let Some(row) = mine.get(&v) {
+                for &w in row {
+                    outboxes[owner.owner(w, w)].push(w);
+                }
+            }
+        }
+        for (dest, batch) in outboxes.into_iter().enumerate() {
+            if !batch.is_empty() {
+                senders[dest].send(FrontierMessage::Visit(batch)).expect("peer alive");
+            }
+        }
+        for sender in &senders {
+            sender.send(FrontierMessage::LevelDone).expect("peer alive");
+        }
+
+        // Receive this level's discoveries until every peer signals done.
+        let mut next: Vec<VertexId> = Vec::new();
+        let mut done = 0;
+        while done < ranks {
+            match rx.recv().expect("open until level dones") {
+                FrontierMessage::LevelDone => done += 1,
+                FrontierMessage::Visit(batch) => {
+                    for v in batch {
+                        dist.entry(v).or_insert_with(|| {
+                            next.push(v);
+                            level + 1
+                        });
+                    }
+                }
+            }
+        }
+        level += 1;
+
+        // Global termination: all frontiers empty. Exchange sizes through
+        // the same channels (a tiny "allreduce").
+        let local_active = u64::from(!next.is_empty());
+        for sender in &senders {
+            sender
+                .send(FrontierMessage::Visit(vec![local_active]))
+                .expect("peer alive");
+        }
+        let mut active_total = 0u64;
+        let mut votes = 0;
+        while votes < ranks {
+            if let FrontierMessage::Visit(batch) = rx.recv().expect("votes") {
+                active_total += batch[0];
+                votes += 1;
+            }
+        }
+        if active_total == 0 {
+            break;
+        }
+        frontier = next;
+    }
+    dist.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{generate_distributed, DistConfig, OwnerConfig};
+    use crate::owner::{HashOwner, VertexBlockOwner};
+    use kron_core::distance::DistanceOracle;
+    use kron_core::{KroneckerPair, SelfLoopMode};
+    use kron_graph::generators::{clique, cycle, erdos_renyi, path};
+
+    #[test]
+    fn matches_thm3_ground_truth() {
+        // The validation workflow: distributed BFS distances on the
+        // generated store vs the max-law hop formula.
+        let pair =
+            KroneckerPair::new(path(4), cycle(5), SelfLoopMode::FullBoth).unwrap();
+        let oracle = DistanceOracle::new(&pair).unwrap();
+        for ranks in [1usize, 3, 4] {
+            let result = generate_distributed(&pair, &DistConfig::new(ranks));
+            let owner = VertexBlockOwner::new(pair.n_c(), ranks);
+            for source in [0u64, 7, pair.n_c() - 1] {
+                let dist = distributed_bfs(&result, &owner, pair.n_c(), source);
+                for q in 0..pair.n_c() {
+                    let expected = if q == source {
+                        0
+                    } else {
+                        oracle.hops_of(source, q).unwrap()
+                    };
+                    assert_eq!(
+                        dist[q as usize], expected,
+                        "ranks={ranks} source={source} q={q}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hash_owner_works_too() {
+        let pair = KroneckerPair::with_full_self_loops(clique(3), cycle(4)).unwrap();
+        let mut cfg = DistConfig::new(3);
+        cfg.owner = OwnerConfig::Hash { seed: 11 };
+        let result = generate_distributed(&pair, &cfg);
+        let owner = HashOwner::new(3, 11);
+        let dist = distributed_bfs(&result, &owner, pair.n_c(), 0);
+        let oracle = DistanceOracle::new(&pair).unwrap();
+        for q in 1..pair.n_c() {
+            assert_eq!(dist[q as usize], oracle.hops_of(0, q).unwrap());
+        }
+    }
+
+    #[test]
+    fn disconnected_components_stay_unreachable() {
+        // K2 ⊗ K2 (no loops) splits into two disjoint edges.
+        let pair = KroneckerPair::as_is(clique(2), clique(2)).unwrap();
+        let result = generate_distributed(&pair, &DistConfig::new(2));
+        let owner = VertexBlockOwner::new(pair.n_c(), 2);
+        let dist = distributed_bfs(&result, &owner, pair.n_c(), 0);
+        assert_eq!(dist[0], 0);
+        assert_eq!(dist[3], 1);
+        assert_eq!(dist[1], UNREACHABLE);
+        assert_eq!(dist[2], UNREACHABLE);
+    }
+
+    #[test]
+    fn matches_sequential_bfs_on_random() {
+        use kron_analytics::distance::bfs_distances;
+        use kron_core::generate::materialize;
+        let pair = KroneckerPair::as_is(erdos_renyi(7, 0.4, 91), erdos_renyi(6, 0.4, 92))
+            .unwrap();
+        let c = materialize(&pair);
+        let result = generate_distributed(&pair, &DistConfig::new(4));
+        let owner = VertexBlockOwner::new(pair.n_c(), 4);
+        for source in (0..pair.n_c()).step_by(11) {
+            let distributed = distributed_bfs(&result, &owner, pair.n_c(), source);
+            let sequential = bfs_distances(&c, source);
+            assert_eq!(distributed, sequential, "source {source}");
+        }
+    }
+}

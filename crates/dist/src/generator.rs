@@ -1,0 +1,507 @@
+//! The distributed generation engine.
+//!
+//! Each simulated rank runs on its own thread and executes §III's loop:
+//! generate the arcs of its work cells `C_r = A_r ⊗ B_r`, look up each
+//! arc's storage owner, batch arcs per destination, and exchange batches
+//! over an all-to-all channel mesh (the stand-in for HavoqGT's
+//! asynchronous MPI communication). A rank finishes once it has drained
+//! one `Done` marker from every peer, so termination needs no barrier
+//! beyond the channels themselves.
+
+use std::time::Instant;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use kron_core::KroneckerPair;
+use kron_graph::{Arc, EdgeList};
+
+use crate::owner::{DelegateOwner, EdgeOwner, HashOwner, VertexBlockOwner};
+use crate::partition::{FactorPartition, PartitionScheme};
+use crate::stats::{GenStats, RankStats};
+
+/// Whether ranks store routed edges or only count them (throughput runs at
+/// scales where storing `C` is impossible — the paper's trillion-edge
+/// validation generated and discarded).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StorageMode {
+    /// Deliver and store every arc at its owner.
+    Store,
+    /// Generate and count; no communication or storage.
+    CountOnly,
+}
+
+/// When incoming edges are drained relative to generation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExchangeMode {
+    /// Generate everything, then drain — simplest; channel occupancy can
+    /// reach the full remote volume.
+    Phased,
+    /// Poll the inbox after every sent batch (HavoqGT-style asynchrony):
+    /// channel occupancy stays near `ranks × batch_size`.
+    Interleaved,
+}
+
+/// Storage-owner mapping choice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OwnerConfig {
+    /// Contiguous vertex blocks.
+    VertexBlock,
+    /// Hashed source vertex.
+    Hash {
+        /// Placement seed.
+        seed: u64,
+    },
+    /// HavoqGT-style delegates: hubs with ground-truth degree
+    /// `d_C(p) ≥ threshold` are spread across all ranks by edge hash.
+    Delegate {
+        /// Degree threshold above which a vertex is delegated.
+        threshold: u64,
+        /// Placement seed.
+        seed: u64,
+    },
+}
+
+/// Configuration of a distributed generation run.
+#[derive(Debug, Clone)]
+pub struct DistConfig {
+    /// Number of simulated ranks (threads).
+    pub ranks: usize,
+    /// Factor partition scheme (§III 1D or Rem. 1 2D).
+    pub scheme: PartitionScheme,
+    /// Arcs per exchange message.
+    pub batch_size: usize,
+    /// Store or count-only.
+    pub storage: StorageMode,
+    /// Storage owner mapping.
+    pub owner: OwnerConfig,
+    /// Drain strategy.
+    pub exchange: ExchangeMode,
+}
+
+impl DistConfig {
+    /// A reasonable default: 1D partition, block ownership, storing.
+    pub fn new(ranks: usize) -> Self {
+        DistConfig {
+            ranks,
+            scheme: PartitionScheme::OneD,
+            batch_size: 1024,
+            storage: StorageMode::Store,
+            owner: OwnerConfig::VertexBlock,
+            exchange: ExchangeMode::Phased,
+        }
+    }
+}
+
+/// Result of a distributed generation run.
+#[derive(Debug)]
+pub struct DistResult {
+    /// Arcs stored at each rank (empty lists in count-only mode).
+    pub per_rank: Vec<EdgeList>,
+    /// Counters and timing.
+    pub stats: GenStats,
+}
+
+impl DistResult {
+    /// Writes each rank's stored arcs to `dir/rank_<r>.txt` (the HavoqGT-
+    /// style per-rank output layout). Returns the written paths.
+    pub fn write_per_rank_files(
+        &self,
+        dir: &std::path::Path,
+    ) -> std::io::Result<Vec<std::path::PathBuf>> {
+        std::fs::create_dir_all(dir)?;
+        let mut paths = Vec::with_capacity(self.per_rank.len());
+        for (rank, edges) in self.per_rank.iter().enumerate() {
+            let path = dir.join(format!("rank_{rank}.txt"));
+            kron_graph::io::write_text_file(&path, edges).map_err(|e| {
+                std::io::Error::other(format!("writing rank {rank}: {e}"))
+            })?;
+            paths.push(path);
+        }
+        Ok(paths)
+    }
+
+    /// Union of all ranks' stored arcs as one edge list (validation use).
+    pub fn union(&self, n_c: u64) -> EdgeList {
+        let mut all = EdgeList::new(n_c);
+        for rank_edges in &self.per_rank {
+            for &(p, q) in rank_edges.arcs() {
+                all.add_arc(p, q).expect("generated arcs are in range");
+            }
+        }
+        all.sort_dedup();
+        all
+    }
+}
+
+enum Message {
+    Batch(Vec<Arc>),
+    Done,
+}
+
+/// Runs the distributed generator for `pair` under `config`.
+///
+/// ```
+/// use kron_core::KroneckerPair;
+/// use kron_dist::generator::{generate_distributed, DistConfig};
+/// use kron_graph::generators::clique;
+///
+/// let pair = KroneckerPair::as_is(clique(3), clique(3)).unwrap();
+/// let result = generate_distributed(&pair, &DistConfig::new(2));
+/// assert_eq!(result.stats.total_stored() as u128, pair.nnz_c());
+/// ```
+pub fn generate_distributed(pair: &KroneckerPair, config: &DistConfig) -> DistResult {
+    assert!(config.ranks > 0, "need at least one rank");
+    assert!(config.batch_size > 0, "batch size must be positive");
+    let a_arcs: Vec<Arc> = pair.a().arcs().collect();
+    let b_arcs: Vec<Arc> = pair.b().arcs().collect();
+    let partition = FactorPartition::new(config.scheme, config.ranks, &a_arcs, &b_arcs);
+
+    let owner: Box<dyn EdgeOwner + Send + Sync> = match config.owner {
+        OwnerConfig::VertexBlock => Box::new(VertexBlockOwner::new(pair.n_c(), config.ranks)),
+        OwnerConfig::Hash { seed } => Box::new(HashOwner::new(config.ranks, seed)),
+        OwnerConfig::Delegate { threshold, seed } => Box::new(DelegateOwner::new(
+            pair.a().degrees(),
+            pair.b().degrees(),
+            threshold,
+            config.ranks,
+            seed,
+        )),
+    };
+    let owner = &*owner;
+    let n_b = pair.b().n();
+
+    let mut senders: Vec<Sender<Message>> = Vec::with_capacity(config.ranks);
+    let mut receivers: Vec<Option<Receiver<Message>>> = Vec::with_capacity(config.ranks);
+    for _ in 0..config.ranks {
+        let (tx, rx) = unbounded();
+        senders.push(tx);
+        receivers.push(Some(rx));
+    }
+
+    let started = Instant::now();
+    let mut per_rank: Vec<(RankStats, EdgeList)> = Vec::with_capacity(config.ranks);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(config.ranks);
+        for (rank, slot) in receivers.iter_mut().enumerate() {
+            let rx = slot.take().expect("receiver taken once");
+            let senders = senders.clone();
+            let partition = &partition;
+            let cfg = config;
+            handles.push(scope.spawn(move || {
+                run_rank(rank, rx, senders, partition, owner, cfg, n_b, pair.n_c())
+            }));
+        }
+        // Drop the original senders so channels close once rank threads
+        // drop their clones.
+        drop(senders);
+        for handle in handles {
+            per_rank.push(handle.join().expect("rank thread panicked"));
+        }
+    });
+    let elapsed_secs = started.elapsed().as_secs_f64();
+
+    let mut stats = GenStats { per_rank: Vec::with_capacity(config.ranks), elapsed_secs };
+    let mut edges = Vec::with_capacity(config.ranks);
+    for (rank_stats, rank_edges) in per_rank {
+        stats.per_rank.push(rank_stats);
+        edges.push(rank_edges);
+    }
+    DistResult { per_rank: edges, stats }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_rank(
+    rank: usize,
+    rx: Receiver<Message>,
+    senders: Vec<Sender<Message>>,
+    partition: &FactorPartition,
+    owner: &(dyn EdgeOwner + Send + Sync),
+    config: &DistConfig,
+    n_b: u64,
+    n_c: u64,
+) -> (RankStats, EdgeList) {
+    let mut stats = RankStats::default();
+    let mut stored = EdgeList::new(n_c);
+    let mut outboxes: Vec<Vec<Arc>> = vec![Vec::new(); config.ranks];
+    let mut pending_dones = 0usize;
+
+    // Generation phase: multiply this rank's work cells.
+    for cell in partition.cells_of(rank) {
+        stats.factor_arcs += (cell.a_arcs.len() + cell.b_arcs.len()) as u64;
+        for &(i, j) in &cell.a_arcs {
+            let row_base = i * n_b;
+            let col_base = j * n_b;
+            for &(k, l) in &cell.b_arcs {
+                let p = row_base + k;
+                let q = col_base + l;
+                stats.generated += 1;
+                if config.storage == StorageMode::CountOnly {
+                    continue;
+                }
+                let dest = owner.owner(p, q);
+                if dest == rank {
+                    stats.sent_local += 1;
+                    stats.stored += 1;
+                    stored.add_arc(p, q).expect("in range");
+                } else {
+                    stats.sent_remote += 1;
+                    let outbox = &mut outboxes[dest];
+                    outbox.push((p, q));
+                    if outbox.len() >= config.batch_size {
+                        let batch = std::mem::take(outbox);
+                        stats.messages += 1;
+                        senders[dest].send(Message::Batch(batch)).expect("peer alive");
+                        if config.exchange == ExchangeMode::Interleaved {
+                            // Drain whatever has already arrived so the
+                            // inbox never builds up (Dones cannot arrive
+                            // yet — peers send them only after generating).
+                            while let Ok(message) = rx.try_recv() {
+                                match message {
+                                    Message::Batch(batch) => {
+                                        for (p, q) in batch {
+                                            stats.stored += 1;
+                                            stored.add_arc(p, q).expect("in range");
+                                        }
+                                    }
+                                    Message::Done => pending_dones += 1,
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    // Flush and signal completion to every peer.
+    for (dest, outbox) in outboxes.into_iter().enumerate() {
+        if !outbox.is_empty() {
+            stats.messages += 1;
+            senders[dest].send(Message::Batch(outbox)).expect("peer alive");
+        }
+    }
+    for sender in &senders {
+        sender.send(Message::Done).expect("peer alive");
+    }
+    drop(senders);
+
+    // Drain phase: run until a Done from every rank (including self).
+    let mut done = pending_dones;
+    while done < config.ranks {
+        match rx.recv().expect("channel open until all Dones sent") {
+            Message::Batch(batch) => {
+                for (p, q) in batch {
+                    stats.stored += 1;
+                    stored.add_arc(p, q).expect("in range");
+                }
+            }
+            Message::Done => done += 1,
+        }
+    }
+    (stats, stored)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kron_core::generate::materialize;
+    use kron_core::{KroneckerPair, SelfLoopMode};
+    use kron_graph::generators::{clique, cycle, erdos_renyi, path};
+    use kron_graph::CsrGraph;
+
+    fn reference(pair: &KroneckerPair) -> EdgeList {
+        let mut list = materialize(pair).to_edge_list();
+        list.sort_dedup();
+        list
+    }
+
+    fn run(pair: &KroneckerPair, config: &DistConfig) -> DistResult {
+        generate_distributed(pair, config)
+    }
+
+    #[test]
+    fn matches_sequential_one_d() {
+        let pair = KroneckerPair::as_is(erdos_renyi(8, 0.4, 1), cycle(5)).unwrap();
+        for ranks in [1, 2, 3, 7] {
+            let mut cfg = DistConfig::new(ranks);
+            cfg.batch_size = 16;
+            let result = run(&pair, &cfg);
+            assert_eq!(result.union(pair.n_c()), reference(&pair), "ranks={ranks}");
+        }
+    }
+
+    #[test]
+    fn matches_sequential_two_d() {
+        let pair =
+            KroneckerPair::new(erdos_renyi(8, 0.4, 2), path(6), SelfLoopMode::FullBoth).unwrap();
+        for ranks in [1, 3, 4, 6] {
+            let mut cfg = DistConfig::new(ranks);
+            cfg.scheme = PartitionScheme::TwoD;
+            cfg.batch_size = 8;
+            let result = run(&pair, &cfg);
+            assert_eq!(result.union(pair.n_c()), reference(&pair), "ranks={ranks}");
+        }
+    }
+
+    #[test]
+    fn matches_sequential_hash_owner() {
+        let pair = KroneckerPair::as_is(clique(4), cycle(4)).unwrap();
+        let mut cfg = DistConfig::new(3);
+        cfg.owner = OwnerConfig::Hash { seed: 7 };
+        let result = run(&pair, &cfg);
+        assert_eq!(result.union(pair.n_c()), reference(&pair));
+    }
+
+    #[test]
+    fn stats_account_for_everything() {
+        let pair = KroneckerPair::as_is(clique(4), clique(4)).unwrap();
+        let cfg = DistConfig::new(4);
+        let result = run(&pair, &cfg);
+        let s = &result.stats;
+        assert_eq!(s.total_generated() as u128, pair.nnz_c());
+        assert_eq!(s.total_stored() as u128, pair.nnz_c());
+        let local: u64 = s.per_rank.iter().map(|r| r.sent_local).sum();
+        let remote: u64 = s.per_rank.iter().map(|r| r.sent_remote).sum();
+        assert_eq!(local + remote, s.total_generated());
+        assert!(s.elapsed_secs > 0.0);
+    }
+
+    #[test]
+    fn count_only_stores_nothing() {
+        let pair = KroneckerPair::as_is(clique(5), clique(5)).unwrap();
+        let mut cfg = DistConfig::new(2);
+        cfg.storage = StorageMode::CountOnly;
+        let result = run(&pair, &cfg);
+        assert_eq!(result.stats.total_generated() as u128, pair.nnz_c());
+        assert_eq!(result.stats.total_stored(), 0);
+        assert!(result.per_rank.iter().all(|e| e.is_empty()));
+    }
+
+    #[test]
+    fn storage_bound_one_d() {
+        // §III: per-rank factor storage is O(|E_A|/R + |E_B|).
+        let pair = KroneckerPair::as_is(erdos_renyi(12, 0.5, 3), cycle(7)).unwrap();
+        let ranks = 4;
+        let result = run(&pair, &DistConfig::new(ranks));
+        let ea = pair.a().nnz() as u64;
+        let eb = pair.b().nnz() as u64;
+        let bound = ea.div_ceil(ranks as u64) + eb;
+        assert_eq!(result.stats.max_factor_arcs(), bound);
+    }
+
+    #[test]
+    fn block_owner_stores_contiguous_rows() {
+        let pair = KroneckerPair::as_is(clique(4), clique(3)).unwrap();
+        let ranks = 3;
+        let result = run(&pair, &DistConfig::new(ranks));
+        let owner = VertexBlockOwner::new(pair.n_c(), ranks);
+        for (rank, edges) in result.per_rank.iter().enumerate() {
+            for &(p, _) in edges.arcs() {
+                assert_eq!(owner.vertex_owner(p), rank, "arc at wrong rank");
+            }
+        }
+    }
+
+    #[test]
+    fn single_rank_is_fully_local() {
+        let pair = KroneckerPair::as_is(path(4), path(4)).unwrap();
+        let result = run(&pair, &DistConfig::new(1));
+        assert_eq!(result.stats.remote_fraction(), 0.0);
+        assert_eq!(result.union(pair.n_c()), reference(&pair));
+    }
+
+    #[test]
+    fn more_ranks_than_work() {
+        // Ranks exceeding |E_A| idle but the result is still complete.
+        let a = CsrGraph::from_arcs(2, vec![(0, 1), (1, 0)]).unwrap();
+        let pair = KroneckerPair::as_is(a, clique(3)).unwrap();
+        let result = run(&pair, &DistConfig::new(6));
+        assert_eq!(result.union(pair.n_c()), reference(&pair));
+        let busy = result.stats.per_rank.iter().filter(|r| r.generated > 0).count();
+        assert_eq!(busy, 2);
+    }
+
+    #[test]
+    fn delegate_owner_correct_and_balances_hubs() {
+        use kron_graph::generators::star;
+        // star ⊗ star: the (hub, hub) product vertex dominates storage.
+        let pair = KroneckerPair::with_full_self_loops(star(12), star(12)).unwrap();
+        let ranks = 4;
+        let mut block = DistConfig::new(ranks);
+        block.owner = OwnerConfig::VertexBlock;
+        let mut delegate = DistConfig::new(ranks);
+        delegate.owner = OwnerConfig::Delegate { threshold: 20, seed: 3 };
+
+        let block_run = generate_distributed(&pair, &block);
+        let delegate_run = generate_distributed(&pair, &delegate);
+        // Both complete and agree.
+        assert_eq!(
+            block_run.union(pair.n_c()),
+            delegate_run.union(pair.n_c())
+        );
+        // Delegation strictly improves hub-driven storage imbalance.
+        let bi = block_run.stats.storage_imbalance();
+        let di = delegate_run.stats.storage_imbalance();
+        assert!(di < bi, "delegate {di:.2} should beat block {bi:.2}");
+    }
+
+    #[test]
+    fn interleaved_matches_phased() {
+        let pair = KroneckerPair::as_is(erdos_renyi(10, 0.5, 21), cycle(6)).unwrap();
+        for ranks in [2usize, 4, 7] {
+            let mut phased = DistConfig::new(ranks);
+            phased.batch_size = 8;
+            let mut interleaved = phased.clone();
+            interleaved.exchange = ExchangeMode::Interleaved;
+            let a = generate_distributed(&pair, &phased);
+            let b = generate_distributed(&pair, &interleaved);
+            assert_eq!(
+                a.union(pair.n_c()),
+                b.union(pair.n_c()),
+                "ranks {ranks}: interleaved differs from phased"
+            );
+            assert_eq!(
+                b.stats.total_stored() as u128,
+                pair.nnz_c(),
+                "ranks {ranks}: interleaved lost arcs"
+            );
+        }
+    }
+
+    #[test]
+    fn interleaved_tiny_batches_stress() {
+        // batch_size 1 forces an inbox poll after every remote arc —
+        // maximal interleaving pressure on the Done accounting.
+        let pair = KroneckerPair::with_full_self_loops(clique(4), cycle(5)).unwrap();
+        let mut cfg = DistConfig::new(5);
+        cfg.batch_size = 1;
+        cfg.exchange = ExchangeMode::Interleaved;
+        let result = generate_distributed(&pair, &cfg);
+        assert_eq!(result.union(pair.n_c()), reference(&pair));
+    }
+
+    #[test]
+    fn per_rank_files_roundtrip() {
+        let pair = KroneckerPair::as_is(clique(3), cycle(4)).unwrap();
+        let result = run(&pair, &DistConfig::new(3));
+        let dir = std::env::temp_dir().join("kron_dist_per_rank_test");
+        let paths = result.write_per_rank_files(&dir).unwrap();
+        assert_eq!(paths.len(), 3);
+        let mut merged = EdgeList::new(pair.n_c());
+        for path in paths {
+            let part = kron_graph::io::read_text_file(path).unwrap();
+            for &(p, q) in part.arcs() {
+                merged.add_arc(p, q).unwrap();
+            }
+        }
+        merged.sort_dedup();
+        assert_eq!(merged, reference(&pair));
+    }
+
+    #[test]
+    fn tiny_batch_size_still_correct() {
+        let pair = KroneckerPair::as_is(clique(4), cycle(5)).unwrap();
+        let mut cfg = DistConfig::new(3);
+        cfg.batch_size = 1;
+        let result = run(&pair, &cfg);
+        assert_eq!(result.union(pair.n_c()), reference(&pair));
+    }
+}

@@ -1,0 +1,32 @@
+//! # kron-dist — simulated distributed Kronecker generation (§III)
+//!
+//! The paper's HPC generator runs on MPI ranks under HavoqGT (IBM BG/Q,
+//! 1.57M cores). This crate reproduces its *structure* on one machine:
+//! each simulated rank is an OS thread, the asynchronous edge exchange is
+//! a crossbeam channel mesh, and edge storage ownership is a hash map over
+//! ranks — so the partitioning math, communication pattern, storage
+//! bounds, and the 1D-vs-2D scalability argument of §III/Rem. 1 are all
+//! exercised by real concurrent code.
+//!
+//! * [`partition`] — §III's 1D scheme (distribute `E_A`, replicate `B`)
+//!   and Rem. 1's 2D scheme (distribute both factors over a rank grid).
+//! * [`owner`] — which rank stores a generated edge (block or hash map).
+//! * [`generator`] — the rank threads: generate `C_r = A_r ⊗ B_r`, route
+//!   every edge to its owner, drain incoming edges, report stats.
+//! * [`stats`] — per-rank counters and load-imbalance/storage metrics.
+
+pub mod bfs;
+pub mod generator;
+pub mod owner;
+pub mod partition;
+pub mod stats;
+pub mod triangle_count;
+pub mod validate;
+
+pub use generator::{generate_distributed, DistConfig, DistResult, ExchangeMode, OwnerConfig, StorageMode};
+pub use owner::{EdgeOwner, HashOwner, VertexBlockOwner};
+pub use partition::{FactorPartition, PartitionScheme};
+pub use stats::{GenStats, RankStats};
+pub use bfs::distributed_bfs;
+pub use triangle_count::distributed_triangle_count;
+pub use validate::{validate_against_ground_truth, ValidationReport};

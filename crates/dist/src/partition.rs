@@ -1,0 +1,259 @@
+//! Factor partitioning schemes (§III and Rem. 1).
+//!
+//! **1D**: the arcs of `A` are distributed evenly over the `R` ranks and
+//! `B` is replicated; rank `r` generates `C_r = A_r ⊗ B`. Per-rank storage
+//! is `O(|E_A|/R + |E_B|)`, and at most `|E_A|` ranks can do useful work —
+//! the scalability ceiling Rem. 1 points out.
+//!
+//! **2D**: both factors are partitioned: `A` into `R_a = ⌈√R⌉` parts and
+//! `B` into `R_b = ⌈R/R_a⌉` parts, forming an `R_a × R_b` grid of work
+//! cells `A_x ⊗ B_y`. The paper assigns cell `(r mod R_a, ⌊r/R_a⌋)` to
+//! rank `r`, which covers the grid only when `R = R_a·R_b`; we generalize
+//! by dealing all `R_a·R_b` cells round-robin over the `R` ranks so no
+//! cell — and hence no edge of `C` — is ever dropped. Per-rank storage is
+//! `O(|E_A|/R_a + |E_B|/R_b)`, enabling weak scaling to `O(|E_C|)` ranks.
+//!
+//! Arcs are dealt round-robin by index, which keeps sorted input balanced.
+
+use kron_graph::Arc;
+use serde::{Deserialize, Serialize};
+
+/// Which of the two §III schemes to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PartitionScheme {
+    /// Distribute `E_A`; replicate `B` (§III main scheme).
+    OneD,
+    /// Distribute both factors over a `⌈√R⌉ × ⌈R/⌈√R⌉⌉` grid (Rem. 1).
+    TwoD,
+}
+
+/// A work cell: the factor-arc subsets one rank multiplies.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkCell {
+    /// Arcs of `A` assigned to this cell.
+    pub a_arcs: Vec<Arc>,
+    /// Arcs of `B` assigned to this cell.
+    pub b_arcs: Vec<Arc>,
+}
+
+/// The full partition: one list of work cells per rank.
+#[derive(Debug, Clone)]
+pub struct FactorPartition {
+    scheme: PartitionScheme,
+    ranks: usize,
+    /// `cells[r]` = work cells assigned to rank `r`.
+    cells: Vec<Vec<WorkCell>>,
+    grid: (usize, usize),
+}
+
+/// Deals `items` round-robin into `parts` buckets.
+fn deal<T: Clone>(items: &[T], parts: usize) -> Vec<Vec<T>> {
+    let mut out = vec![Vec::with_capacity(items.len() / parts + 1); parts];
+    for (idx, item) in items.iter().enumerate() {
+        out[idx % parts].push(item.clone());
+    }
+    out
+}
+
+impl FactorPartition {
+    /// Builds the partition of the factor arc lists for `ranks` ranks.
+    pub fn new(
+        scheme: PartitionScheme,
+        ranks: usize,
+        a_arcs: &[Arc],
+        b_arcs: &[Arc],
+    ) -> Self {
+        assert!(ranks > 0, "need at least one rank");
+        match scheme {
+            PartitionScheme::OneD => {
+                let a_parts = deal(a_arcs, ranks);
+                let cells = a_parts
+                    .into_iter()
+                    .map(|a_part| vec![WorkCell { a_arcs: a_part, b_arcs: b_arcs.to_vec() }])
+                    .collect();
+                FactorPartition { scheme, ranks, cells, grid: (ranks, 1) }
+            }
+            PartitionScheme::TwoD => {
+                let r_a = (ranks as f64).sqrt().ceil() as usize;
+                let r_b = ranks.div_ceil(r_a);
+                let a_parts = deal(a_arcs, r_a);
+                let b_parts = deal(b_arcs, r_b);
+                let mut cells: Vec<Vec<WorkCell>> = vec![Vec::new(); ranks];
+                for (x, a_part) in a_parts.iter().enumerate() {
+                    for (y, b_part) in b_parts.iter().enumerate() {
+                        let cell_idx = y * r_a + x;
+                        cells[cell_idx % ranks].push(WorkCell {
+                            a_arcs: a_part.clone(),
+                            b_arcs: b_part.clone(),
+                        });
+                    }
+                }
+                FactorPartition { scheme, ranks, cells, grid: (r_a, r_b) }
+            }
+        }
+    }
+
+    /// The scheme used.
+    pub fn scheme(&self) -> PartitionScheme {
+        self.scheme
+    }
+
+    /// Number of ranks.
+    pub fn ranks(&self) -> usize {
+        self.ranks
+    }
+
+    /// Grid dimensions `(R_a, R_b)`; `(R, 1)` for 1D.
+    pub fn grid(&self) -> (usize, usize) {
+        self.grid
+    }
+
+    /// Work cells of rank `r`.
+    pub fn cells_of(&self, r: usize) -> &[WorkCell] {
+        &self.cells[r]
+    }
+
+    /// Number of product arcs rank `r` will generate.
+    pub fn workload_of(&self, r: usize) -> u128 {
+        self.cells[r]
+            .iter()
+            .map(|c| c.a_arcs.len() as u128 * c.b_arcs.len() as u128)
+            .sum()
+    }
+
+    /// Factor arcs rank `r` must hold (its generation storage footprint).
+    pub fn factor_storage_of(&self, r: usize) -> usize {
+        self.cells[r]
+            .iter()
+            .map(|c| c.a_arcs.len() + c.b_arcs.len())
+            .sum()
+    }
+
+    /// Max over ranks of [`FactorPartition::workload_of`] divided by the
+    /// mean — 1.0 is perfect balance.
+    pub fn workload_imbalance(&self) -> f64 {
+        let loads: Vec<u128> = (0..self.ranks).map(|r| self.workload_of(r)).collect();
+        let total: u128 = loads.iter().sum();
+        if total == 0 {
+            return 1.0;
+        }
+        let mean = total as f64 / self.ranks as f64;
+        let max = *loads.iter().max().expect("ranks > 0") as f64;
+        max / mean
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn arcs(n: u64) -> Vec<Arc> {
+        (0..n).map(|i| (i, (i + 1) % n)).collect()
+    }
+
+    #[test]
+    fn one_d_replicates_b() {
+        let a = arcs(10);
+        let b = arcs(4);
+        let p = FactorPartition::new(PartitionScheme::OneD, 3, &a, &b);
+        assert_eq!(p.grid(), (3, 1));
+        let mut a_total = 0;
+        for r in 0..3 {
+            let cells = p.cells_of(r);
+            assert_eq!(cells.len(), 1);
+            assert_eq!(cells[0].b_arcs, b, "B replicated on rank {r}");
+            a_total += cells[0].a_arcs.len();
+        }
+        assert_eq!(a_total, 10);
+        // Round-robin balance: sizes within 1.
+        let sizes: Vec<usize> = (0..3).map(|r| p.cells_of(r)[0].a_arcs.len()).collect();
+        assert_eq!(sizes.iter().max().unwrap() - sizes.iter().min().unwrap(), 1);
+    }
+
+    #[test]
+    fn one_d_covers_all_pairs() {
+        let a = arcs(7);
+        let b = arcs(3);
+        let p = FactorPartition::new(PartitionScheme::OneD, 4, &a, &b);
+        let total: u128 = (0..4).map(|r| p.workload_of(r)).sum();
+        assert_eq!(total, 7 * 3);
+    }
+
+    #[test]
+    fn two_d_covers_all_pairs_even_when_grid_exceeds_ranks() {
+        // R = 3 → grid 2×2 = 4 cells > 3 ranks; the paper's r%R_a mapping
+        // would drop a cell — ours must not.
+        let a = arcs(8);
+        let b = arcs(6);
+        let p = FactorPartition::new(PartitionScheme::TwoD, 3, &a, &b);
+        assert_eq!(p.grid(), (2, 2));
+        let total: u128 = (0..3).map(|r| p.workload_of(r)).sum();
+        assert_eq!(total, 8 * 6, "every (A-part, B-part) cell must be assigned");
+    }
+
+    #[test]
+    fn two_d_perfect_square() {
+        let a = arcs(8);
+        let b = arcs(8);
+        let p = FactorPartition::new(PartitionScheme::TwoD, 4, &a, &b);
+        assert_eq!(p.grid(), (2, 2));
+        for r in 0..4 {
+            assert_eq!(p.cells_of(r).len(), 1);
+            assert_eq!(p.workload_of(r), 4 * 4);
+        }
+        assert!((p.workload_imbalance() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn two_d_reduces_factor_storage() {
+        // Rem. 1's point: per-rank factor storage is |E_A|/R_a + |E_B|/R_b
+        // instead of |E_A|/R + |E_B|.
+        let a = arcs(100);
+        let b = arcs(100);
+        let one_d = FactorPartition::new(PartitionScheme::OneD, 16, &a, &b);
+        let two_d = FactorPartition::new(PartitionScheme::TwoD, 16, &a, &b);
+        let max_1d = (0..16).map(|r| one_d.factor_storage_of(r)).max().unwrap();
+        let max_2d = (0..16).map(|r| two_d.factor_storage_of(r)).max().unwrap();
+        assert_eq!(max_1d, 100 / 16 + 1 + 100); // ceil(100/16) + replicated B
+        assert_eq!(max_2d, 25 + 25); // 100/4 + 100/4
+        assert!(max_2d < max_1d);
+    }
+
+    #[test]
+    fn more_ranks_than_a_arcs_idles_ranks_in_1d() {
+        // Rem. 1's ceiling: only |E_A| ranks can work in 1D.
+        let a = arcs(2);
+        let b = arcs(10);
+        let p = FactorPartition::new(PartitionScheme::OneD, 5, &a, &b);
+        let busy = (0..5).filter(|&r| p.workload_of(r) > 0).count();
+        assert_eq!(busy, 2);
+        // 2D keeps more ranks busy.
+        let p2 = FactorPartition::new(PartitionScheme::TwoD, 5, &a, &b);
+        let busy2 = (0..5).filter(|&r| p2.workload_of(r) > 0).count();
+        assert!(busy2 > busy, "2D busy={busy2} vs 1D busy={busy}");
+    }
+
+    #[test]
+    fn single_rank_degenerate() {
+        let a = arcs(5);
+        let b = arcs(5);
+        for scheme in [PartitionScheme::OneD, PartitionScheme::TwoD] {
+            let p = FactorPartition::new(scheme, 1, &a, &b);
+            assert_eq!(p.workload_of(0), 25);
+            assert!((p.workload_imbalance() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zero_ranks_rejected() {
+        FactorPartition::new(PartitionScheme::OneD, 0, &arcs(2), &arcs(2));
+    }
+
+    #[test]
+    fn empty_factors() {
+        let p = FactorPartition::new(PartitionScheme::TwoD, 4, &[], &[]);
+        assert_eq!((0..4).map(|r| p.workload_of(r)).sum::<u128>(), 0);
+        assert_eq!(p.workload_imbalance(), 1.0);
+    }
+}

@@ -1,0 +1,242 @@
+//! Distributed triangle counting over the partitioned edge store.
+//!
+//! This is the consumer side of the paper's validation story: its ref.
+//! [23] ("Triangle counting for scale-free graphs at scale in distributed
+//! memory") is exactly the kind of distributed analytic one validates
+//! against Kronecker ground truth. The implementation here is the classic
+//! row-push algorithm on a source-partitioned store:
+//!
+//! 1. every rank holds the full out-row `N(v)` of each vertex it owns
+//!    (block/hash ownership routes by source, so this is automatic);
+//! 2. for each owned vertex `v`, the rank pushes `N(v)` to the owners of
+//!    `v`'s *smaller* neighbors `u < v` (one message per destination);
+//! 3. the owner of `u` counts, for each canonical edge `(u, v)` with a
+//!    received row, the common neighbors `w > v` of `N(u)` and `N(v)`.
+//!
+//! Each unordered triangle `u < v < w` is counted exactly once, at
+//! `owner(u)`. The global count is the sum of rank-local counts — which
+//! the tests check against both direct enumeration and the paper's
+//! `τ_C = 6 τ_A τ_B` formula.
+
+use std::collections::BTreeMap;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use kron_graph::VertexId;
+
+use crate::generator::DistResult;
+use crate::owner::EdgeOwner;
+
+enum RowMessage {
+    /// `(v, sorted out-row of v)`.
+    Row(VertexId, Vec<VertexId>),
+    Done,
+}
+
+/// Counts unordered triangles of the stored (undirected) graph across
+/// ranks. `owner` must be the mapping the generation run used.
+///
+/// Panics if a rank stores an arc whose source it does not own (the
+/// row-push algorithm requires source-complete rows).
+pub fn distributed_triangle_count(result: &DistResult, owner: &dyn EdgeOwner) -> u64 {
+    let ranks = result.per_rank.len();
+    assert_eq!(ranks, owner.ranks(), "owner map must match the run");
+    assert!(
+        owner.source_complete(),
+        "row-push analytics require source-complete ownership (not delegates)"
+    );
+
+    // Local adjacency per rank: owned source → sorted out-row.
+    let local_rows: Vec<BTreeMap<VertexId, Vec<VertexId>>> = result
+        .per_rank
+        .iter()
+        .enumerate()
+        .map(|(rank, edges)| {
+            let mut rows: BTreeMap<VertexId, Vec<VertexId>> = BTreeMap::new();
+            for &(p, q) in edges.arcs() {
+                assert_eq!(
+                    owner.owner(p, q),
+                    rank,
+                    "arc ({p},{q}) stored off its owner rank"
+                );
+                rows.entry(p).or_default().push(q);
+            }
+            for row in rows.values_mut() {
+                row.sort_unstable();
+                row.dedup();
+            }
+            rows
+        })
+        .collect();
+
+    let mut senders: Vec<Sender<RowMessage>> = Vec::with_capacity(ranks);
+    let mut receivers: Vec<Option<Receiver<RowMessage>>> = Vec::with_capacity(ranks);
+    for _ in 0..ranks {
+        let (tx, rx) = unbounded();
+        senders.push(tx);
+        receivers.push(Some(rx));
+    }
+
+    let mut total = 0u64;
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(ranks);
+        for (rank, slot) in receivers.iter_mut().enumerate() {
+            let rx = slot.take().expect("taken once");
+            let senders = senders.clone();
+            let local_rows = &local_rows;
+            handles.push(scope.spawn(move || {
+                count_on_rank(rank, rx, senders, local_rows, owner)
+            }));
+        }
+        drop(senders);
+        for handle in handles {
+            total += handle.join().expect("rank thread panicked");
+        }
+    });
+    total
+}
+
+fn count_on_rank(
+    rank: usize,
+    rx: Receiver<RowMessage>,
+    senders: Vec<Sender<RowMessage>>,
+    local_rows: &[BTreeMap<VertexId, Vec<VertexId>>],
+    owner: &dyn EdgeOwner,
+) -> u64 {
+    let mine = &local_rows[rank];
+
+    // Push phase: send each owned row to the owners of smaller neighbors.
+    for (&v, row) in mine {
+        let mut dests: Vec<usize> = row
+            .iter()
+            .filter(|&&u| u < v)
+            .map(|&u| owner.owner(u, v))
+            .collect();
+        dests.sort_unstable();
+        dests.dedup();
+        for dest in dests {
+            senders[dest]
+                .send(RowMessage::Row(v, row.clone()))
+                .expect("peer alive");
+        }
+    }
+    for sender in &senders {
+        sender.send(RowMessage::Done).expect("peer alive");
+    }
+    drop(senders);
+
+    // Count phase: for each received row N(v) and each owned u ∈ N(v)
+    // with u < v, count common neighbors w > v.
+    let ranks = local_rows.len();
+    let mut count = 0u64;
+    let mut done = 0;
+    while done < ranks {
+        match rx.recv().expect("open until all Dones") {
+            RowMessage::Done => done += 1,
+            RowMessage::Row(v, row_v) => {
+                for &u in row_v.iter().filter(|&&u| u < v) {
+                    if let Some(row_u) = mine.get(&u) {
+                        if row_u.binary_search(&v).is_err() {
+                            continue; // arc (u,v) absent locally: not an edge
+                        }
+                        count += count_common_above(row_u, &row_v, v);
+                    }
+                }
+            }
+        }
+    }
+    count
+}
+
+/// `|{ w > threshold : w ∈ a ∩ b }|` for sorted slices.
+fn count_common_above(a: &[VertexId], b: &[VertexId], threshold: VertexId) -> u64 {
+    let start_a = a.partition_point(|&x| x <= threshold);
+    let start_b = b.partition_point(|&x| x <= threshold);
+    let (mut i, mut j) = (start_a, start_b);
+    let mut count = 0;
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                count += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{generate_distributed, DistConfig, OwnerConfig};
+    use crate::owner::{HashOwner, VertexBlockOwner};
+    use kron_core::triangles::TriangleOracle;
+    use kron_core::{KroneckerPair, SelfLoopMode};
+    use kron_graph::generators::{barabasi_albert, clique, erdos_renyi};
+
+    #[test]
+    fn matches_ground_truth_block_owner() {
+        let pair = KroneckerPair::new(
+            erdos_renyi(9, 0.5, 51),
+            barabasi_albert(8, 2, 52),
+            SelfLoopMode::AsIs,
+        )
+        .unwrap();
+        let oracle = TriangleOracle::new(&pair).unwrap();
+        for ranks in [1usize, 3, 5] {
+            let result = generate_distributed(&pair, &DistConfig::new(ranks));
+            let owner = VertexBlockOwner::new(pair.n_c(), ranks);
+            let counted = distributed_triangle_count(&result, &owner);
+            assert_eq!(
+                counted as u128,
+                oracle.global_triangles(),
+                "ranks {ranks}: distributed count vs tau_C = 6 tau_A tau_B"
+            );
+        }
+    }
+
+    #[test]
+    fn matches_ground_truth_hash_owner() {
+        let pair =
+            KroneckerPair::with_full_self_loops(erdos_renyi(8, 0.5, 53), clique(4)).unwrap();
+        let oracle = TriangleOracle::new(&pair).unwrap();
+        let mut cfg = DistConfig::new(4);
+        cfg.owner = OwnerConfig::Hash { seed: 5 };
+        let result = generate_distributed(&pair, &cfg);
+        let owner = HashOwner::new(4, 5);
+        let counted = distributed_triangle_count(&result, &owner);
+        assert_eq!(counted as u128, oracle.global_triangles());
+    }
+
+    #[test]
+    fn matches_direct_enumeration() {
+        use kron_analytics::triangles::global_triangles;
+        use kron_core::generate::materialize;
+        let pair = KroneckerPair::as_is(clique(4), erdos_renyi(6, 0.6, 54)).unwrap();
+        let result = generate_distributed(&pair, &DistConfig::new(3));
+        let owner = VertexBlockOwner::new(pair.n_c(), 3);
+        let counted = distributed_triangle_count(&result, &owner);
+        assert_eq!(counted, global_triangles(&materialize(&pair)));
+    }
+
+    #[test]
+    fn single_rank_degenerates_to_sequential() {
+        let pair = KroneckerPair::with_full_self_loops(clique(3), clique(3)).unwrap();
+        let result = generate_distributed(&pair, &DistConfig::new(1));
+        let owner = VertexBlockOwner::new(pair.n_c(), 1);
+        let counted = distributed_triangle_count(&result, &owner);
+        let oracle = TriangleOracle::new(&pair).unwrap();
+        assert_eq!(counted as u128, oracle.global_triangles());
+    }
+
+    #[test]
+    #[should_panic(expected = "owner map must match")]
+    fn rejects_mismatched_owner() {
+        let pair = KroneckerPair::as_is(clique(3), clique(3)).unwrap();
+        let result = generate_distributed(&pair, &DistConfig::new(2));
+        let owner = VertexBlockOwner::new(pair.n_c(), 3); // wrong rank count
+        distributed_triangle_count(&result, &owner);
+    }
+}

@@ -1,0 +1,285 @@
+//! Compressed sparse row (CSR) graph representation.
+//!
+//! [`CsrGraph`] is the immutable, query-oriented representation used by all
+//! analytics: O(1) degree lookup, sorted neighbor slices, and
+//! binary-search `has_arc`.
+
+use crate::edge_list::EdgeList;
+use crate::{Arc, GraphError, Result, VertexId};
+
+/// An immutable graph in CSR form with sorted, deduplicated neighbor lists.
+///
+/// ```
+/// use kron_graph::CsrGraph;
+///
+/// let g = CsrGraph::from_arcs(3, vec![(0, 2), (0, 1), (1, 0), (2, 0)]).unwrap();
+/// assert_eq!(g.neighbors(0), &[1, 2]);
+/// assert_eq!(g.degree(0), 2);
+/// assert!(g.has_arc(2, 0));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CsrGraph {
+    n: u64,
+    offsets: Vec<usize>,
+    targets: Vec<VertexId>,
+}
+
+impl CsrGraph {
+    /// Builds a CSR graph from an edge list (sorting and deduplicating arcs).
+    pub fn from_edge_list(list: &EdgeList) -> Self {
+        let n = list.n() as usize;
+        let mut counts = vec![0usize; n + 1];
+        for &(u, _) in list.arcs() {
+            counts[u as usize + 1] += 1;
+        }
+        for i in 0..n {
+            counts[i + 1] += counts[i];
+        }
+        let mut targets = vec![0u64; list.nnz()];
+        let mut cursor = counts.clone();
+        for &(u, v) in list.arcs() {
+            targets[cursor[u as usize]] = v;
+            cursor[u as usize] += 1;
+        }
+        // Sort + dedup each row in place.
+        let mut offsets = vec![0usize; n + 1];
+        let mut write = 0usize;
+        for u in 0..n {
+            let (start, end) = (counts[u], counts[u + 1]);
+            let row = &mut targets[start..end];
+            row.sort_unstable();
+            let mut prev: Option<u64> = None;
+            let mut kept = 0usize;
+            for idx in 0..row.len() {
+                let t = row[idx];
+                if prev != Some(t) {
+                    row[kept] = t;
+                    kept += 1;
+                    prev = Some(t);
+                }
+            }
+            // Compact kept entries toward the global write cursor.
+            for idx in 0..kept {
+                targets[write + idx] = targets[start + idx];
+            }
+            write += kept;
+            offsets[u + 1] = write;
+        }
+        targets.truncate(write);
+        CsrGraph { n: n as u64, offsets, targets }
+    }
+
+    /// Builds directly from raw arcs.
+    pub fn from_arcs(n: u64, arcs: Vec<Arc>) -> Result<Self> {
+        Ok(Self::from_edge_list(&EdgeList::from_arcs(n, arcs)?))
+    }
+
+    /// Number of vertices.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Number of stored arcs (adjacency nonzeros).
+    pub fn nnz(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Sorted neighbor slice of `v`.
+    pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        let v = v as usize;
+        &self.targets[self.offsets[v]..self.offsets[v + 1]]
+    }
+
+    /// Out-degree (row sum) of `v`; includes a self loop once.
+    pub fn degree(&self, v: VertexId) -> u64 {
+        let v = v as usize;
+        (self.offsets[v + 1] - self.offsets[v]) as u64
+    }
+
+    /// Degree vector for all vertices.
+    pub fn degrees(&self) -> Vec<u64> {
+        (0..self.n).map(|v| self.degree(v)).collect()
+    }
+
+    /// True when arc `(u, v)` is present (binary search).
+    pub fn has_arc(&self, u: VertexId, v: VertexId) -> bool {
+        self.neighbors(u).binary_search(&v).is_ok()
+    }
+
+    /// True when `v` has a self loop.
+    pub fn has_self_loop(&self, v: VertexId) -> bool {
+        self.has_arc(v, v)
+    }
+
+    /// Number of self loops in the graph.
+    pub fn self_loop_count(&self) -> u64 {
+        (0..self.n).filter(|&v| self.has_self_loop(v)).count() as u64
+    }
+
+    /// True when every vertex has a self loop (`A ∘ I_A = I_A`).
+    pub fn has_full_self_loops(&self) -> bool {
+        (0..self.n).all(|v| self.has_self_loop(v))
+    }
+
+    /// True when no self loop is present (`A ∘ I_A = O_A`).
+    pub fn is_loop_free(&self) -> bool {
+        (0..self.n).all(|v| !self.has_self_loop(v))
+    }
+
+    /// Number of unordered edges; a self loop counts as one edge.
+    pub fn undirected_edge_count(&self) -> u64 {
+        let loops = self.self_loop_count();
+        loops + (self.nnz() as u64 - loops) / 2
+    }
+
+    /// Checks symmetry; returns the first arc lacking a reverse on failure.
+    pub fn check_undirected(&self) -> Result<()> {
+        for u in 0..self.n {
+            for &v in self.neighbors(u) {
+                if !self.has_arc(v, u) {
+                    return Err(GraphError::NotUndirected { missing_reverse: (u, v) });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// True when the adjacency is symmetric.
+    pub fn is_undirected(&self) -> bool {
+        self.check_undirected().is_ok()
+    }
+
+    /// Iterates over all arcs in row-major order.
+    pub fn arcs(&self) -> impl Iterator<Item = Arc> + '_ {
+        (0..self.n).flat_map(move |u| self.neighbors(u).iter().map(move |&v| (u, v)))
+    }
+
+    /// Iterates over canonical unordered edges (`u <= v`).
+    pub fn undirected_edges(&self) -> impl Iterator<Item = Arc> + '_ {
+        self.arcs().filter(|&(u, v)| u <= v)
+    }
+
+    /// Converts back to an edge list.
+    pub fn to_edge_list(&self) -> EdgeList {
+        EdgeList::from_arcs(self.n, self.arcs().collect())
+            .expect("CSR arcs are in range by construction")
+    }
+
+    /// Returns a copy with a self loop on every vertex (the paper's `A + I`).
+    pub fn with_full_self_loops(&self) -> CsrGraph {
+        let mut list = self.to_edge_list();
+        list.add_full_self_loops();
+        CsrGraph::from_edge_list(&list)
+    }
+
+    /// Returns a copy with all self loops removed.
+    pub fn without_self_loops(&self) -> CsrGraph {
+        let mut list = self.to_edge_list();
+        list.remove_self_loops();
+        CsrGraph::from_edge_list(&list)
+    }
+
+    /// Maximum degree, or 0 for an empty graph.
+    pub fn max_degree(&self) -> u64 {
+        (0..self.n).map(|v| self.degree(v)).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> CsrGraph {
+        CsrGraph::from_arcs(3, vec![(0, 1), (1, 0), (1, 2), (2, 1), (0, 2), (2, 0)]).unwrap()
+    }
+
+    #[test]
+    fn degrees_and_neighbors() {
+        let g = triangle();
+        assert_eq!(g.n(), 3);
+        assert_eq!(g.nnz(), 6);
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.neighbors(1), &[0, 2]);
+        assert_eq!(g.degrees(), vec![2, 2, 2]);
+        assert_eq!(g.max_degree(), 2);
+    }
+
+    #[test]
+    fn dedup_on_build() {
+        let g = CsrGraph::from_arcs(2, vec![(0, 1), (0, 1), (1, 0)]).unwrap();
+        assert_eq!(g.nnz(), 2);
+        assert_eq!(g.neighbors(0), &[1]);
+    }
+
+    #[test]
+    fn rows_sorted() {
+        let g = CsrGraph::from_arcs(4, vec![(0, 3), (0, 1), (0, 2)]).unwrap();
+        assert_eq!(g.neighbors(0), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn has_arc_queries() {
+        let g = triangle();
+        assert!(g.has_arc(0, 1));
+        assert!(g.has_arc(2, 0));
+        assert!(!g.has_arc(0, 0));
+    }
+
+    #[test]
+    fn undirected_checks() {
+        assert!(triangle().is_undirected());
+        let d = CsrGraph::from_arcs(2, vec![(0, 1)]).unwrap();
+        assert!(!d.is_undirected());
+        assert!(matches!(
+            d.check_undirected(),
+            Err(GraphError::NotUndirected { missing_reverse: (0, 1) })
+        ));
+    }
+
+    #[test]
+    fn self_loop_accounting() {
+        let g = CsrGraph::from_arcs(3, vec![(0, 0), (1, 1), (0, 1), (1, 0)]).unwrap();
+        assert_eq!(g.self_loop_count(), 2);
+        assert!(g.has_self_loop(0));
+        assert!(!g.has_self_loop(2));
+        assert!(!g.has_full_self_loops());
+        assert!(!g.is_loop_free());
+        assert_eq!(g.undirected_edge_count(), 3);
+    }
+
+    #[test]
+    fn full_self_loops_roundtrip() {
+        let g = triangle();
+        let h = g.with_full_self_loops();
+        assert!(h.has_full_self_loops());
+        assert_eq!(h.nnz(), g.nnz() + 3);
+        let back = h.without_self_loops();
+        assert_eq!(back, g);
+    }
+
+    #[test]
+    fn edge_list_roundtrip() {
+        let g = triangle();
+        let list = g.to_edge_list();
+        let g2 = CsrGraph::from_edge_list(&list);
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn undirected_edges_canonical() {
+        let g = triangle();
+        let edges: Vec<Arc> = g.undirected_edges().collect();
+        assert_eq!(edges, vec![(0, 1), (0, 2), (1, 2)]);
+        assert_eq!(g.undirected_edge_count(), 3);
+    }
+
+    #[test]
+    fn empty_and_isolated() {
+        let g = CsrGraph::from_arcs(3, vec![]).unwrap();
+        assert_eq!(g.nnz(), 0);
+        assert_eq!(g.degree(1), 0);
+        assert!(g.is_undirected());
+        assert!(g.is_loop_free());
+        assert_eq!(g.max_degree(), 0);
+    }
+}

@@ -1,0 +1,98 @@
+//! Degree statistics and histograms.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::CsrGraph;
+
+/// Summary statistics of a degree (or any nonnegative integer) vector.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DegreeStats {
+    /// Minimum value (0 for empty input).
+    pub min: u64,
+    /// Maximum value (0 for empty input).
+    pub max: u64,
+    /// Arithmetic mean (0.0 for empty input).
+    pub mean: f64,
+    /// Sum of all values.
+    pub total: u64,
+}
+
+/// Computes summary statistics of `values`.
+pub fn stats(values: &[u64]) -> DegreeStats {
+    if values.is_empty() {
+        return DegreeStats { min: 0, max: 0, mean: 0.0, total: 0 };
+    }
+    let total: u64 = values.iter().sum();
+    DegreeStats {
+        min: *values.iter().min().expect("nonempty"),
+        max: *values.iter().max().expect("nonempty"),
+        mean: total as f64 / values.len() as f64,
+        total,
+    }
+}
+
+/// Degree statistics of a graph.
+pub fn degree_stats(g: &CsrGraph) -> DegreeStats {
+    stats(&g.degrees())
+}
+
+/// Exact histogram: value → multiplicity, in ascending value order.
+pub fn histogram(values: &[u64]) -> BTreeMap<u64, u64> {
+    let mut h = BTreeMap::new();
+    for &v in values {
+        *h.entry(v).or_insert(0) += 1;
+    }
+    h
+}
+
+/// Degree histogram of a graph.
+pub fn degree_histogram(g: &CsrGraph) -> BTreeMap<u64, u64> {
+    histogram(&g.degrees())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{clique, star};
+
+    #[test]
+    fn stats_of_clique() {
+        let s = degree_stats(&clique(5));
+        assert_eq!(s.min, 4);
+        assert_eq!(s.max, 4);
+        assert_eq!(s.mean, 4.0);
+        assert_eq!(s.total, 20);
+    }
+
+    #[test]
+    fn stats_of_star() {
+        let s = degree_stats(&star(5)); // center + 4 leaves
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 4);
+        assert_eq!(s.total, 8);
+    }
+
+    #[test]
+    fn stats_empty() {
+        let s = stats(&[]);
+        assert_eq!(s, DegreeStats { min: 0, max: 0, mean: 0.0, total: 0 });
+    }
+
+    #[test]
+    fn histogram_counts() {
+        let h = histogram(&[1, 2, 2, 3, 3, 3]);
+        assert_eq!(h.get(&1), Some(&1));
+        assert_eq!(h.get(&2), Some(&2));
+        assert_eq!(h.get(&3), Some(&3));
+        assert_eq!(h.get(&4), None);
+    }
+
+    #[test]
+    fn degree_histogram_star() {
+        let h = degree_histogram(&star(6));
+        assert_eq!(h.get(&1), Some(&5));
+        assert_eq!(h.get(&5), Some(&1));
+    }
+}

@@ -1,0 +1,157 @@
+//! Deterministic graph families with closed-form analytics.
+
+use crate::edge_list::EdgeList;
+use crate::CsrGraph;
+
+/// Complete graph `K_n` (no self loops).
+pub fn clique(n: u64) -> CsrGraph {
+    let mut list = EdgeList::new(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            list.add_undirected(u, v).expect("in range");
+        }
+    }
+    CsrGraph::from_edge_list(&list)
+}
+
+/// Path graph `P_n`: edges `(i, i+1)`.
+pub fn path(n: u64) -> CsrGraph {
+    let mut list = EdgeList::new(n);
+    for u in 1..n {
+        list.add_undirected(u - 1, u).expect("in range");
+    }
+    CsrGraph::from_edge_list(&list)
+}
+
+/// Cycle graph `C_n` (requires `n >= 3` to be simple; smaller `n` degrades
+/// to a path).
+pub fn cycle(n: u64) -> CsrGraph {
+    if n < 3 {
+        return path(n);
+    }
+    let mut list = EdgeList::new(n);
+    for u in 0..n {
+        list.add_undirected(u, (u + 1) % n).expect("in range");
+    }
+    CsrGraph::from_edge_list(&list)
+}
+
+/// Star graph `S_n`: vertex 0 is the hub, vertices `1..n` are leaves.
+pub fn star(n: u64) -> CsrGraph {
+    let mut list = EdgeList::new(n);
+    for v in 1..n {
+        list.add_undirected(0, v).expect("in range");
+    }
+    CsrGraph::from_edge_list(&list)
+}
+
+/// Complete bipartite graph `K_{a,b}`: sides `0..a` and `a..a+b`.
+pub fn complete_bipartite(a: u64, b: u64) -> CsrGraph {
+    let mut list = EdgeList::new(a + b);
+    for u in 0..a {
+        for v in a..(a + b) {
+            list.add_undirected(u, v).expect("in range");
+        }
+    }
+    CsrGraph::from_edge_list(&list)
+}
+
+/// `rows × cols` grid graph with 4-neighbor connectivity.
+pub fn grid(rows: u64, cols: u64) -> CsrGraph {
+    let mut list = EdgeList::new(rows * cols);
+    let id = |r: u64, c: u64| r * cols + c;
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                list.add_undirected(id(r, c), id(r, c + 1)).expect("in range");
+            }
+            if r + 1 < rows {
+                list.add_undirected(id(r, c), id(r + 1, c)).expect("in range");
+            }
+        }
+    }
+    CsrGraph::from_edge_list(&list)
+}
+
+/// `x` disjoint cliques of size `y` (the paper's Ex. 1 community factors).
+pub fn disjoint_cliques(x: u64, y: u64) -> CsrGraph {
+    crate::ops::disjoint_copies(&clique(y), x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::connectivity::connected_components;
+
+    #[test]
+    fn clique_counts() {
+        let g = clique(6);
+        assert_eq!(g.n(), 6);
+        assert_eq!(g.undirected_edge_count(), 15);
+        assert!(g.is_undirected());
+        assert!(g.is_loop_free());
+        assert!(g.degrees().iter().all(|&d| d == 5));
+    }
+
+    #[test]
+    fn clique_degenerate() {
+        assert_eq!(clique(0).n(), 0);
+        assert_eq!(clique(1).undirected_edge_count(), 0);
+    }
+
+    #[test]
+    fn path_structure() {
+        let g = path(5);
+        assert_eq!(g.undirected_edge_count(), 4);
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(2), 2);
+        assert!(g.has_arc(3, 4));
+        assert!(!g.has_arc(0, 2));
+    }
+
+    #[test]
+    fn cycle_structure() {
+        let g = cycle(5);
+        assert_eq!(g.undirected_edge_count(), 5);
+        assert!(g.degrees().iter().all(|&d| d == 2));
+        assert!(g.has_arc(4, 0));
+        // degenerate sizes fall back to paths
+        assert_eq!(cycle(2).undirected_edge_count(), 1);
+    }
+
+    #[test]
+    fn star_structure() {
+        let g = star(7);
+        assert_eq!(g.degree(0), 6);
+        assert!(g.degrees()[1..].iter().all(|&d| d == 1));
+        assert_eq!(g.undirected_edge_count(), 6);
+    }
+
+    #[test]
+    fn bipartite_structure() {
+        let g = complete_bipartite(2, 3);
+        assert_eq!(g.n(), 5);
+        assert_eq!(g.undirected_edge_count(), 6);
+        assert!(g.has_arc(0, 2));
+        assert!(!g.has_arc(0, 1));
+        assert!(!g.has_arc(2, 3));
+    }
+
+    #[test]
+    fn grid_structure() {
+        let g = grid(3, 4);
+        assert_eq!(g.n(), 12);
+        // edges: 3*3 horizontal + 2*4 vertical = 17
+        assert_eq!(g.undirected_edge_count(), 17);
+        assert_eq!(g.degree(0), 2); // corner
+        assert_eq!(g.degree(5), 4); // interior
+    }
+
+    #[test]
+    fn disjoint_cliques_structure() {
+        let g = disjoint_cliques(3, 4);
+        assert_eq!(g.n(), 12);
+        assert_eq!(g.undirected_edge_count(), 18);
+        assert_eq!(connected_components(&g).count, 3);
+    }
+}

@@ -1,0 +1,21 @@
+//! Graph generators for factor construction and baselines.
+//!
+//! Deterministic families (cliques, paths, cycles, stars, bipartite, grids)
+//! give exactly-known analytics for testing the Kronecker formulas; the
+//! seeded random families (Erdős–Rényi, Barabási–Albert, stochastic block
+//! models, R-MAT) provide the paper's workloads: R-MAT is the stochastic
+//! baseline the paper contrasts with (§I), SBM drives the community
+//! experiment (§VI, Ex. 1), and preferential attachment stands in for the
+//! gnutella peer-to-peer factor (§V-A).
+
+mod deterministic;
+mod random;
+mod rmat;
+mod sbm;
+
+pub use deterministic::{
+    clique, complete_bipartite, cycle, disjoint_cliques, grid, path, star,
+};
+pub use random::{barabasi_albert, erdos_renyi};
+pub use rmat::{rmat, RmatConfig};
+pub use sbm::{sbm, SbmConfig};

@@ -1,0 +1,134 @@
+//! Seeded random graph families: Erdős–Rényi and Barabási–Albert.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::edge_list::EdgeList;
+use crate::CsrGraph;
+
+/// Erdős–Rényi `G(n, p)`: each unordered pair is an edge independently with
+/// probability `p`. Deterministic for a fixed `seed`.
+pub fn erdos_renyi(n: u64, p: f64, seed: u64) -> CsrGraph {
+    assert!((0.0..=1.0).contains(&p), "p must be in [0,1], got {p}");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut list = EdgeList::new(n);
+    if p > 0.0 {
+        for u in 0..n {
+            for v in (u + 1)..n {
+                if rng.gen::<f64>() < p {
+                    list.add_undirected(u, v).expect("in range");
+                }
+            }
+        }
+    }
+    CsrGraph::from_edge_list(&list)
+}
+
+/// Barabási–Albert preferential attachment: starts from a clique on
+/// `m0 = m + 1` seed vertices, then each new vertex attaches to `m` distinct
+/// existing vertices chosen proportionally to degree.
+///
+/// Produces a connected, scale-free, loop-free simple graph with
+/// approximately `m·n` edges — the stand-in family for the paper's gnutella
+/// peer-to-peer factor.
+pub fn barabasi_albert(n: u64, m: u64, seed: u64) -> CsrGraph {
+    assert!(m >= 1, "attachment count m must be >= 1");
+    let m0 = m + 1;
+    assert!(n >= m0, "need n >= m+1 (got n={n}, m={m})");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut list = EdgeList::new(n);
+    // `targets` holds one entry per edge endpoint, so sampling a uniform
+    // element is degree-proportional sampling.
+    let mut endpoint_pool: Vec<u64> = Vec::with_capacity((2 * m * n) as usize);
+    for u in 0..m0 {
+        for v in (u + 1)..m0 {
+            list.add_undirected(u, v).expect("in range");
+            endpoint_pool.push(u);
+            endpoint_pool.push(v);
+        }
+    }
+    let mut chosen: Vec<u64> = Vec::with_capacity(m as usize);
+    for new in m0..n {
+        chosen.clear();
+        while chosen.len() < m as usize {
+            let pick = endpoint_pool[rng.gen_range(0..endpoint_pool.len())];
+            if !chosen.contains(&pick) {
+                chosen.push(pick);
+            }
+        }
+        for &t in &chosen {
+            list.add_undirected(new, t).expect("in range");
+            endpoint_pool.push(new);
+            endpoint_pool.push(t);
+        }
+    }
+    CsrGraph::from_edge_list(&list)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::connectivity::is_connected;
+
+    #[test]
+    fn er_deterministic_for_seed() {
+        let a = erdos_renyi(50, 0.2, 7);
+        let b = erdos_renyi(50, 0.2, 7);
+        assert_eq!(a, b);
+        let c = erdos_renyi(50, 0.2, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn er_extremes() {
+        let empty = erdos_renyi(20, 0.0, 1);
+        assert_eq!(empty.nnz(), 0);
+        let full = erdos_renyi(20, 1.0, 1);
+        assert_eq!(full.undirected_edge_count(), 190);
+    }
+
+    #[test]
+    fn er_density_near_p() {
+        let n = 200u64;
+        let p = 0.1;
+        let g = erdos_renyi(n, p, 42);
+        let possible = (n * (n - 1) / 2) as f64;
+        let density = g.undirected_edge_count() as f64 / possible;
+        assert!((density - p).abs() < 0.02, "density {density} far from {p}");
+    }
+
+    #[test]
+    fn er_is_simple_undirected() {
+        let g = erdos_renyi(60, 0.3, 5);
+        assert!(g.is_undirected());
+        assert!(g.is_loop_free());
+    }
+
+    #[test]
+    fn ba_edge_count_and_shape() {
+        let n = 300u64;
+        let m = 3u64;
+        let g = barabasi_albert(n, m, 11);
+        let m0 = m + 1;
+        let expected = m0 * (m0 - 1) / 2 + (n - m0) * m;
+        assert_eq!(g.undirected_edge_count(), expected);
+        assert!(g.is_loop_free());
+        assert!(g.is_undirected());
+        assert!(is_connected(&g));
+        // Scale-free flavor: max degree well above the mean.
+        let stats = crate::degree::degree_stats(&g);
+        assert!(stats.max as f64 > 3.0 * stats.mean);
+    }
+
+    #[test]
+    fn ba_deterministic_for_seed() {
+        assert_eq!(barabasi_albert(100, 2, 3), barabasi_albert(100, 2, 3));
+        assert_ne!(barabasi_albert(100, 2, 3), barabasi_albert(100, 2, 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "n >= m+1")]
+    fn ba_rejects_tiny_n() {
+        barabasi_albert(2, 3, 0);
+    }
+}

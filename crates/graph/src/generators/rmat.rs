@@ -1,0 +1,162 @@
+//! R-MAT recursive matrix generator (Chakrabarti, Zhan, Faloutsos 2004).
+//!
+//! This is the stochastic baseline the paper contrasts with (§I): the
+//! generator behind Graph500 and GraphChallenge workloads. The paper's
+//! trillion-edge validation run used "two Graph500 scale 18 graphs with
+//! different random seeds" as Kronecker factors — [`rmat`] with
+//! Graph500-style parameters `(a,b,c,d) = (0.57, 0.19, 0.19, 0.05)`
+//! reproduces that factor family at reduced scale.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::edge_list::EdgeList;
+use crate::CsrGraph;
+
+/// R-MAT parameters.
+#[derive(Debug, Clone)]
+pub struct RmatConfig {
+    /// `n = 2^scale` vertices.
+    pub scale: u32,
+    /// Target undirected edges = `edge_factor * n` (Graph500 uses 16).
+    pub edge_factor: u64,
+    /// Quadrant probabilities; must sum to ~1.
+    pub a: f64,
+    /// Upper-right quadrant probability.
+    pub b: f64,
+    /// Lower-left quadrant probability.
+    pub c: f64,
+    /// Lower-right quadrant probability.
+    pub d: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl RmatConfig {
+    /// Graph500-style configuration at the given scale and seed.
+    pub fn graph500(scale: u32, seed: u64) -> Self {
+        RmatConfig { scale, edge_factor: 16, a: 0.57, b: 0.19, c: 0.19, d: 0.05, seed }
+    }
+
+    /// Vertex count `2^scale`.
+    pub fn n(&self) -> u64 {
+        1u64 << self.scale
+    }
+}
+
+/// Samples an R-MAT graph: `edge_factor * n` pair draws, symmetrized,
+/// deduplicated, self loops removed (matching common Graph500
+/// post-processing for undirected triangle workloads).
+///
+/// ```
+/// use kron_graph::generators::{rmat, RmatConfig};
+///
+/// let g = rmat(&RmatConfig::graph500(6, 42));
+/// assert_eq!(g.n(), 64);
+/// assert!(g.is_undirected() && g.is_loop_free());
+/// ```
+pub fn rmat(config: &RmatConfig) -> CsrGraph {
+    let sum = config.a + config.b + config.c + config.d;
+    assert!((sum - 1.0).abs() < 1e-9, "quadrant probabilities must sum to 1, got {sum}");
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let n = config.n();
+    let draws = config.edge_factor * n;
+    let mut list = EdgeList::new(n);
+    for _ in 0..draws {
+        let (u, v) = sample_pair(&mut rng, config);
+        if u != v {
+            list.add_undirected(u, v).expect("in range");
+        }
+    }
+    list.sort_dedup();
+    CsrGraph::from_edge_list(&list)
+}
+
+fn sample_pair(rng: &mut StdRng, config: &RmatConfig) -> (u64, u64) {
+    let mut u = 0u64;
+    let mut v = 0u64;
+    let ab = config.a + config.b;
+    let abc = ab + config.c;
+    for _ in 0..config.scale {
+        u <<= 1;
+        v <<= 1;
+        let r: f64 = rng.gen();
+        if r < config.a {
+            // upper-left: no bits set
+        } else if r < ab {
+            v |= 1;
+        } else if r < abc {
+            u |= 1;
+        } else {
+            u |= 1;
+            v |= 1;
+        }
+    }
+    (u, v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_and_simplicity() {
+        let g = rmat(&RmatConfig::graph500(8, 42));
+        assert_eq!(g.n(), 256);
+        assert!(g.is_undirected());
+        assert!(g.is_loop_free());
+        // Duplicates collapse, so edge count is below the draw count but
+        // should remain a significant fraction of it.
+        let m = g.undirected_edge_count();
+        assert!(m > 256, "too few edges: {m}");
+        assert!(m <= 16 * 256);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = rmat(&RmatConfig::graph500(7, 1));
+        let b = rmat(&RmatConfig::graph500(7, 1));
+        assert_eq!(a, b);
+        let c = rmat(&RmatConfig::graph500(7, 2));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn skew_produces_heavy_tail() {
+        let g = rmat(&RmatConfig::graph500(10, 7));
+        let stats = crate::degree::degree_stats(&g);
+        assert!(
+            stats.max as f64 > 5.0 * stats.mean,
+            "expected heavy tail, max={} mean={}",
+            stats.max,
+            stats.mean
+        );
+    }
+
+    #[test]
+    fn uniform_quadrants_flatten_degrees() {
+        let cfg = RmatConfig {
+            scale: 9,
+            edge_factor: 8,
+            a: 0.25,
+            b: 0.25,
+            c: 0.25,
+            d: 0.25,
+            seed: 5,
+        };
+        let g = rmat(&cfg);
+        let stats = crate::degree::degree_stats(&g);
+        assert!(
+            (stats.max as f64) < 4.0 * stats.mean,
+            "uniform R-MAT should look Erdős–Rényi-ish, max={} mean={}",
+            stats.max,
+            stats.mean
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to 1")]
+    fn rejects_bad_probabilities() {
+        rmat(&RmatConfig { scale: 4, edge_factor: 2, a: 0.5, b: 0.5, c: 0.5, d: 0.5, seed: 0 });
+    }
+}

@@ -1,0 +1,237 @@
+//! Stochastic block model generator.
+//!
+//! The community-structure experiment (§VI) needs factors that are "stochastic
+//! block models with `x` blocks, internal edge densities `ρ0` and external
+//! edge densities `ρ1`" (paper Ex. 1). Block sizes and per-block internal
+//! densities may be heterogeneous, which is how the GraphChallenge
+//! `groundtruth_20000` stand-in gets its spread of densities.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::edge_list::EdgeList;
+use crate::{CsrGraph, VertexId};
+
+/// Configuration of a stochastic block model.
+#[derive(Debug, Clone)]
+pub struct SbmConfig {
+    /// Size of each block; vertices are numbered block-contiguously.
+    pub block_sizes: Vec<u64>,
+    /// Within-block edge probability, per block (`len == block_sizes.len()`).
+    pub p_in: Vec<f64>,
+    /// Between-block edge probability (uniform across block pairs).
+    pub p_out: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl SbmConfig {
+    /// Homogeneous model: `blocks` blocks of `size` vertices, shared `p_in`.
+    pub fn uniform(blocks: usize, size: u64, p_in: f64, p_out: f64, seed: u64) -> Self {
+        SbmConfig {
+            block_sizes: vec![size; blocks],
+            p_in: vec![p_in; blocks],
+            p_out,
+            seed,
+        }
+    }
+
+    /// Total vertex count.
+    pub fn n(&self) -> u64 {
+        self.block_sizes.iter().sum()
+    }
+
+    /// Ground-truth partition: `labels[v]` = block of vertex `v`.
+    pub fn labels(&self) -> Vec<u32> {
+        let mut labels = Vec::with_capacity(self.n() as usize);
+        for (b, &size) in self.block_sizes.iter().enumerate() {
+            labels.extend(std::iter::repeat_n(b as u32, size as usize));
+        }
+        labels
+    }
+
+    /// Vertex ranges of each block as `(start, end)` half-open intervals.
+    pub fn block_ranges(&self) -> Vec<(VertexId, VertexId)> {
+        let mut ranges = Vec::with_capacity(self.block_sizes.len());
+        let mut start = 0u64;
+        for &size in &self.block_sizes {
+            ranges.push((start, start + size));
+            start += size;
+        }
+        ranges
+    }
+}
+
+/// Samples a loop-free undirected SBM graph.
+///
+/// For dense probabilities every pair is tested; for the sparse between-block
+/// regime a geometric skip sampler keeps generation `O(edges)`.
+pub fn sbm(config: &SbmConfig) -> CsrGraph {
+    assert_eq!(
+        config.block_sizes.len(),
+        config.p_in.len(),
+        "p_in must have one entry per block"
+    );
+    assert!((0.0..=1.0).contains(&config.p_out), "p_out must be in [0,1]");
+    for &p in &config.p_in {
+        assert!((0.0..=1.0).contains(&p), "p_in entries must be in [0,1]");
+    }
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let n = config.n();
+    let mut list = EdgeList::new(n);
+    let ranges = config.block_ranges();
+
+    // Within-block edges (dense sampling; blocks are small).
+    for (b, &(start, end)) in ranges.iter().enumerate() {
+        let p = config.p_in[b];
+        if p <= 0.0 {
+            continue;
+        }
+        for u in start..end {
+            for v in (u + 1)..end {
+                if rng.gen::<f64>() < p {
+                    list.add_undirected(u, v).expect("in range");
+                }
+            }
+        }
+    }
+
+    // Between-block edges via geometric skips over the linearized pair index.
+    if config.p_out > 0.0 {
+        for bi in 0..ranges.len() {
+            for bj in (bi + 1)..ranges.len() {
+                sample_bipartite_pairs(&mut rng, ranges[bi], ranges[bj], config.p_out, &mut list);
+            }
+        }
+    }
+    CsrGraph::from_edge_list(&list)
+}
+
+/// Adds each pair `(u, v)` with `u` in `ra`, `v` in `rb` independently with
+/// probability `p`, skipping geometrically between successes.
+fn sample_bipartite_pairs(
+    rng: &mut StdRng,
+    ra: (u64, u64),
+    rb: (u64, u64),
+    p: f64,
+    list: &mut EdgeList,
+) {
+    let rows = ra.1 - ra.0;
+    let cols = rb.1 - rb.0;
+    let total = (rows as u128) * (cols as u128);
+    if total == 0 {
+        return;
+    }
+    let log_q = (1.0 - p).ln();
+    let mut idx: u128 = 0;
+    loop {
+        // Geometric(p) skip: number of failures before the next success.
+        let u: f64 = rng.gen::<f64>();
+        let skip = if p >= 1.0 { 0 } else { (u.ln() / log_q).floor() as u128 };
+        idx = idx.saturating_add(skip);
+        if idx >= total {
+            break;
+        }
+        let r = (idx / cols as u128) as u64;
+        let c = (idx % cols as u128) as u64;
+        list.add_undirected(ra.0 + r, rb.0 + c).expect("in range");
+        idx += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_and_ranges() {
+        let cfg = SbmConfig {
+            block_sizes: vec![2, 3],
+            p_in: vec![1.0, 1.0],
+            p_out: 0.0,
+            seed: 0,
+        };
+        assert_eq!(cfg.n(), 5);
+        assert_eq!(cfg.labels(), vec![0, 0, 1, 1, 1]);
+        assert_eq!(cfg.block_ranges(), vec![(0, 2), (2, 5)]);
+    }
+
+    #[test]
+    fn p_in_one_p_out_zero_gives_disjoint_cliques() {
+        let cfg = SbmConfig::uniform(3, 4, 1.0, 0.0, 9);
+        let g = sbm(&cfg);
+        assert_eq!(g.n(), 12);
+        assert_eq!(g.undirected_edge_count(), 3 * 6);
+        assert_eq!(crate::connectivity::connected_components(&g).count, 3);
+    }
+
+    #[test]
+    fn p_out_one_connects_everything() {
+        let cfg = SbmConfig::uniform(2, 3, 0.0, 1.0, 9);
+        let g = sbm(&cfg);
+        // all 3*3 cross pairs, no internal edges
+        assert_eq!(g.undirected_edge_count(), 9);
+        assert!(g.has_arc(0, 3));
+        assert!(!g.has_arc(0, 1));
+    }
+
+    #[test]
+    fn densities_near_planted() {
+        let cfg = SbmConfig::uniform(4, 50, 0.3, 0.01, 123);
+        let g = sbm(&cfg);
+        let ranges = cfg.block_ranges();
+        // internal density of block 0
+        let (s, e) = ranges[0];
+        let mut internal = 0u64;
+        for u in s..e {
+            for v in (u + 1)..e {
+                if g.has_arc(u, v) {
+                    internal += 1;
+                }
+            }
+        }
+        let within_density = internal as f64 / (50.0 * 49.0 / 2.0);
+        assert!((within_density - 0.3).abs() < 0.07, "got {within_density}");
+        // rough external density over all cross pairs of blocks 0/1
+        let mut external = 0u64;
+        for u in 0..50 {
+            for v in 50..100 {
+                if g.has_arc(u, v) {
+                    external += 1;
+                }
+            }
+        }
+        let cross_density = external as f64 / 2500.0;
+        assert!((cross_density - 0.01).abs() < 0.01, "got {cross_density}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = SbmConfig::uniform(3, 20, 0.2, 0.02, 77);
+        assert_eq!(sbm(&cfg), sbm(&cfg));
+        let mut cfg2 = cfg.clone();
+        cfg2.seed = 78;
+        assert_ne!(sbm(&cfg), sbm(&cfg2));
+    }
+
+    #[test]
+    fn simple_and_undirected() {
+        let cfg = SbmConfig::uniform(3, 15, 0.4, 0.05, 3);
+        let g = sbm(&cfg);
+        assert!(g.is_undirected());
+        assert!(g.is_loop_free());
+    }
+
+    #[test]
+    fn heterogeneous_blocks() {
+        let cfg = SbmConfig {
+            block_sizes: vec![10, 20, 30],
+            p_in: vec![1.0, 0.0, 0.0],
+            p_out: 0.0,
+            seed: 1,
+        };
+        let g = sbm(&cfg);
+        assert_eq!(g.n(), 60);
+        assert_eq!(g.undirected_edge_count(), 45); // only block 0 is a clique
+    }
+}

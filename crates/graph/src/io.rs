@@ -1,0 +1,245 @@
+//! Edge-list file IO.
+//!
+//! Two formats, matching the paper's assumption that factors `A` and `B`
+//! arrive "as (unordered) edge lists" read from file:
+//!
+//! * **Text**: one `u v` pair per line, `#`-prefixed comment lines, blank
+//!   lines ignored. The vertex count is `max id + 1` unless a
+//!   `# vertices: N` header is present.
+//! * **Binary**: little-endian framing via the `bytes` crate —
+//!   magic `KRGB`, version `u32`, `n: u64`, `arc_count: u64`, then
+//!   `arc_count` pairs of `u64`.
+
+use std::fs::File;
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::edge_list::EdgeList;
+use crate::{GraphError, Result};
+
+const MAGIC: &[u8; 4] = b"KRGB";
+const VERSION: u32 = 1;
+
+/// Parses a text edge list from a reader.
+pub fn read_text<R: BufRead>(reader: R) -> Result<EdgeList> {
+    let mut arcs = Vec::new();
+    let mut max_vertex: Option<u64> = None;
+    let mut declared_n: Option<u64> = None;
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line?;
+        let line_no = idx + 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        if let Some(comment) = trimmed.strip_prefix('#') {
+            let comment = comment.trim();
+            if let Some(rest) = comment.strip_prefix("vertices:") {
+                let n: u64 = rest.trim().parse().map_err(|_| GraphError::Parse {
+                    line: line_no,
+                    message: format!("bad vertex count header: {comment:?}"),
+                })?;
+                declared_n = Some(n);
+            }
+            continue;
+        }
+        let mut parts = trimmed.split_whitespace();
+        let u = parse_vertex(parts.next(), line_no)?;
+        let v = parse_vertex(parts.next(), line_no)?;
+        if parts.next().is_some() {
+            return Err(GraphError::Parse {
+                line: line_no,
+                message: format!("expected two fields, got more: {trimmed:?}"),
+            });
+        }
+        max_vertex = Some(max_vertex.map_or(u.max(v), |m| m.max(u).max(v)));
+        arcs.push((u, v));
+    }
+    let n = declared_n.unwrap_or_else(|| max_vertex.map_or(0, |m| m + 1));
+    EdgeList::from_arcs(n, arcs)
+}
+
+fn parse_vertex(field: Option<&str>, line: usize) -> Result<u64> {
+    let field = field.ok_or_else(|| GraphError::Parse {
+        line,
+        message: "missing vertex field".to_string(),
+    })?;
+    field.parse().map_err(|_| GraphError::Parse {
+        line,
+        message: format!("invalid vertex id: {field:?}"),
+    })
+}
+
+/// Writes a text edge list (with a `# vertices:` header) to a writer.
+pub fn write_text<W: Write>(mut writer: W, graph: &EdgeList) -> Result<()> {
+    writeln!(writer, "# vertices: {}", graph.n())?;
+    for &(u, v) in graph.arcs() {
+        writeln!(writer, "{u} {v}")?;
+    }
+    Ok(())
+}
+
+/// Reads a text edge list from a file path.
+pub fn read_text_file<P: AsRef<Path>>(path: P) -> Result<EdgeList> {
+    read_text(BufReader::new(File::open(path)?))
+}
+
+/// Writes a text edge list to a file path.
+pub fn write_text_file<P: AsRef<Path>>(path: P, graph: &EdgeList) -> Result<()> {
+    let mut w = BufWriter::new(File::create(path)?);
+    write_text(&mut w, graph)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Serializes an edge list into the binary format.
+pub fn encode_binary(graph: &EdgeList) -> Bytes {
+    let mut buf = BytesMut::with_capacity(4 + 4 + 16 + graph.nnz() * 16);
+    buf.put_slice(MAGIC);
+    buf.put_u32_le(VERSION);
+    buf.put_u64_le(graph.n());
+    buf.put_u64_le(graph.nnz() as u64);
+    for &(u, v) in graph.arcs() {
+        buf.put_u64_le(u);
+        buf.put_u64_le(v);
+    }
+    buf.freeze()
+}
+
+/// Deserializes an edge list from the binary format.
+pub fn decode_binary(mut data: &[u8]) -> Result<EdgeList> {
+    let bad = |message: &str| GraphError::Parse { line: 0, message: message.to_string() };
+    if data.len() < 24 {
+        return Err(bad("binary edge list truncated (header)"));
+    }
+    let mut magic = [0u8; 4];
+    data.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(bad("bad magic (expected KRGB)"));
+    }
+    let version = data.get_u32_le();
+    if version != VERSION {
+        return Err(bad(&format!("unsupported version {version}")));
+    }
+    let n = data.get_u64_le();
+    let count = data.get_u64_le() as usize;
+    if data.remaining() < count * 16 {
+        return Err(bad("binary edge list truncated (arcs)"));
+    }
+    let mut arcs = Vec::with_capacity(count);
+    for _ in 0..count {
+        let u = data.get_u64_le();
+        let v = data.get_u64_le();
+        arcs.push((u, v));
+    }
+    EdgeList::from_arcs(n, arcs)
+}
+
+/// Writes the binary format to a file path.
+pub fn write_binary_file<P: AsRef<Path>>(path: P, graph: &EdgeList) -> Result<()> {
+    let bytes = encode_binary(graph);
+    let mut w = BufWriter::new(File::create(path)?);
+    w.write_all(&bytes)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads the binary format from a file path.
+pub fn read_binary_file<P: AsRef<Path>>(path: P) -> Result<EdgeList> {
+    let mut data = Vec::new();
+    File::open(path)?.read_to_end(&mut data)?;
+    decode_binary(&data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn sample() -> EdgeList {
+        EdgeList::from_arcs(4, vec![(0, 1), (1, 0), (2, 3), (3, 2), (1, 1)]).unwrap()
+    }
+
+    #[test]
+    fn text_roundtrip() {
+        let g = sample();
+        let mut buf = Vec::new();
+        write_text(&mut buf, &g).unwrap();
+        let parsed = read_text(Cursor::new(buf)).unwrap();
+        assert_eq!(parsed, g);
+    }
+
+    #[test]
+    fn text_comments_and_blanks() {
+        let input = "# a comment\n\n0 1\n  1 0  \n# another\n";
+        let g = read_text(Cursor::new(input)).unwrap();
+        assert_eq!(g.n(), 2);
+        assert_eq!(g.arcs(), &[(0, 1), (1, 0)]);
+    }
+
+    #[test]
+    fn text_vertex_header_beats_max_id() {
+        let input = "# vertices: 10\n0 1\n";
+        let g = read_text(Cursor::new(input)).unwrap();
+        assert_eq!(g.n(), 10);
+    }
+
+    #[test]
+    fn text_without_header_infers_n() {
+        let g = read_text(Cursor::new("0 7\n")).unwrap();
+        assert_eq!(g.n(), 8);
+    }
+
+    #[test]
+    fn text_rejects_garbage() {
+        assert!(read_text(Cursor::new("0 x\n")).is_err());
+        assert!(read_text(Cursor::new("0\n")).is_err());
+        assert!(read_text(Cursor::new("0 1 2\n")).is_err());
+    }
+
+    #[test]
+    fn empty_text_is_empty_graph() {
+        let g = read_text(Cursor::new("")).unwrap();
+        assert_eq!(g.n(), 0);
+        assert_eq!(g.nnz(), 0);
+    }
+
+    #[test]
+    fn binary_roundtrip() {
+        let g = sample();
+        let bytes = encode_binary(&g);
+        let parsed = decode_binary(&bytes).unwrap();
+        assert_eq!(parsed, g);
+    }
+
+    #[test]
+    fn binary_rejects_corruption() {
+        let g = sample();
+        let bytes = encode_binary(&g);
+        assert!(decode_binary(&bytes[..10]).is_err());
+        let mut broken = bytes.to_vec();
+        broken[0] = b'X';
+        assert!(decode_binary(&broken).is_err());
+        broken = bytes.to_vec();
+        broken[4] = 99; // version
+        assert!(decode_binary(&broken).is_err());
+        broken = bytes.to_vec();
+        broken.truncate(bytes.len() - 1);
+        assert!(decode_binary(&broken).is_err());
+    }
+
+    #[test]
+    fn file_roundtrips() {
+        let dir = std::env::temp_dir().join("kron_graph_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let g = sample();
+        let tpath = dir.join("g.txt");
+        let bpath = dir.join("g.bin");
+        write_text_file(&tpath, &g).unwrap();
+        write_binary_file(&bpath, &g).unwrap();
+        assert_eq!(read_text_file(&tpath).unwrap(), g);
+        assert_eq!(read_binary_file(&bpath).unwrap(), g);
+    }
+}

@@ -1,0 +1,133 @@
+//! Property tests for the graph substrate: representation invariants,
+//! IO roundtrips, and cross-checked algorithms.
+
+use proptest::prelude::*;
+
+use kron_graph::connectivity::connected_components;
+use kron_graph::union_find::connected_components_uf;
+use kron_graph::{CsrGraph, EdgeList};
+
+/// Strategy: an arbitrary arc list over `n` vertices (may be directed,
+/// have loops, duplicates).
+fn arcs(n: u64, max_arcs: usize) -> impl Strategy<Value = Vec<(u64, u64)>> {
+    proptest::collection::vec((0..n, 0..n), 0..max_arcs)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// CSR invariants: sorted unique rows, degree = row length, nnz sums.
+    #[test]
+    fn csr_invariants(raw in arcs(12, 60)) {
+        let g = CsrGraph::from_arcs(12, raw.clone()).unwrap();
+        let mut total = 0usize;
+        for u in 0..12u64 {
+            let row = g.neighbors(u);
+            prop_assert!(row.windows(2).all(|w| w[0] < w[1]), "row {u} not sorted-unique");
+            prop_assert_eq!(g.degree(u) as usize, row.len());
+            total += row.len();
+        }
+        prop_assert_eq!(g.nnz(), total);
+        // Membership agrees with the (deduplicated) input.
+        let mut dedup = raw;
+        dedup.sort_unstable();
+        dedup.dedup();
+        prop_assert_eq!(g.nnz(), dedup.len());
+        for (u, v) in dedup {
+            prop_assert!(g.has_arc(u, v));
+        }
+    }
+
+    /// EdgeList symmetrize makes is_symmetric true and is idempotent.
+    #[test]
+    fn symmetrize_idempotent(raw in arcs(10, 40)) {
+        let mut list = EdgeList::from_arcs(10, raw).unwrap();
+        list.symmetrize();
+        prop_assert!(list.is_symmetric());
+        let once = list.clone();
+        list.symmetrize();
+        prop_assert_eq!(list, once);
+    }
+
+    /// Text and binary IO are exact roundtrips.
+    #[test]
+    fn io_roundtrips(raw in arcs(16, 50)) {
+        let list = EdgeList::from_arcs(16, raw).unwrap();
+        // Text.
+        let mut buf = Vec::new();
+        kron_graph::io::write_text(&mut buf, &list).unwrap();
+        let parsed = kron_graph::io::read_text(std::io::Cursor::new(buf)).unwrap();
+        prop_assert_eq!(&parsed, &list);
+        // Binary.
+        let bytes = kron_graph::io::encode_binary(&list);
+        let decoded = kron_graph::io::decode_binary(&bytes).unwrap();
+        prop_assert_eq!(&decoded, &list);
+    }
+
+    /// Degree sum equals arc count (handshake, arc form).
+    #[test]
+    fn handshake_lemma(raw in arcs(14, 70)) {
+        let g = CsrGraph::from_arcs(14, raw).unwrap();
+        let sum: u64 = g.degrees().iter().sum();
+        prop_assert_eq!(sum as usize, g.nnz());
+    }
+
+    /// BFS and union–find component labelings agree exactly.
+    #[test]
+    fn components_bfs_equals_union_find(raw in arcs(20, 50)) {
+        // Components need symmetric input.
+        let mut list = EdgeList::from_arcs(20, raw).unwrap();
+        list.symmetrize();
+        let g = CsrGraph::from_edge_list(&list);
+        prop_assert_eq!(connected_components(&g), connected_components_uf(&g));
+    }
+
+    /// Full self loops: add then remove is the identity on loop-free
+    /// graphs; with_full_self_loops sets exactly n loops.
+    #[test]
+    fn self_loop_roundtrip(raw in arcs(10, 40)) {
+        let mut list = EdgeList::from_arcs(10, raw).unwrap();
+        list.remove_self_loops();
+        list.sort_dedup();
+        let g = CsrGraph::from_edge_list(&list);
+        let looped = g.with_full_self_loops();
+        prop_assert_eq!(looped.self_loop_count(), 10);
+        prop_assert_eq!(looped.nnz(), g.nnz() + 10);
+        prop_assert_eq!(looped.without_self_loops(), g);
+    }
+
+    /// Induced subgraph keeps exactly the arcs among kept vertices.
+    #[test]
+    fn induced_subgraph_membership(
+        raw in arcs(12, 60),
+        keep_mask in proptest::collection::vec(proptest::bool::ANY, 12),
+    ) {
+        let g = CsrGraph::from_arcs(12, raw).unwrap();
+        let keep: Vec<u64> = (0..12u64).filter(|&v| keep_mask[v as usize]).collect();
+        let sub = kron_graph::ops::induced_subgraph(&g, &keep).unwrap();
+        prop_assert_eq!(sub.graph.n() as usize, keep.len());
+        for (new_u, &old_u) in sub.original_of.iter().enumerate() {
+            for (new_v, &old_v) in sub.original_of.iter().enumerate() {
+                prop_assert_eq!(
+                    sub.graph.has_arc(new_u as u64, new_v as u64),
+                    g.has_arc(old_u, old_v),
+                    "({}, {})",
+                    old_u,
+                    old_v
+                );
+            }
+        }
+    }
+
+    /// Largest connected component really is the largest.
+    #[test]
+    fn lcc_is_maximal(raw in arcs(15, 30)) {
+        let mut list = EdgeList::from_arcs(15, raw).unwrap();
+        list.symmetrize();
+        let g = CsrGraph::from_edge_list(&list);
+        let comps = connected_components(&g);
+        let lcc = kron_graph::ops::largest_connected_component(&g).unwrap();
+        let max_size = comps.sizes().into_iter().max().unwrap_or(0);
+        prop_assert_eq!(lcc.graph.n(), max_size);
+    }
+}

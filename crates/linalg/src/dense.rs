@@ -1,0 +1,296 @@
+//! Exact dense integer matrices.
+//!
+//! Entries are `i64`: all the paper's formulas on 0/1 adjacency factors
+//! involve only small integer intermediates (powers `A³`, Hadamard masks,
+//! quadratic forms), so exact integer arithmetic avoids any floating-point
+//! tolerance in oracle comparisons.
+
+use std::ops::{Add, Mul, Sub};
+
+/// A dense row-major `rows × cols` matrix of `i64`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DenseMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<i64>,
+}
+
+impl DenseMatrix {
+    /// All-zeros matrix (the paper's `O_A`).
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        DenseMatrix { rows, cols, data: vec![0; rows * cols] }
+    }
+
+    /// Identity matrix (`I_A`).
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m.set(i, i, 1);
+        }
+        m
+    }
+
+    /// Builds from nested rows; all rows must share a length.
+    pub fn from_rows(rows: Vec<Vec<i64>>) -> Self {
+        let r = rows.len();
+        let c = rows.first().map_or(0, |row| row.len());
+        assert!(rows.iter().all(|row| row.len() == c), "ragged rows");
+        DenseMatrix { rows: r, cols: c, data: rows.into_iter().flatten().collect() }
+    }
+
+    /// Row count.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Column count.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// True when square.
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// Entry accessor.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> i64 {
+        self.data[r * self.cols + c]
+    }
+
+    /// Entry mutator.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, value: i64) {
+        self.data[r * self.cols + c] = value;
+    }
+
+    /// Matrix transpose (`Aᵗ`).
+    pub fn transpose(&self) -> DenseMatrix {
+        let mut t = Self::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                t.set(c, r, self.get(r, c));
+            }
+        }
+        t
+    }
+
+    /// Scalar multiple `s·A`.
+    pub fn scale(&self, s: i64) -> DenseMatrix {
+        DenseMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&x| x * s).collect(),
+        }
+    }
+
+    /// Hadamard (entrywise) product `A ∘ B` (Def. 2).
+    pub fn hadamard(&self, other: &DenseMatrix) -> DenseMatrix {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols), "shape mismatch");
+        DenseMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().zip(&other.data).map(|(&a, &b)| a * b).collect(),
+        }
+    }
+
+    /// Matrix power `A^k` for square `A`; `A^0 = I`.
+    pub fn pow(&self, k: u32) -> DenseMatrix {
+        assert!(self.is_square(), "pow requires a square matrix");
+        let mut acc = Self::identity(self.rows);
+        for _ in 0..k {
+            acc = &acc * self;
+        }
+        acc
+    }
+
+    /// The diagonal-mask matrix `D_A = I_A ∘ A` (Def. 4).
+    pub fn diagonal_matrix(&self) -> DenseMatrix {
+        assert!(self.is_square());
+        let mut d = Self::zeros(self.rows, self.cols);
+        for i in 0..self.rows {
+            d.set(i, i, self.get(i, i));
+        }
+        d
+    }
+
+    /// The diagonal operator `diag(A) = (I_A ∘ A)·1` as a vector (Def. 4).
+    pub fn diag_vector(&self) -> Vec<i64> {
+        assert!(self.is_square());
+        (0..self.rows).map(|i| self.get(i, i)).collect()
+    }
+
+    /// Matrix–vector product `A·x`.
+    pub fn matvec(&self, x: &[i64]) -> Vec<i64> {
+        assert_eq!(x.len(), self.cols, "dimension mismatch");
+        (0..self.rows)
+            .map(|r| (0..self.cols).map(|c| self.get(r, c) * x[c]).sum())
+            .collect()
+    }
+
+    /// Bilinear form `xᵗ A y` (used for the community edge counts of Def. 13).
+    pub fn bilinear(&self, x: &[i64], y: &[i64]) -> i64 {
+        assert_eq!(x.len(), self.rows);
+        assert_eq!(y.len(), self.cols);
+        self.matvec(y).iter().zip(x).map(|(&av, &xv)| av * xv).sum()
+    }
+
+    /// Row sums `A·1` (degree vector for an adjacency matrix).
+    pub fn row_sums(&self) -> Vec<i64> {
+        self.matvec(&vec![1; self.cols])
+    }
+
+    /// True when symmetric.
+    pub fn is_symmetric(&self) -> bool {
+        self.is_square()
+            && (0..self.rows).all(|r| (0..r).all(|c| self.get(r, c) == self.get(c, r)))
+    }
+}
+
+impl Add for &DenseMatrix {
+    type Output = DenseMatrix;
+    fn add(self, other: &DenseMatrix) -> DenseMatrix {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols), "shape mismatch");
+        DenseMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().zip(&other.data).map(|(&a, &b)| a + b).collect(),
+        }
+    }
+}
+
+impl Sub for &DenseMatrix {
+    type Output = DenseMatrix;
+    fn sub(self, other: &DenseMatrix) -> DenseMatrix {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols), "shape mismatch");
+        DenseMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().zip(&other.data).map(|(&a, &b)| a - b).collect(),
+        }
+    }
+}
+
+impl Mul for &DenseMatrix {
+    type Output = DenseMatrix;
+    fn mul(self, other: &DenseMatrix) -> DenseMatrix {
+        assert_eq!(self.cols, other.rows, "inner dimension mismatch");
+        let mut out = DenseMatrix::zeros(self.rows, other.cols);
+        for r in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.get(r, k);
+                if a == 0 {
+                    continue;
+                }
+                for c in 0..other.cols {
+                    let cur = out.get(r, c);
+                    out.set(r, c, cur + a * other.get(k, c));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> DenseMatrix {
+        DenseMatrix::from_rows(vec![vec![1, 2], vec![3, 4]])
+    }
+
+    #[test]
+    fn constructors() {
+        let z = DenseMatrix::zeros(2, 3);
+        assert_eq!(z.rows(), 2);
+        assert_eq!(z.cols(), 3);
+        assert_eq!(z.get(1, 2), 0);
+        let i = DenseMatrix::identity(3);
+        assert_eq!(i.get(0, 0), 1);
+        assert_eq!(i.get(0, 1), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_rejected() {
+        DenseMatrix::from_rows(vec![vec![1], vec![1, 2]]);
+    }
+
+    #[test]
+    fn add_sub_scale() {
+        let a = sample();
+        let sum = &a + &a;
+        assert_eq!(sum, a.scale(2));
+        let diff = &sum - &a;
+        assert_eq!(diff, a);
+    }
+
+    #[test]
+    fn matmul_known() {
+        let a = sample();
+        let b = DenseMatrix::from_rows(vec![vec![0, 1], vec![1, 0]]);
+        let ab = &a * &b;
+        assert_eq!(ab, DenseMatrix::from_rows(vec![vec![2, 1], vec![4, 3]]));
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = sample();
+        assert_eq!(&a * &DenseMatrix::identity(2), a);
+        assert_eq!(&DenseMatrix::identity(2) * &a, a);
+    }
+
+    #[test]
+    fn pow_matches_repeated_mul() {
+        let a = sample();
+        assert_eq!(a.pow(0), DenseMatrix::identity(2));
+        assert_eq!(a.pow(1), a);
+        assert_eq!(a.pow(3), &(&a * &a) * &a);
+    }
+
+    #[test]
+    fn transpose_involutive() {
+        let a = DenseMatrix::from_rows(vec![vec![1, 2, 3], vec![4, 5, 6]]);
+        let t = a.transpose();
+        assert_eq!(t.rows(), 3);
+        assert_eq!(t.get(2, 1), 6);
+        assert_eq!(t.transpose(), a);
+    }
+
+    #[test]
+    fn hadamard_entrywise() {
+        let a = sample();
+        let h = a.hadamard(&a);
+        assert_eq!(h, DenseMatrix::from_rows(vec![vec![1, 4], vec![9, 16]]));
+    }
+
+    #[test]
+    fn diagonal_operators() {
+        let a = sample();
+        assert_eq!(a.diagonal_matrix(), DenseMatrix::from_rows(vec![vec![1, 0], vec![0, 4]]));
+        assert_eq!(a.diag_vector(), vec![1, 4]);
+        // Def. 4: diag(A) = (I ∘ A)·1.
+        let masked = DenseMatrix::identity(2).hadamard(&a);
+        assert_eq!(masked.row_sums(), a.diag_vector());
+    }
+
+    #[test]
+    fn matvec_and_bilinear() {
+        let a = sample();
+        assert_eq!(a.matvec(&[1, 1]), vec![3, 7]);
+        assert_eq!(a.row_sums(), vec![3, 7]);
+        // xᵗ A y with x = e0, y = e1 picks entry (0,1).
+        assert_eq!(a.bilinear(&[1, 0], &[0, 1]), 2);
+        assert_eq!(a.bilinear(&[1, 1], &[1, 1]), 10);
+    }
+
+    #[test]
+    fn symmetry_check() {
+        assert!(!sample().is_symmetric());
+        let s = DenseMatrix::from_rows(vec![vec![0, 1], vec![1, 0]]);
+        assert!(s.is_symmetric());
+        assert!(!DenseMatrix::zeros(2, 3).is_symmetric());
+    }
+}

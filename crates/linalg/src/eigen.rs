@@ -1,0 +1,237 @@
+//! Symmetric eigensolver (cyclic Jacobi rotations).
+//!
+//! The paper's §IV-C remark: "due to the Kronecker structure a spectral
+//! method can efficiently solve for large swathes of the eigenspace of
+//! C". Demonstrating that requires an eigensolver for the factor
+//! adjacencies — built here from scratch: classical cyclic Jacobi, which
+//! is simple, numerically robust for the small symmetric matrices factor
+//! graphs produce, and needs no external dependencies.
+
+/// A dense symmetric matrix of `f64`, row-major.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SymmetricMatrix {
+    n: usize,
+    data: Vec<f64>,
+}
+
+impl SymmetricMatrix {
+    /// Zero matrix of dimension `n`.
+    pub fn zeros(n: usize) -> Self {
+        SymmetricMatrix { n, data: vec![0.0; n * n] }
+    }
+
+    /// Builds from a flat row-major buffer, checking symmetry.
+    pub fn from_flat(n: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), n * n, "buffer size mismatch");
+        let m = SymmetricMatrix { n, data };
+        for i in 0..n {
+            for j in 0..i {
+                assert!(
+                    (m.get(i, j) - m.get(j, i)).abs() < 1e-12,
+                    "matrix not symmetric at ({i},{j})"
+                );
+            }
+        }
+        m
+    }
+
+    /// Dimension.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Entry accessor.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.data[i * self.n + j]
+    }
+
+    /// Symmetric entry mutator (sets both `(i,j)` and `(j,i)`).
+    #[inline]
+    pub fn set_sym(&mut self, i: usize, j: usize, value: f64) {
+        self.data[i * self.n + j] = value;
+        self.data[j * self.n + i] = value;
+    }
+
+    /// Sum of squared off-diagonal entries (the Jacobi convergence
+    /// functional).
+    pub fn off_diagonal_norm_sq(&self) -> f64 {
+        let mut s = 0.0;
+        for i in 0..self.n {
+            for j in 0..self.n {
+                if i != j {
+                    s += self.get(i, j) * self.get(i, j);
+                }
+            }
+        }
+        s
+    }
+
+    /// All eigenvalues by cyclic Jacobi, sorted ascending.
+    ///
+    /// Runs sweeps of rotations over every off-diagonal pair until the
+    /// off-diagonal norm drops below `tol` (relative to the Frobenius
+    /// norm) or `max_sweeps` is exhausted. For adjacency matrices of
+    /// factor-sized graphs (n ≲ 2000) this converges in a handful of
+    /// sweeps.
+    pub fn eigenvalues(&self, tol: f64, max_sweeps: usize) -> Vec<f64> {
+        let n = self.n;
+        if n == 0 {
+            return vec![];
+        }
+        let mut a = self.clone();
+        let fro: f64 = a.data.iter().map(|x| x * x).sum::<f64>().max(1e-300);
+        let threshold = tol * tol * fro;
+        for _ in 0..max_sweeps {
+            if a.off_diagonal_norm_sq() <= threshold {
+                break;
+            }
+            for p in 0..n {
+                for q in (p + 1)..n {
+                    let apq = a.get(p, q);
+                    if apq.abs() < 1e-300 {
+                        continue;
+                    }
+                    let (app, aqq) = (a.get(p, p), a.get(q, q));
+                    // Rotation angle: tan(2θ) = 2 a_pq / (a_qq − a_pp).
+                    let theta = 0.5 * (2.0 * apq).atan2(aqq - app);
+                    let (s, c) = theta.sin_cos();
+                    // Apply J^T A J on rows/cols p, q.
+                    for k in 0..n {
+                        let akp = a.get(k, p);
+                        let akq = a.get(k, q);
+                        a.set_sym(k, p, c * akp - s * akq);
+                        a.set_sym(k, q, s * akp + c * akq);
+                    }
+                    let new_pp = c * c * app - 2.0 * s * c * apq + s * s * aqq;
+                    let new_qq = s * s * app + 2.0 * s * c * apq + c * c * aqq;
+                    a.data[p * n + p] = new_pp;
+                    a.data[q * n + q] = new_qq;
+                    a.set_sym(p, q, 0.0);
+                }
+            }
+        }
+        let mut eigs: Vec<f64> = (0..n).map(|i| a.get(i, i)).collect();
+        eigs.sort_by(|x, y| x.partial_cmp(y).expect("no NaNs"));
+        eigs
+    }
+}
+
+/// Convenience: eigenvalues with default tolerance (`1e-12`, 60 sweeps).
+pub fn symmetric_eigenvalues(m: &SymmetricMatrix) -> Vec<f64> {
+    m.eigenvalues(1e-12, 60)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: &[f64], b: &[f64], tol: f64) -> bool {
+        a.len() == b.len() && a.iter().zip(b).all(|(x, y)| (x - y).abs() < tol)
+    }
+
+    #[test]
+    fn diagonal_matrix_is_its_own_spectrum() {
+        let mut m = SymmetricMatrix::zeros(3);
+        m.set_sym(0, 0, 3.0);
+        m.set_sym(1, 1, -1.0);
+        m.set_sym(2, 2, 7.0);
+        assert!(close(&symmetric_eigenvalues(&m), &[-1.0, 3.0, 7.0], 1e-10));
+    }
+
+    #[test]
+    fn two_by_two_known() {
+        // [[2,1],[1,2]] has eigenvalues 1 and 3.
+        let mut m = SymmetricMatrix::zeros(2);
+        m.set_sym(0, 0, 2.0);
+        m.set_sym(1, 1, 2.0);
+        m.set_sym(0, 1, 1.0);
+        assert!(close(&symmetric_eigenvalues(&m), &[1.0, 3.0], 1e-10));
+    }
+
+    #[test]
+    fn complete_graph_spectrum() {
+        // K_n adjacency: eigenvalues n−1 (once) and −1 (n−1 times).
+        let n = 6;
+        let mut m = SymmetricMatrix::zeros(n);
+        for i in 0..n {
+            for j in 0..i {
+                m.set_sym(i, j, 1.0);
+            }
+        }
+        let eigs = symmetric_eigenvalues(&m);
+        let mut expected = vec![-1.0; n - 1];
+        expected.push((n - 1) as f64);
+        assert!(close(&eigs, &expected, 1e-9), "{eigs:?}");
+    }
+
+    #[test]
+    fn cycle_graph_spectrum() {
+        // C_n adjacency: eigenvalues 2cos(2πk/n).
+        let n = 8;
+        let mut m = SymmetricMatrix::zeros(n);
+        for i in 0..n {
+            m.set_sym(i, (i + 1) % n, 1.0);
+        }
+        let eigs = symmetric_eigenvalues(&m);
+        let mut expected: Vec<f64> = (0..n)
+            .map(|k| 2.0 * (2.0 * std::f64::consts::PI * k as f64 / n as f64).cos())
+            .collect();
+        expected.sort_by(|x, y| x.partial_cmp(y).expect("no NaN"));
+        assert!(close(&eigs, &expected, 1e-9), "{eigs:?} vs {expected:?}");
+    }
+
+    #[test]
+    fn path_graph_spectrum() {
+        // P_n adjacency: eigenvalues 2cos(kπ/(n+1)), k = 1..n.
+        let n = 5;
+        let mut m = SymmetricMatrix::zeros(n);
+        for i in 0..n - 1 {
+            m.set_sym(i, i + 1, 1.0);
+        }
+        let eigs = symmetric_eigenvalues(&m);
+        let mut expected: Vec<f64> = (1..=n)
+            .map(|k| 2.0 * (k as f64 * std::f64::consts::PI / (n + 1) as f64).cos())
+            .collect();
+        expected.sort_by(|x, y| x.partial_cmp(y).expect("no NaN"));
+        assert!(close(&eigs, &expected, 1e-9));
+    }
+
+    #[test]
+    fn trace_preserved() {
+        // Random symmetric matrix: Σλ = trace, Σλ² = ‖A‖_F².
+        let n = 10;
+        let mut m = SymmetricMatrix::zeros(n);
+        let mut seed = 12345u64;
+        let mut next = || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((seed >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        for i in 0..n {
+            for j in 0..=i {
+                m.set_sym(i, j, next());
+            }
+        }
+        let trace: f64 = (0..n).map(|i| m.get(i, i)).sum();
+        let fro: f64 = m.data.iter().map(|x| x * x).sum();
+        let eigs = symmetric_eigenvalues(&m);
+        let eig_sum: f64 = eigs.iter().sum();
+        let eig_sq: f64 = eigs.iter().map(|x| x * x).sum();
+        assert!((trace - eig_sum).abs() < 1e-9, "{trace} vs {eig_sum}");
+        assert!((fro - eig_sq).abs() < 1e-8, "{fro} vs {eig_sq}");
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        assert!(symmetric_eigenvalues(&SymmetricMatrix::zeros(0)).is_empty());
+        let mut one = SymmetricMatrix::zeros(1);
+        one.set_sym(0, 0, 5.0);
+        assert_eq!(symmetric_eigenvalues(&one), vec![5.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not symmetric")]
+    fn rejects_asymmetric_input() {
+        SymmetricMatrix::from_flat(2, vec![0.0, 1.0, 2.0, 0.0]);
+    }
+}

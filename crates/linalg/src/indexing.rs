@@ -1,0 +1,153 @@
+//! Block-index maps of §II-A.
+//!
+//! The paper works 1-based: for block size `n`,
+//!
+//! ```text
+//! α_n(i) = ⌊(i−1)/n⌋ + 1        (block number)
+//! β_n(i) = ((i−1) mod n) + 1    (intra-block index)
+//! γ_n(x, y) = (x−1)·n + y       (inverse)
+//! ```
+//!
+//! [`alpha`], [`beta`], [`gamma`] are the paper-faithful 1-based maps, used
+//! in tests that mirror the text. The 0-based hot-path equivalents used
+//! everywhere else are [`pair_of`] (`p → (p / n, p % n)`) and [`vertex_of`]
+//! (`(i, k) → i·n + k`); [`BlockIndex`] bundles a block size for repeated
+//! conversions.
+
+/// Paper's 1-based block number `α_n(i) = ⌊(i−1)/n⌋ + 1`.
+pub fn alpha(n: u64, i: u64) -> u64 {
+    debug_assert!(n > 0 && i > 0, "1-based maps need n>0 and i>=1");
+    (i - 1) / n + 1
+}
+
+/// Paper's 1-based intra-block index `β_n(i) = ((i−1) mod n) + 1`.
+pub fn beta(n: u64, i: u64) -> u64 {
+    debug_assert!(n > 0 && i > 0, "1-based maps need n>0 and i>=1");
+    (i - 1) % n + 1
+}
+
+/// Paper's 1-based inverse `γ_n(x, y) = (x−1)·n + y`.
+pub fn gamma(n: u64, x: u64, y: u64) -> u64 {
+    debug_assert!(n > 0 && x > 0 && y > 0 && y <= n);
+    (x - 1) * n + y
+}
+
+/// 0-based split: `p → (block, offset) = (p / n, p % n)`.
+#[inline]
+pub fn pair_of(n: u64, p: u64) -> (u64, u64) {
+    debug_assert!(n > 0);
+    (p / n, p % n)
+}
+
+/// 0-based join: `(block, offset) → block·n + offset`.
+#[inline]
+pub fn vertex_of(n: u64, block: u64, offset: u64) -> u64 {
+    debug_assert!(offset < n);
+    block * n + offset
+}
+
+/// A block size bundled with its conversion methods; `n_b` is the inner
+/// (second-factor) dimension of a Kronecker product.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockIndex {
+    n_b: u64,
+}
+
+impl BlockIndex {
+    /// Creates a block index with inner dimension `n_b > 0`.
+    pub fn new(n_b: u64) -> Self {
+        assert!(n_b > 0, "block size must be positive");
+        BlockIndex { n_b }
+    }
+
+    /// Inner dimension.
+    pub fn n_b(&self) -> u64 {
+        self.n_b
+    }
+
+    /// Splits a product vertex `p` into `(i, k)` with `i ∈ V_A`, `k ∈ V_B`.
+    #[inline]
+    pub fn split(&self, p: u64) -> (u64, u64) {
+        pair_of(self.n_b, p)
+    }
+
+    /// Joins factor vertices `(i, k)` into the product vertex.
+    #[inline]
+    pub fn join(&self, i: u64, k: u64) -> u64 {
+        vertex_of(self.n_b, i, k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn paper_examples() {
+        // Block size 3, global index 5 (1-based): block 2, offset 2.
+        assert_eq!(alpha(3, 5), 2);
+        assert_eq!(beta(3, 5), 2);
+        assert_eq!(gamma(3, 2, 2), 5);
+        // First element of first block.
+        assert_eq!(alpha(4, 1), 1);
+        assert_eq!(beta(4, 1), 1);
+        // Last element of a block.
+        assert_eq!(alpha(4, 4), 1);
+        assert_eq!(beta(4, 4), 4);
+        assert_eq!(alpha(4, 5), 2);
+        assert_eq!(beta(4, 5), 1);
+    }
+
+    #[test]
+    fn zero_based_equivalence() {
+        // 1-based (α, β) and 0-based split agree after shifting.
+        for n in 1..6u64 {
+            for p0 in 0..30u64 {
+                let p1 = p0 + 1;
+                let (i0, k0) = pair_of(n, p0);
+                assert_eq!(alpha(n, p1), i0 + 1);
+                assert_eq!(beta(n, p1), k0 + 1);
+                assert_eq!(gamma(n, i0 + 1, k0 + 1), vertex_of(n, i0, k0) + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn block_index_roundtrip_small() {
+        let b = BlockIndex::new(7);
+        for p in 0..50 {
+            let (i, k) = b.split(p);
+            assert_eq!(b.join(i, k), p);
+            assert!(k < 7);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn block_index_rejects_zero() {
+        BlockIndex::new(0);
+    }
+
+    proptest! {
+        #[test]
+        fn gamma_inverts_alpha_beta(n in 1u64..1000, i in 1u64..1_000_000) {
+            prop_assert_eq!(gamma(n, alpha(n, i), beta(n, i)), i);
+        }
+
+        #[test]
+        fn split_join_roundtrip(n in 1u64..1000, p in 0u64..1_000_000) {
+            let b = BlockIndex::new(n);
+            let (i, k) = b.split(p);
+            prop_assert_eq!(b.join(i, k), p);
+            prop_assert!(k < n);
+        }
+
+        #[test]
+        fn join_split_roundtrip(n in 1u64..1000, i in 0u64..1000, k_raw in 0u64..1000) {
+            let k = k_raw % n;
+            let b = BlockIndex::new(n);
+            prop_assert_eq!(b.split(b.join(i, k)), (i, k));
+        }
+    }
+}

@@ -1,0 +1,242 @@
+//! Explicit Kronecker products (Def. 1) and the Prop. 1 / Prop. 2 algebra.
+//!
+//! These routines are the *oracle* implementations: quadratic/worse in the
+//! product size, used only to verify the `kron-core` formulas on small
+//! factors. The property tests at the bottom machine-check every identity
+//! the paper's proofs rely on.
+
+use crate::dense::DenseMatrix;
+
+/// Dense Kronecker product `A ⊗ B` (Def. 1).
+///
+/// ```
+/// use kron_linalg::kronecker::kron_dense;
+/// use kron_linalg::DenseMatrix;
+///
+/// let a = DenseMatrix::from_rows(vec![vec![1, 0], vec![0, 1]]);
+/// let b = DenseMatrix::from_rows(vec![vec![0, 2], vec![3, 0]]);
+/// let c = kron_dense(&a, &b);
+/// assert_eq!(c.get(0, 1), 2); // block (0,0) = 1·B
+/// assert_eq!(c.get(2, 3), 2); // block (1,1) = 1·B
+/// assert_eq!(c.get(0, 3), 0); // block (0,1) = 0·B
+/// ```
+pub fn kron_dense(a: &DenseMatrix, b: &DenseMatrix) -> DenseMatrix {
+    let (ma, na) = (a.rows(), a.cols());
+    let (mb, nb) = (b.rows(), b.cols());
+    let mut out = DenseMatrix::zeros(ma * mb, na * nb);
+    for i in 0..ma {
+        for j in 0..na {
+            let aij = a.get(i, j);
+            if aij == 0 {
+                continue;
+            }
+            for k in 0..mb {
+                for l in 0..nb {
+                    out.set(i * mb + k, j * nb + l, aij * b.get(k, l));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Kronecker product of vectors: `(x ⊗ y)[i·len(y) + k] = x[i]·y[k]`.
+pub fn kron_vec(x: &[i64], y: &[i64]) -> Vec<i64> {
+    let mut out = Vec::with_capacity(x.len() * y.len());
+    for &xi in x {
+        for &yk in y {
+            out.push(xi * yk);
+        }
+    }
+    out
+}
+
+/// Floating-point Kronecker product of vectors.
+pub fn kron_vec_f64(x: &[f64], y: &[f64]) -> Vec<f64> {
+    let mut out = Vec::with_capacity(x.len() * y.len());
+    for &xi in x {
+        for &yk in y {
+            out.push(xi * yk);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn mat(rows: usize, cols: usize) -> impl Strategy<Value = DenseMatrix> {
+        proptest::collection::vec(
+            proptest::collection::vec(-3i64..=3, cols),
+            rows,
+        )
+        .prop_map(DenseMatrix::from_rows)
+    }
+
+    fn sq(n: usize) -> impl Strategy<Value = DenseMatrix> {
+        mat(n, n)
+    }
+
+    #[test]
+    fn kron_known_value() {
+        let a = DenseMatrix::from_rows(vec![vec![1, 2], vec![3, 4]]);
+        let b = DenseMatrix::from_rows(vec![vec![0, 5], vec![6, 7]]);
+        let c = kron_dense(&a, &b);
+        assert_eq!(c.rows(), 4);
+        assert_eq!(c.cols(), 4);
+        // Block (0,1) is 2·B.
+        assert_eq!(c.get(0, 2), 0);
+        assert_eq!(c.get(0, 3), 10);
+        assert_eq!(c.get(1, 2), 12);
+        assert_eq!(c.get(1, 3), 14);
+        // Block (1,0) is 3·B.
+        assert_eq!(c.get(3, 1), 21);
+    }
+
+    #[test]
+    fn kron_vec_known_value() {
+        assert_eq!(kron_vec(&[1, 2], &[3, 4, 5]), vec![3, 4, 5, 6, 8, 10]);
+        assert_eq!(kron_vec(&[], &[1]), Vec::<i64>::new());
+    }
+
+    #[test]
+    fn kron_vec_f64_known_value() {
+        assert_eq!(kron_vec_f64(&[0.5, 2.0], &[4.0]), vec![2.0, 8.0]);
+    }
+
+    #[test]
+    fn kron_with_identity_is_block_diagonal() {
+        let b = DenseMatrix::from_rows(vec![vec![1, 2], vec![3, 4]]);
+        let c = kron_dense(&DenseMatrix::identity(2), &b);
+        assert_eq!(c.get(0, 0), 1);
+        assert_eq!(c.get(0, 2), 0);
+        assert_eq!(c.get(2, 2), 1);
+        assert_eq!(c.get(3, 2), 3);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Prop. 1(a): (a1·a2)(A1 ⊗ A2) = (a1·A1) ⊗ (a2·A2).
+        #[test]
+        fn prop1a_scalar_multiplication(a in sq(2), b in sq(3), s1 in -3i64..=3, s2 in -3i64..=3) {
+            prop_assert_eq!(
+                kron_dense(&a, &b).scale(s1 * s2),
+                kron_dense(&a.scale(s1), &b.scale(s2))
+            );
+        }
+
+        /// Prop. 1(b): (A1 + A2) ⊗ A3 = (A1 ⊗ A3) + (A2 ⊗ A3), and the
+        /// right-distributive twin.
+        #[test]
+        fn prop1b_distributivity(a1 in sq(2), a2 in sq(2), a3 in sq(3)) {
+            prop_assert_eq!(
+                kron_dense(&(&a1 + &a2), &a3),
+                &kron_dense(&a1, &a3) + &kron_dense(&a2, &a3)
+            );
+            prop_assert_eq!(
+                kron_dense(&a3, &(&a1 + &a2)),
+                &kron_dense(&a3, &a1) + &kron_dense(&a3, &a2)
+            );
+        }
+
+        /// Prop. 1(c): (A1 ⊗ A2)ᵗ = A1ᵗ ⊗ A2ᵗ.
+        #[test]
+        fn prop1c_transposition(a in mat(2, 3), b in mat(3, 2)) {
+            prop_assert_eq!(
+                kron_dense(&a, &b).transpose(),
+                kron_dense(&a.transpose(), &b.transpose())
+            );
+        }
+
+        /// Prop. 1(d): (A1 ⊗ A2)(A3 ⊗ A4) = (A1·A3) ⊗ (A2·A4).
+        #[test]
+        fn prop1d_mixed_product(a1 in sq(2), a2 in sq(2), a3 in sq(2), a4 in sq(2)) {
+            prop_assert_eq!(
+                &kron_dense(&a1, &a2) * &kron_dense(&a3, &a4),
+                kron_dense(&(&a1 * &a3), &(&a2 * &a4))
+            );
+        }
+
+        /// Prop. 2(a)/(b): Hadamard commutativity and scalar rule.
+        #[test]
+        fn prop2ab_hadamard_basics(a in sq(3), b in sq(3), s1 in -3i64..=3, s2 in -3i64..=3) {
+            prop_assert_eq!(a.hadamard(&b), b.hadamard(&a));
+            prop_assert_eq!(
+                a.hadamard(&b).scale(s1 * s2),
+                a.scale(s1).hadamard(&b.scale(s2))
+            );
+        }
+
+        /// Prop. 2(c): Hadamard distributes over addition.
+        #[test]
+        fn prop2c_hadamard_distributivity(a1 in sq(3), a2 in sq(3), a3 in sq(3)) {
+            prop_assert_eq!(
+                (&a1 + &a2).hadamard(&a3),
+                &a1.hadamard(&a3) + &a2.hadamard(&a3)
+            );
+        }
+
+        /// Prop. 2(d): (A1 ∘ A2)ᵗ = A1ᵗ ∘ A2ᵗ.
+        #[test]
+        fn prop2d_hadamard_transpose(a in mat(2, 3), b in mat(2, 3)) {
+            prop_assert_eq!(
+                a.hadamard(&b).transpose(),
+                a.transpose().hadamard(&b.transpose())
+            );
+        }
+
+        /// Prop. 2(e): (A1 ⊗ A2) ∘ (A3 ⊗ A4) = (A1 ∘ A3) ⊗ (A2 ∘ A4).
+        #[test]
+        fn prop2e_hadamard_kron_distributivity(
+            a1 in sq(2), a2 in sq(3), a3 in sq(2), a4 in sq(3)
+        ) {
+            prop_assert_eq!(
+                kron_dense(&a1, &a2).hadamard(&kron_dense(&a3, &a4)),
+                kron_dense(&a1.hadamard(&a3), &a2.hadamard(&a4))
+            );
+        }
+
+        /// Prop. 2(f): diag(A1 ⊗ A2) = diag(A1) ⊗ diag(A2).
+        #[test]
+        fn prop2f_diag_kron_distributivity(a1 in sq(2), a2 in sq(3)) {
+            prop_assert_eq!(
+                kron_dense(&a1, &a2).diag_vector(),
+                kron_vec(&a1.diag_vector(), &a2.diag_vector())
+            );
+        }
+
+        /// Sparse and dense Kronecker agree on 0/1 inputs.
+        #[test]
+        fn sparse_dense_kron_agree(
+            coords_a in proptest::collection::btree_set((0u64..3, 0u64..3), 0..6),
+            coords_b in proptest::collection::btree_set((0u64..4, 0u64..4), 0..8),
+        ) {
+            use crate::sparse::SparseBoolMatrix;
+            let sa = SparseBoolMatrix::from_coords(3, coords_a);
+            let sb = SparseBoolMatrix::from_coords(4, coords_b);
+            prop_assert_eq!(
+                sa.kronecker(&sb).to_dense(),
+                kron_dense(&sa.to_dense(), &sb.to_dense())
+            );
+        }
+
+        /// Vector Kronecker is the matrix Kronecker of column vectors.
+        #[test]
+        fn vec_kron_matches_matrix(
+            x in proptest::collection::vec(-3i64..=3, 1..4),
+            y in proptest::collection::vec(-3i64..=3, 1..4),
+        ) {
+            let xm = DenseMatrix::from_rows(x.iter().map(|&v| vec![v]).collect());
+            let ym = DenseMatrix::from_rows(y.iter().map(|&v| vec![v]).collect());
+            let km = kron_dense(&xm, &ym);
+            let kv = kron_vec(&x, &y);
+            prop_assert_eq!(km.rows(), kv.len());
+            for (i, &v) in kv.iter().enumerate() {
+                prop_assert_eq!(km.get(i, 0), v);
+            }
+        }
+    }
+}

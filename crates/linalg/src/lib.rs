@@ -1,0 +1,21 @@
+//! # kron-linalg — Kronecker algebra oracle
+//!
+//! Small dense/sparse matrix algebra implementing §II of the paper exactly:
+//! block-index maps (`α`, `β`, `γ`), Kronecker products (Def. 1), Hadamard
+//! products (Def. 2), diagonal operators (Def. 4), and the algebraic
+//! identities of Prop. 1 / Prop. 2.
+//!
+//! This crate exists so every ground-truth Kronecker formula in `kron-core`
+//! can be verified against *explicit* matrix computation on small factors —
+//! an independent oracle with no shared code paths.
+
+pub mod dense;
+pub mod eigen;
+pub mod indexing;
+pub mod kronecker;
+pub mod sparse;
+
+pub use dense::DenseMatrix;
+pub use eigen::{symmetric_eigenvalues, SymmetricMatrix};
+pub use indexing::{alpha, beta, gamma, pair_of, vertex_of, BlockIndex};
+pub use sparse::SparseBoolMatrix;

@@ -1,0 +1,191 @@
+//! Sparse boolean (0/1) matrices: the adjacency-matrix view of a graph,
+//! with conversions to the dense oracle representation.
+
+use std::collections::BTreeSet;
+
+use crate::dense::DenseMatrix;
+
+/// A sparse square boolean matrix stored as a sorted coordinate set.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SparseBoolMatrix {
+    n: usize,
+    entries: BTreeSet<(u64, u64)>,
+}
+
+impl SparseBoolMatrix {
+    /// Empty `n × n` matrix.
+    pub fn new(n: usize) -> Self {
+        SparseBoolMatrix { n, entries: BTreeSet::new() }
+    }
+
+    /// Builds from coordinates, asserting they are in range.
+    pub fn from_coords(n: usize, coords: impl IntoIterator<Item = (u64, u64)>) -> Self {
+        let mut m = Self::new(n);
+        for (r, c) in coords {
+            m.insert(r, c);
+        }
+        m
+    }
+
+    /// Dimension.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of nonzeros.
+    pub fn nnz(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Sets entry `(r, c)` to 1.
+    pub fn insert(&mut self, r: u64, c: u64) {
+        assert!(r < self.n as u64 && c < self.n as u64, "index out of range");
+        self.entries.insert((r, c));
+    }
+
+    /// True when entry `(r, c)` is 1.
+    pub fn get(&self, r: u64, c: u64) -> bool {
+        self.entries.contains(&(r, c))
+    }
+
+    /// Iterates nonzero coordinates in row-major order.
+    pub fn coords(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.entries.iter().copied()
+    }
+
+    /// Converts to the dense integer representation.
+    pub fn to_dense(&self) -> DenseMatrix {
+        let mut d = DenseMatrix::zeros(self.n, self.n);
+        for &(r, c) in &self.entries {
+            d.set(r as usize, c as usize, 1);
+        }
+        d
+    }
+
+    /// Boolean Kronecker product: nonzero at `(i·n_b + k, j·n_b + l)` iff
+    /// `self[i,j]` and `other[k,l]` are both nonzero (Def. 1 on 0/1 inputs).
+    pub fn kronecker(&self, other: &SparseBoolMatrix) -> SparseBoolMatrix {
+        let nb = other.n as u64;
+        let mut out = SparseBoolMatrix::new(self.n * other.n);
+        for &(i, j) in &self.entries {
+            for &(k, l) in &other.entries {
+                out.insert(i * nb + k, j * nb + l);
+            }
+        }
+        out
+    }
+
+    /// Entrywise AND (Hadamard product on 0/1 matrices).
+    pub fn hadamard(&self, other: &SparseBoolMatrix) -> SparseBoolMatrix {
+        assert_eq!(self.n, other.n, "shape mismatch");
+        SparseBoolMatrix {
+            n: self.n,
+            entries: self.entries.intersection(&other.entries).copied().collect(),
+        }
+    }
+
+    /// Entrywise OR (boolean sum).
+    pub fn union(&self, other: &SparseBoolMatrix) -> SparseBoolMatrix {
+        assert_eq!(self.n, other.n, "shape mismatch");
+        SparseBoolMatrix {
+            n: self.n,
+            entries: self.entries.union(&other.entries).copied().collect(),
+        }
+    }
+
+    /// Adds ones along the full diagonal (`A + I` as boolean OR).
+    pub fn with_identity(&self) -> SparseBoolMatrix {
+        let mut out = self.clone();
+        for i in 0..self.n as u64 {
+            out.entries.insert((i, i));
+        }
+        out
+    }
+
+    /// True when symmetric.
+    pub fn is_symmetric(&self) -> bool {
+        self.entries.iter().all(|&(r, c)| self.entries.contains(&(c, r)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_cycle() -> SparseBoolMatrix {
+        SparseBoolMatrix::from_coords(2, [(0, 1), (1, 0)])
+    }
+
+    #[test]
+    fn insert_get_nnz() {
+        let mut m = SparseBoolMatrix::new(3);
+        assert_eq!(m.nnz(), 0);
+        m.insert(0, 2);
+        m.insert(0, 2);
+        assert_eq!(m.nnz(), 1);
+        assert!(m.get(0, 2));
+        assert!(!m.get(2, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn insert_out_of_range() {
+        SparseBoolMatrix::new(2).insert(2, 0);
+    }
+
+    #[test]
+    fn to_dense_matches() {
+        let m = two_cycle();
+        let d = m.to_dense();
+        assert_eq!(d.get(0, 1), 1);
+        assert_eq!(d.get(1, 0), 1);
+        assert_eq!(d.get(0, 0), 0);
+    }
+
+    #[test]
+    fn kronecker_of_edges() {
+        // K2 ⊗ K2 = two disjoint edges (the classic disconnect).
+        let k2 = two_cycle();
+        let c = k2.kronecker(&k2);
+        assert_eq!(c.n(), 4);
+        assert_eq!(c.nnz(), 4);
+        assert!(c.get(0, 3)); // (0,0)x(1,1)
+        assert!(c.get(1, 2));
+        assert!(!c.get(0, 1));
+    }
+
+    #[test]
+    fn kronecker_block_layout() {
+        // A = [[1,0],[0,0]] (single entry at (0,0)) ⊗ B places B in block (0,0).
+        let a = SparseBoolMatrix::from_coords(2, [(0, 0)]);
+        let b = SparseBoolMatrix::from_coords(3, [(1, 2)]);
+        let c = a.kronecker(&b);
+        assert_eq!(c.nnz(), 1);
+        assert!(c.get(1, 2));
+    }
+
+    #[test]
+    fn hadamard_and_union() {
+        let a = SparseBoolMatrix::from_coords(2, [(0, 0), (0, 1)]);
+        let b = SparseBoolMatrix::from_coords(2, [(0, 1), (1, 1)]);
+        assert_eq!(a.hadamard(&b), SparseBoolMatrix::from_coords(2, [(0, 1)]));
+        assert_eq!(
+            a.union(&b),
+            SparseBoolMatrix::from_coords(2, [(0, 0), (0, 1), (1, 1)])
+        );
+    }
+
+    #[test]
+    fn with_identity_sets_diagonal() {
+        let m = two_cycle().with_identity();
+        assert!(m.get(0, 0));
+        assert!(m.get(1, 1));
+        assert_eq!(m.nnz(), 4);
+    }
+
+    #[test]
+    fn symmetry() {
+        assert!(two_cycle().is_symmetric());
+        assert!(!SparseBoolMatrix::from_coords(2, [(0, 1)]).is_symmetric());
+    }
+}

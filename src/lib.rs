@@ -1,0 +1,43 @@
+//! # kronecker — distributed Kronecker graph generation with ground truth
+//!
+//! A Rust reproduction of *"Distributed Kronecker Graph Generation with
+//! Ground Truth of Many Graph Properties"* (Steil, Priest, Sanders,
+//! Pearce, La Fond, Iwabuchi; IPDPS-W 2019): nonstochastic Kronecker
+//! product graphs `C = A ⊗ B` generated at scale from two small factors,
+//! with *exact* ground truth for degrees, triangle participation,
+//! clustering coefficients, distances, eccentricity, diameter, closeness
+//! centrality, and community structure — all computed from factor-sized
+//! state.
+//!
+//! This crate is a facade re-exporting the workspace members:
+//!
+//! * [`graph`] — graph substrate (CSR, edge lists, IO, generators)
+//! * [`linalg`] — explicit Kronecker/Hadamard algebra (the test oracle)
+//! * [`analytics`] — direct reference algorithms (BFS, triangles, …)
+//! * [`core`] — the implicit Kronecker graph and every ground-truth formula
+//! * [`dist`] — the simulated distributed generator (§III)
+//! * [`datasets`] — stand-ins for the paper's datasets
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use kronecker::core::{KroneckerPair, SelfLoopMode};
+//! use kronecker::core::triangles::TriangleOracle;
+//! use kronecker::graph::generators::clique;
+//!
+//! // C = (K4 + I) ⊗ (K4 + I): 16 vertices, dense Kronecker structure.
+//! let pair = KroneckerPair::with_full_self_loops(clique(4), clique(4)).unwrap();
+//! assert_eq!(pair.n_c(), 16);
+//!
+//! // Ground-truth triangles at vertex 0 straight from the factors.
+//! let oracle = TriangleOracle::new(&pair).unwrap();
+//! let t0 = oracle.vertex_triangles_of(0).unwrap();
+//! assert!(t0 > 0);
+//! ```
+
+pub use kron_analytics as analytics;
+pub use kron_core as core;
+pub use kron_datasets as datasets;
+pub use kron_dist as dist;
+pub use kron_graph as graph;
+pub use kron_linalg as linalg;

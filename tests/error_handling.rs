@@ -1,0 +1,97 @@
+//! Error-path coverage: every error variant is constructible, displays a
+//! useful message, and round-trips through `std::error::Error`.
+
+use kronecker::core::{KronError, KroneckerPair, SelfLoopMode};
+use kronecker::graph::generators::clique;
+use kronecker::graph::{CsrGraph, EdgeList, GraphError};
+
+#[test]
+fn graph_error_messages() {
+    let cases: Vec<(GraphError, &str)> = vec![
+        (GraphError::VertexOutOfRange { vertex: 9, n: 4 }, "vertex 9 out of range"),
+        (
+            GraphError::NotUndirected { missing_reverse: (1, 2) },
+            "arc (1,2) has no reverse",
+        ),
+        (GraphError::HasSelfLoop { vertex: 3 }, "self loop at vertex 3"),
+        (
+            GraphError::Parse { line: 7, message: "bad field".into() },
+            "line 7",
+        ),
+        (
+            GraphError::Io(std::io::Error::other("disk gone")),
+            "io error",
+        ),
+    ];
+    for (err, needle) in cases {
+        let text = err.to_string();
+        assert!(text.contains(needle), "{text:?} missing {needle:?}");
+    }
+    // Io wraps a source; others do not.
+    use std::error::Error;
+    assert!(GraphError::Io(std::io::Error::other("x")).source().is_some());
+    assert!(GraphError::HasSelfLoop { vertex: 0 }.source().is_none());
+}
+
+#[test]
+fn kron_error_messages() {
+    let cases: Vec<(KronError, &str)> = vec![
+        (
+            KronError::FactorHasSelfLoop { factor: 'A', vertex: 2 },
+            "factor A has a self loop at 2",
+        ),
+        (
+            KronError::RequiresLoopFree { formula: "Thm. 1" },
+            "Thm. 1 requires loop-free",
+        ),
+        (
+            KronError::RequiresFullSelfLoops { formula: "Thm. 3" },
+            "Thm. 3 requires full self loops",
+        ),
+        (KronError::RequiresUndirected { factor: 'B' }, "factor B must be undirected"),
+        (KronError::VertexOutOfRange { vertex: 10, n: 4 }, "vertex 10 out of range"),
+        (KronError::NotAnEdge { p: 1, q: 2 }, "(1,2) is not an edge"),
+    ];
+    for (err, needle) in cases {
+        let text = err.to_string();
+        assert!(text.contains(needle), "{text:?} missing {needle:?}");
+    }
+}
+
+#[test]
+fn error_paths_fire_where_documented() {
+    // FactorHasSelfLoop from the constructor.
+    let looped = clique(3).with_full_self_loops();
+    let err = KroneckerPair::new(looped.clone(), clique(3), SelfLoopMode::FullBoth)
+        .unwrap_err();
+    assert!(matches!(err, KronError::FactorHasSelfLoop { factor: 'A', vertex: 0 }));
+
+    // RequiresFullSelfLoops from the distance oracle.
+    let plain = KroneckerPair::as_is(clique(3), clique(3)).unwrap();
+    let err = match kronecker::core::distance::DistanceOracle::new(&plain) {
+        Err(e) => e,
+        Ok(_) => panic!("expected RequiresFullSelfLoops"),
+    };
+    assert!(matches!(err, KronError::RequiresFullSelfLoops { .. }));
+
+    // RequiresUndirected from the relaxed distance oracle.
+    let directed = CsrGraph::from_arcs(2, vec![(0, 1)]).unwrap();
+    let pair =
+        KroneckerPair::as_is(clique(3).with_full_self_loops(), directed).unwrap();
+    let err = match kronecker::core::distance::DistanceOracle::new_relaxed(&pair) {
+        Err(e) => e,
+        Ok(_) => panic!("expected RequiresUndirected"),
+    };
+    assert!(matches!(err, KronError::RequiresUndirected { factor: 'B' }));
+
+    // GraphError from edge-list construction.
+    let err = EdgeList::from_arcs(2, vec![(0, 5)]).unwrap_err();
+    assert!(matches!(err, GraphError::VertexOutOfRange { vertex: 5, n: 2 }));
+}
+
+#[test]
+fn errors_are_boxable_and_send() {
+    fn takes_boxed(_: Box<dyn std::error::Error + Send + Sync>) {}
+    takes_boxed(Box::new(KronError::NotAnEdge { p: 0, q: 1 }));
+    takes_boxed(Box::new(GraphError::HasSelfLoop { vertex: 0 }));
+}

@@ -1,0 +1,217 @@
+//! Integration tests pinned to specific claims made in the paper's text —
+//! one test per claim, named after where the claim appears.
+
+use kronecker::analytics::{clustering, community, distance, triangles};
+use kronecker::core::community::CommunityOracle;
+use kronecker::core::distance::DistanceOracle;
+use kronecker::core::triangles::TriangleOracle;
+use kronecker::core::{generate, KroneckerPair, SelfLoopMode};
+use kronecker::graph::connectivity::connected_components;
+use kronecker::graph::generators::{
+    barabasi_albert, clique, cycle, disjoint_cliques, erdos_renyi, path, star,
+};
+
+/// §I table: `n_C = n_A n_B` and `m_C = 2 m_A m_B` for loop-free factors.
+#[test]
+fn intro_table_vertices_and_edges() {
+    let a = erdos_renyi(14, 0.4, 1);
+    let b = barabasi_albert(11, 2, 2);
+    let pair = KroneckerPair::as_is(a.clone(), b.clone()).unwrap();
+    assert_eq!(pair.n_c(), a.n() * b.n());
+    assert_eq!(
+        pair.undirected_edge_count_c(),
+        2 * a.undirected_edge_count() as u128 * b.undirected_edge_count() as u128
+    );
+    let c = generate::materialize(&pair);
+    assert_eq!(c.undirected_edge_count() as u128, pair.undirected_edge_count_c());
+}
+
+/// §I table: `τ_C = 6 τ_A τ_B`.
+#[test]
+fn intro_table_global_triangles() {
+    let a = erdos_renyi(12, 0.5, 3);
+    let b = erdos_renyi(11, 0.5, 4);
+    let (ta, tb) = (triangles::global_triangles(&a), triangles::global_triangles(&b));
+    let pair = KroneckerPair::as_is(a, b).unwrap();
+    let c = generate::materialize(&pair);
+    assert_eq!(triangles::global_triangles(&c) as u128, 6 * ta as u128 * tb as u128);
+}
+
+/// §I: "the lack of vertices with large prime degrees" — every product
+/// degree factors as d_A(i)·d_B(k).
+#[test]
+fn intro_no_large_prime_degrees() {
+    let a = erdos_renyi(20, 0.4, 5);
+    let b = erdos_renyi(20, 0.4, 6);
+    let pair = KroneckerPair::as_is(a.clone(), b.clone()).unwrap();
+    let c = generate::materialize(&pair);
+    let da: std::collections::BTreeSet<u64> = a.degrees().into_iter().collect();
+    let db: std::collections::BTreeSet<u64> = b.degrees().into_iter().collect();
+    for d in c.degrees() {
+        let factors = da.iter().any(|&x| db.iter().any(|&y| x * y == d));
+        assert!(factors, "degree {d} is not a factor-degree product");
+    }
+}
+
+/// Thm. 1: θ_p hits its minimum 1/3 exactly at d_i = d_k = 2 (e.g. two
+/// triangle factors).
+#[test]
+fn thm1_theta_minimum_attained() {
+    let pair = KroneckerPair::as_is(clique(3), clique(3)).unwrap();
+    let c = generate::materialize(&pair);
+    let eta_c = clustering::vertex_clustering(&c);
+    // η_A = η_B = 1, so η_C = θ = 1/3 at every product vertex.
+    for (p, &eta) in eta_c.iter().enumerate() {
+        assert!((eta - 1.0 / 3.0).abs() < 1e-12, "vertex {p}: {eta}");
+    }
+}
+
+/// §IV-A: "θ_p = 1 is possible when self loops are in both factors and
+/// η_A(i) = η_B(k) = 1" — clique factors with full loops give a clique.
+#[test]
+fn full_self_loop_cliques_stay_cliques() {
+    let pair = KroneckerPair::with_full_self_loops(clique(3), clique(4)).unwrap();
+    let c = generate::materialize(&pair);
+    let eta = clustering::vertex_clustering(&c);
+    for &e in &eta {
+        assert!((e - 1.0).abs() < 1e-12, "product of cliques must be a clique");
+    }
+}
+
+/// Cor. 3: `diam(C) = max(diam A, diam B)` with full self loops.
+#[test]
+fn cor3_diameter_max_law() {
+    for (a, b) in [
+        (path(9), cycle(5)),
+        (star(7), path(4)),
+        (barabasi_albert(25, 2, 7), cycle(11)),
+    ] {
+        let da = distance::diameter(&a.with_full_self_loops());
+        let db = distance::diameter(&b.with_full_self_loops());
+        let pair = KroneckerPair::with_full_self_loops(a, b).unwrap();
+        let c = generate::materialize(&pair);
+        assert_eq!(distance::diameter(&c), da.max(db));
+        let oracle = DistanceOracle::new(&pair).unwrap();
+        assert_eq!(oracle.diameter(), da.max(db));
+    }
+}
+
+/// §V-C diameter control: choosing A = long path with loops makes `C`
+/// inherit A's large diameter while embedding B's structure.
+#[test]
+fn section5c_diameter_control() {
+    let b = barabasi_albert(30, 3, 8); // small-world structure
+    let db = distance::diameter(&b.with_full_self_loops());
+    assert!(db <= 5, "factor B should be small-world, got {db}");
+    let a = path(40); // planted large diameter
+    let pair = KroneckerPair::with_full_self_loops(a, b).unwrap();
+    let oracle = DistanceOracle::new(&pair).unwrap();
+    assert_eq!(oracle.diameter(), 39, "diameter controlled by the path factor");
+}
+
+/// Ex. 1: disjoint cliques ⊗ disjoint cliques = disjoint cliques, with
+/// the counts `x_A x_B` and `y_A y_B`.
+#[test]
+fn example1_clique_partition_product() {
+    let (xa, ya, xb, yb) = (2u64, 3u64, 3u64, 2u64);
+    let pair = KroneckerPair::with_full_self_loops(
+        disjoint_cliques(xa, ya),
+        disjoint_cliques(xb, yb),
+    )
+    .unwrap();
+    let c = generate::materialize(&pair);
+    let comps = connected_components(&c);
+    assert_eq!(comps.count as u64, xa * xb);
+    assert!(comps.sizes().iter().all(|&s| s == ya * yb));
+    // Each component is a clique (with loops): every within-component
+    // pair is adjacent.
+    let members = comps.members(0);
+    for &u in &members {
+        for &v in &members {
+            assert!(c.has_arc(u, v), "({u},{v}) missing inside component");
+        }
+    }
+}
+
+/// Ex. 1 (second half): SBM factors give `ρ_in(S_C) ≈ ρ_in(A)ρ_in(B)` and
+/// `ρ_out(S_C) ≈ ρ_out(A)ρ_out(B)` at significant size.
+#[test]
+fn example1_sbm_density_squares() {
+    use kronecker::graph::generators::{sbm, SbmConfig};
+    let cfg = SbmConfig::uniform(4, 60, 0.4, 0.02, 9);
+    let a = sbm(&cfg);
+    let labels = cfg.labels();
+    let profiles_a = community::partition_profiles(&a, &labels, 4);
+    let pair = KroneckerPair::with_full_self_loops(a.clone(), a).unwrap();
+    let oracle = CommunityOracle::new(&pair).unwrap();
+    let profiles_c = oracle.kron_partition_profiles(&labels, 4, &labels, 4);
+    for (ai, pa) in profiles_a.iter().enumerate() {
+        for (bi, pb) in profiles_a.iter().enumerate() {
+            let pc = &profiles_c[ai * 4 + bi];
+            let in_ratio = pc.rho_in / (pa.rho_in * pb.rho_in);
+            assert!((0.3..=1.5).contains(&in_ratio), "rho_in ratio {in_ratio}");
+            let out_ratio = pc.rho_out / (pa.rho_out * pb.rho_out);
+            // Cor. 7 regime: the ratio is bounded by the (3 + 4ω)·Ω
+            // constant of the conservative bound (see DESIGN.md).
+            let omega = (pa.m_in as f64 / pa.m_out as f64)
+                .max(pb.m_in as f64 / pb.m_out as f64);
+            let upper = 3.0 + 4.0 * omega;
+            assert!(
+                out_ratio >= 0.5 && out_ratio <= upper * 1.1,
+                "rho_out ratio {out_ratio} outside (0.5, {upper})"
+            );
+        }
+    }
+}
+
+/// §IV-A: full-self-loop products are "the densest structure possible"
+/// for Kronecker graphs — strictly more edges than the plain product, and
+/// connected when factors are.
+#[test]
+fn full_both_densest_and_connected() {
+    let a = erdos_renyi(10, 0.5, 11);
+    let b = barabasi_albert(9, 2, 12);
+    let plain = KroneckerPair::as_is(a.clone(), b.clone()).unwrap();
+    let full = KroneckerPair::with_full_self_loops(a, b).unwrap();
+    assert!(full.nnz_c() > plain.nnz_c());
+    use kronecker::graph::connectivity::is_connected;
+    // K2 ⊗ K2 is the canonical disconnection; loops repair it.
+    let k2 = clique(2);
+    let plain_sq = generate::materialize(&KroneckerPair::as_is(k2.clone(), k2.clone()).unwrap());
+    assert!(!is_connected(&plain_sq));
+    let full_sq =
+        generate::materialize(&KroneckerPair::with_full_self_loops(k2.clone(), k2).unwrap());
+    assert!(is_connected(&full_sq));
+}
+
+/// Cor. 1 is *not* the loop-free formula: the cross terms matter. A
+/// triangle-free factor still yields triangles under FullBoth.
+#[test]
+fn cor1_cross_terms_create_triangles() {
+    let pair = KroneckerPair::with_full_self_loops(cycle(5), cycle(7)).unwrap();
+    let oracle = TriangleOracle::new(&pair).unwrap();
+    assert!(oracle.global_triangles() > 0);
+    let c = generate::materialize(&pair);
+    assert_eq!(
+        triangles::global_triangles(&c) as u128,
+        oracle.global_triangles()
+    );
+}
+
+/// SelfLoopMode::AsIs with factors that already carry full loops satisfies
+/// the distance formulas too (Thm. 3's actual premise is on the effective
+/// factors, however they were obtained).
+#[test]
+fn preloaded_loops_work_as_is() {
+    let a = path(5).with_full_self_loops();
+    let b = cycle(4).with_full_self_loops();
+    let pair = KroneckerPair::new(a, b, SelfLoopMode::AsIs).unwrap();
+    let oracle = DistanceOracle::new(&pair).unwrap();
+    let c = generate::materialize(&pair);
+    for p in (0..pair.n_c()).step_by(3) {
+        assert_eq!(
+            oracle.eccentricity_of(p).unwrap(),
+            distance::eccentricity(&c, p)
+        );
+    }
+}

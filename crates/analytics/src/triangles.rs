@@ -8,7 +8,7 @@
 //! of Chiba–Nishizeki (the paper's reference [22]): each triangle
 //! `{u, v, w}` with `u < v < w` is visited exactly once.
 
-use kron_graph::{CsrGraph, VertexId};
+use kron_graph::{parallel, CsrGraph, VertexId};
 use serde::{Deserialize, Serialize};
 
 /// Vertex triangle counts plus the global total.
@@ -107,6 +107,68 @@ pub fn global_triangles(g: &CsrGraph) -> u64 {
     count
 }
 
+/// Parallel [`vertex_triangles`] (`None` = machine parallelism).
+///
+/// Anchor vertices are split across workers by degree weight; each worker
+/// counts into a private per-vertex vector and the vectors are summed in
+/// worker order. Counts are exact integers, so the result is identical to
+/// the sequential one.
+pub fn vertex_triangles_threads(g: &CsrGraph, threads: Option<usize>) -> TriangleCounts {
+    let t = parallel::num_threads(threads);
+    if t <= 1 {
+        return vertex_triangles(g);
+    }
+    let n = g.n() as usize;
+    let parts = parallel::map_ranges(anchor_ranges(g, t), |_, anchors| {
+        let mut per_vertex = vec![0u64; n];
+        let mut triple_sum = 0u64;
+        enumerate_triangles_in(g, anchors.start as u64..anchors.end as u64, |u, v, w| {
+            per_vertex[u as usize] += 1;
+            per_vertex[v as usize] += 1;
+            per_vertex[w as usize] += 1;
+            triple_sum += 1;
+        });
+        (per_vertex, triple_sum)
+    });
+    let mut per_vertex = vec![0u64; n];
+    let mut global = 0u64;
+    for (part, count) in parts {
+        for (acc, x) in per_vertex.iter_mut().zip(part) {
+            *acc += x;
+        }
+        global += count;
+    }
+    TriangleCounts { per_vertex, global }
+}
+
+/// Parallel [`global_triangles`] (`None` = machine parallelism).
+pub fn global_triangles_threads(g: &CsrGraph, threads: Option<usize>) -> u64 {
+    let t = parallel::num_threads(threads);
+    if t <= 1 {
+        return global_triangles(g);
+    }
+    parallel::map_ranges(anchor_ranges(g, t), |_, anchors| {
+        let mut count = 0u64;
+        enumerate_triangles_in(g, anchors.start as u64..anchors.end as u64, |_, _, _| {
+            count += 1
+        });
+        count
+    })
+    .into_iter()
+    .sum()
+}
+
+/// Splits the anchor-vertex space into `chunks` ranges weighted by degree,
+/// so high-degree rows do not serialize one worker.
+fn anchor_ranges(g: &CsrGraph, chunks: usize) -> Vec<std::ops::Range<usize>> {
+    let n = g.n() as usize;
+    let mut prefix = vec![0usize; n + 1];
+    for v in 0..n {
+        prefix[v + 1] = prefix[v] + g.degree(v as u64) as usize;
+    }
+    parallel::split_by_weight(&prefix, chunks)
+}
+
 /// Triangle participation at every edge (Def. 6):
 /// `Δ_uv = |N(u) ∩ N(v)|` on the loop-free core.
 pub fn edge_triangles(g: &CsrGraph) -> EdgeTriangles {
@@ -128,8 +190,20 @@ pub fn edge_triangles(g: &CsrGraph) -> EdgeTriangles {
 /// Used directly by the probabilistic-edge-rejection experiment (§IV-C),
 /// which filters enumerated triangles of `G_C` by edge-hash thresholds to
 /// count triangles of every `G_{C,ν}` in one pass.
-pub fn enumerate_triangles<F: FnMut(VertexId, VertexId, VertexId)>(g: &CsrGraph, mut visit: F) {
-    for u in 0..g.n() {
+pub fn enumerate_triangles<F: FnMut(VertexId, VertexId, VertexId)>(g: &CsrGraph, visit: F) {
+    enumerate_triangles_in(g, 0..g.n(), visit)
+}
+
+/// Enumerates each triangle `{u, v, w}` with `u < v < w` whose anchor (the
+/// smallest vertex `u`) lies in `anchors`. Partitioning the anchor range
+/// across workers partitions the triangle set exactly — the basis of the
+/// parallel counters below.
+pub fn enumerate_triangles_in<F: FnMut(VertexId, VertexId, VertexId)>(
+    g: &CsrGraph,
+    anchors: std::ops::Range<VertexId>,
+    mut visit: F,
+) {
+    for u in anchors {
         let nu = g.neighbors(u);
         for &v in nu {
             if v <= u {
@@ -177,6 +251,24 @@ mod tests {
         assert!(e.iter().all(|(_, c)| c == 3));
         assert_eq!(e.get(0, 4), Some(3));
         assert_eq!(e.get(4, 0), Some(3));
+    }
+
+    #[test]
+    fn parallel_counts_match_sequential() {
+        use kron_graph::generators::erdos_renyi;
+        for g in [clique(9), erdos_renyi(40, 0.3, 7), star(12), path(1)] {
+            let sequential = vertex_triangles(&g);
+            for threads in [1usize, 2, 3, 8] {
+                let got = vertex_triangles_threads(&g, Some(threads));
+                assert_eq!(got, sequential, "threads={threads}");
+                assert_eq!(
+                    global_triangles_threads(&g, Some(threads)),
+                    sequential.global,
+                    "threads={threads}"
+                );
+            }
+            assert_eq!(vertex_triangles_threads(&g, None), sequential);
+        }
     }
 
     #[test]

@@ -1,0 +1,104 @@
+//! Shared-memory parallel smoke benchmark (PR 1).
+//!
+//! Runs generation + CSR build, direct triangle counting, and the
+//! closeness fast path at a fixed small scale for 1 thread and for the
+//! machine's full parallelism, verifies the outputs are identical, and
+//! writes wall times + speedups to `BENCH_PR1.json`.
+//!
+//! Usage: `bench_smoke [--scale S] [--out PATH]`
+
+use std::time::Instant;
+
+use kron_analytics::triangles::vertex_triangles_threads;
+use kron_core::closeness::closeness_batch_threads;
+use kron_core::distance::DistanceOracle;
+use kron_core::generate::materialize_threads;
+use kron_core::KroneckerPair;
+use kron_graph::generators::{rmat, RmatConfig};
+use kron_graph::parallel;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Phase {
+    name: String,
+    secs_threads_1: f64,
+    secs_threads_max: f64,
+    speedup: f64,
+}
+
+#[derive(Serialize)]
+struct SmokeReport {
+    factor_scale: u32,
+    n_c: u64,
+    product_arcs: u64,
+    threads_max: usize,
+    phases: Vec<Phase>,
+}
+
+fn time<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed().as_secs_f64())
+}
+
+fn phase<T: PartialEq>(name: &str, tmax: usize, run: impl Fn(usize) -> T) -> Phase {
+    let (seq, secs_1) = time(|| run(1));
+    let (par, secs_max) = time(|| run(tmax));
+    assert!(par == seq, "{name}: parallel output differs from sequential");
+    Phase {
+        name: name.to_string(),
+        secs_threads_1: secs_1,
+        secs_threads_max: secs_max,
+        speedup: secs_1 / secs_max.max(1e-12),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let get = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let scale: u32 = get("--scale").map_or(7, |s| s.parse().expect("numeric --scale"));
+    let out_path = get("--out").unwrap_or_else(|| "BENCH_PR1.json".to_string());
+    let tmax = parallel::num_threads(None);
+
+    let a = rmat(&RmatConfig::graph500(scale, 12));
+    let b = rmat(&RmatConfig::graph500(scale, 13));
+    // FullBoth keeps the product connected-ish and satisfies the distance
+    // oracle's full-self-loop precondition (Thm. 3).
+    let pair = KroneckerPair::with_full_self_loops(a, b).expect("loop-free R-MAT factors");
+    eprintln!(
+        "bench_smoke: scale {scale} factors, n_C = {}, {} product arcs, max threads = {tmax}",
+        pair.n_c(),
+        pair.nnz_c()
+    );
+
+    let mut phases = Vec::new();
+    phases.push(phase("generate_and_csr_build", tmax, |t| {
+        materialize_threads(&pair, Some(t))
+    }));
+    let c = materialize_threads(&pair, None);
+    phases.push(phase("triangle_vector_direct", tmax, |t| {
+        vertex_triangles_threads(&c, Some(t))
+    }));
+    let oracle = DistanceOracle::new(&pair).expect("distance oracle");
+    let vertices: Vec<u64> = (0..pair.n_c()).collect();
+    phases.push(phase("closeness_batch", tmax, |t| {
+        closeness_batch_threads(&oracle, &vertices, Some(t)).expect("in range")
+    }));
+
+    let report = SmokeReport {
+        factor_scale: scale,
+        n_c: pair.n_c(),
+        product_arcs: pair.nnz_c() as u64,
+        threads_max: tmax,
+        phases,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("serializable");
+    std::fs::write(&out_path, format!("{json}\n")).expect("write BENCH_PR1.json");
+    println!("{json}");
+    eprintln!("bench_smoke: wrote {out_path}");
+}

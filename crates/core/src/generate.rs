@@ -1,33 +1,79 @@
-//! Sequential generation of the product graph's edges.
+//! Generation of the product graph's edges.
 //!
 //! The edge set of `C = A ⊗ B` is exactly the cross product of the factor
 //! arc sets: for arcs `(i, j) ∈ A` and `(k, l) ∈ B`,
 //! `(γ(i,k), γ(j,l)) ∈ C` (Def. 1 on 0/1 adjacencies). [`ArcIter`] streams
-//! these pairs without materializing anything; [`materialize`] builds an
-//! explicit [`CsrGraph`] for validation at small scale. The distributed
-//! version of this loop lives in `kron-dist`.
+//! these pairs lazily off the factor CSR structures without allocating;
+//! [`materialize`] builds an explicit [`CsrGraph`] for validation at small
+//! scale, and [`collect_arcs_threads`]/[`materialize_threads`] are the
+//! shared-memory parallel versions (partitioning the outer loop over `A`'s
+//! arcs, with an ordered merge so the output is identical to the
+//! sequential order). The distributed version of this loop lives in
+//! `kron-dist`.
 
-use kron_graph::{Arc, CsrGraph, EdgeList};
+use kron_graph::{parallel, Arc, CsrGraph, EdgeList};
 
 use crate::pair::KroneckerPair;
 
+/// A lazy cursor over the arcs of a CSR graph in row-major order:
+/// `(row, index-within-row)`, skipping empty rows.
+#[derive(Clone, Copy)]
+struct CsrCursor {
+    row: u64,
+    idx: usize,
+}
+
+impl CsrCursor {
+    /// Positions at the first arc (or `row == g.n()` when arc-free).
+    fn start(g: &CsrGraph) -> Self {
+        let mut row = 0u64;
+        while row < g.n() && g.degree(row) == 0 {
+            row += 1;
+        }
+        CsrCursor { row, idx: 0 }
+    }
+
+    /// The arc under the cursor; callers guarantee one remains.
+    #[inline]
+    fn current(&self, g: &CsrGraph) -> Arc {
+        (self.row, g.neighbors(self.row)[self.idx])
+    }
+
+    /// Moves to the next arc; returns `false` when the graph is exhausted.
+    #[inline]
+    fn advance(&mut self, g: &CsrGraph) -> bool {
+        self.idx += 1;
+        if self.idx < g.neighbors(self.row).len() {
+            return true;
+        }
+        self.idx = 0;
+        self.row += 1;
+        while self.row < g.n() && g.degree(self.row) == 0 {
+            self.row += 1;
+        }
+        self.row < g.n()
+    }
+}
+
 /// Streaming iterator over the arcs of `C` in factor-major order.
+///
+/// Walks the factor CSR structures directly — `O(1)` state, no per-factor
+/// arc vectors — and its [`Iterator::size_hint`] is computed in `u128` so
+/// the `nnz_A · nnz_B` product cannot overflow `usize` silently.
 pub struct ArcIter<'a> {
     pair: &'a KroneckerPair,
-    a_arcs: Vec<Arc>,
-    b_arcs: Vec<Arc>,
-    ai: usize,
-    bi: usize,
+    a: CsrCursor,
+    b: CsrCursor,
+    remaining: u128,
 }
 
 impl<'a> ArcIter<'a> {
     fn new(pair: &'a KroneckerPair) -> Self {
         ArcIter {
             pair,
-            a_arcs: pair.a().arcs().collect(),
-            b_arcs: pair.b().arcs().collect(),
-            ai: 0,
-            bi: 0,
+            a: CsrCursor::start(pair.a()),
+            b: CsrCursor::start(pair.b()),
+            remaining: pair.nnz_c(),
         }
     }
 }
@@ -36,23 +82,29 @@ impl Iterator for ArcIter<'_> {
     type Item = Arc;
 
     fn next(&mut self) -> Option<Arc> {
-        if self.ai >= self.a_arcs.len() || self.b_arcs.is_empty() {
+        if self.remaining == 0 {
             return None;
         }
-        let (i, j) = self.a_arcs[self.ai];
-        let (k, l) = self.b_arcs[self.bi];
-        self.bi += 1;
-        if self.bi == self.b_arcs.len() {
-            self.bi = 0;
-            self.ai += 1;
+        self.remaining -= 1;
+        let (i, j) = self.a.current(self.pair.a());
+        let (k, l) = self.b.current(self.pair.b());
+        if !self.b.advance(self.pair.b()) {
+            // Inner factor exhausted: rewind it and step the outer factor.
+            self.b = CsrCursor::start(self.pair.b());
+            self.a.advance(self.pair.a());
         }
         Some((self.pair.join(i, k), self.pair.join(j, l)))
     }
 
     fn size_hint(&self) -> (usize, Option<usize>) {
-        let total = self.a_arcs.len() * self.b_arcs.len();
-        let done = self.ai * self.b_arcs.len() + self.bi;
-        (total - done, Some(total - done))
+        // Exact while the count fits a usize; a product larger than that
+        // cannot be collected anyway, so the upper bound becomes unknown
+        // rather than silently wrapped.
+        if self.remaining <= usize::MAX as u128 {
+            (self.remaining as usize, Some(self.remaining as usize))
+        } else {
+            (usize::MAX, None)
+        }
     }
 }
 
@@ -71,8 +123,10 @@ pub fn for_each_arc<F: FnMut(u64, u64)>(pair: &KroneckerPair, mut visit: F) {
     let nb = b.n();
     for i in 0..a.n() {
         for &j in a.neighbors(i) {
-            let row_base = i * nb;
-            let col_base = j * nb;
+            // `KroneckerPair::new` checked n_A·n_B ≤ u64::MAX, so these
+            // cannot wrap; checked_mul keeps that contract explicit.
+            let row_base = i.checked_mul(nb).expect("product index fits u64");
+            let col_base = j.checked_mul(nb).expect("product index fits u64");
             for k in 0..b.n() {
                 for &l in b.neighbors(k) {
                     visit(row_base + k, col_base + l);
@@ -80,6 +134,34 @@ pub fn for_each_arc<F: FnMut(u64, u64)>(pair: &KroneckerPair, mut visit: F) {
             }
         }
     }
+}
+
+/// Collects every arc of `C` in factor-major order using `threads` workers
+/// (`None` = machine parallelism).
+///
+/// The outer loop over `A`'s arcs is partitioned into contiguous chunks;
+/// each worker streams its `(i, j) × arcs(B)` blocks into a thread-local
+/// buffer and the buffers are concatenated in chunk order, so the result
+/// is **identical** to `arcs(pair).collect()`.
+pub fn collect_arcs_threads(pair: &KroneckerPair, threads: Option<usize>) -> Vec<Arc> {
+    let total = pair.nnz_c();
+    assert!(total <= usize::MAX as u128, "product too large to collect");
+    let t = parallel::num_threads(threads);
+    if t <= 1 {
+        return arcs(pair).collect();
+    }
+    let a_arcs: Vec<Arc> = pair.a().arcs().collect();
+    let b_arcs: Vec<Arc> = pair.b().arcs().collect();
+    let parts = parallel::map_chunks(a_arcs.len(), t, |_, range| {
+        let mut local = Vec::with_capacity((range.end - range.start) * b_arcs.len());
+        for &(i, j) in &a_arcs[range] {
+            for &(k, l) in &b_arcs {
+                local.push((pair.join(i, k), pair.join(j, l)));
+            }
+        }
+        local
+    });
+    parallel::concat_ordered(parts)
 }
 
 /// Materializes `C` as an explicit CSR graph.
@@ -94,6 +176,21 @@ pub fn materialize(pair: &KroneckerPair) -> CsrGraph {
         list.add_arc(p, q).expect("product arcs are in range");
     }
     CsrGraph::from_edge_list(&list)
+}
+
+/// Parallel [`materialize`]: generation and the CSR build both run on
+/// `threads` workers (`None` = machine parallelism) and produce the same
+/// canonical [`CsrGraph`] as the sequential path.
+pub fn materialize_threads(pair: &KroneckerPair, threads: Option<usize>) -> CsrGraph {
+    let t = parallel::num_threads(threads);
+    if t <= 1 {
+        return materialize(pair);
+    }
+    let arcs = collect_arcs_threads(pair, Some(t));
+    // Product arcs are in range by construction (factor vertices are in
+    // range and `join` was overflow-checked at pair construction).
+    let list = EdgeList::from_arcs_unchecked(pair.n_c(), arcs);
+    CsrGraph::from_edge_list_threads(&list, Some(t))
 }
 
 #[cfg(test)]
@@ -169,6 +266,48 @@ mod tests {
         assert_eq!(total as u128, pair.nnz_c());
         it.next();
         assert_eq!(it.len(), total - 1);
+    }
+
+    #[test]
+    fn lazy_iterator_handles_isolated_vertices() {
+        // star(4) leaves leaf rows non-empty but a graph with isolated
+        // vertices exercises the cursor's empty-row skipping.
+        let a = CsrGraph::from_arcs(4, vec![(1, 3), (3, 1)]).unwrap();
+        let b = CsrGraph::from_arcs(3, vec![(0, 2), (2, 0)]).unwrap();
+        let pair = KroneckerPair::as_is(a, b).unwrap();
+        let got: Vec<_> = arcs(&pair).collect();
+        assert_eq!(got.len() as u128, pair.nnz_c());
+        let c = materialize(&pair);
+        assert_eq!(c.nnz(), 4);
+    }
+
+    #[test]
+    fn arcless_factor_yields_no_arcs() {
+        let a = CsrGraph::from_arcs(3, vec![]).unwrap();
+        let b = clique(3);
+        let pair = KroneckerPair::as_is(a, b).unwrap();
+        assert_eq!(arcs(&pair).count(), 0);
+        assert_eq!(arcs(&pair).len(), 0);
+    }
+
+    #[test]
+    fn parallel_collect_matches_sequential_order() {
+        let pair = KroneckerPair::as_is(clique(4), star(5)).unwrap();
+        let sequential: Vec<_> = arcs(&pair).collect();
+        for threads in [1usize, 2, 3, 8] {
+            let got = collect_arcs_threads(&pair, Some(threads));
+            assert_eq!(got, sequential, "threads={threads}");
+        }
+        assert_eq!(collect_arcs_threads(&pair, None), sequential);
+    }
+
+    #[test]
+    fn parallel_materialize_matches_sequential() {
+        let pair = KroneckerPair::with_full_self_loops(path(4), cycle(5)).unwrap();
+        let sequential = materialize(&pair);
+        for threads in [1usize, 2, 3, 8] {
+            assert_eq!(materialize_threads(&pair, Some(threads)), sequential, "threads={threads}");
+        }
     }
 
     #[test]

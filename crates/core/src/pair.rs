@@ -91,6 +91,14 @@ impl KroneckerPair {
     /// loop-free; the effective factors get a loop on every vertex.
     pub fn new(a: CsrGraph, b: CsrGraph, mode: SelfLoopMode) -> crate::Result<Self> {
         assert!(a.n() > 0 && b.n() > 0, "factors must be nonempty");
+        // Guarantees every later `i·n_B + k` product index fits in u64, so
+        // `n_c`/`join` stay unchecked on the hot path.
+        assert!(
+            a.n().checked_mul(b.n()).is_some(),
+            "n_A·n_B = {}·{} overflows u64",
+            a.n(),
+            b.n()
+        );
         let (eff_a, eff_b) = match mode {
             SelfLoopMode::AsIs => (a.clone(), b.clone()),
             SelfLoopMode::FullBoth => {

@@ -21,9 +21,38 @@ pub const UNREACHABLE: u32 = u32::MAX;
 
 enum FrontierMessage {
     /// Vertices entering the next frontier.
-    Visit(Vec<VertexId>),
+    Visit { level: u32, verts: Vec<VertexId> },
     /// Sender finished the current level.
-    LevelDone,
+    LevelDone { level: u32 },
+    /// Sender's termination vote for the level (1 = frontier non-empty).
+    Vote { level: u32, active: u64 },
+}
+
+/// Receives messages for the phase the rank is currently in, stashing
+/// out-of-phase ones. Ranks drift: a peer that has passed the level-`L`
+/// vote barrier may already be sending level-`L+1` traffic while this
+/// rank is still collecting level-`L` votes, so a raw `recv` can hand a
+/// phase the wrong message kind (the original cause of corrupt
+/// distances and deadlocks on single-core schedules). Per-sender FIFO
+/// bounds the drift to one level, so the stash stays tiny.
+struct Inbox {
+    rx: Receiver<FrontierMessage>,
+    stash: Vec<FrontierMessage>,
+}
+
+impl Inbox {
+    fn next(&mut self, want: impl Fn(&FrontierMessage) -> bool) -> FrontierMessage {
+        if let Some(pos) = self.stash.iter().position(&want) {
+            return self.stash.swap_remove(pos);
+        }
+        loop {
+            let msg = self.rx.recv().expect("peers alive until join");
+            if want(&msg) {
+                return msg;
+            }
+            self.stash.push(msg);
+        }
+    }
 }
 
 /// Runs a distributed BFS from `source`, returning the full distance
@@ -98,6 +127,7 @@ fn bfs_rank(
 ) -> Vec<(VertexId, u32)> {
     let ranks = senders.len();
     let mine = &local_rows[rank];
+    let mut inbox = Inbox { rx, stash: Vec::new() };
     let mut dist: BTreeMap<VertexId, u32> = BTreeMap::new();
     let mut frontier: Vec<VertexId> = Vec::new();
 
@@ -121,47 +151,59 @@ fn bfs_rank(
         }
         for (dest, batch) in outboxes.into_iter().enumerate() {
             if !batch.is_empty() {
-                senders[dest].send(FrontierMessage::Visit(batch)).expect("peer alive");
+                senders[dest]
+                    .send(FrontierMessage::Visit { level, verts: batch })
+                    .expect("peer alive");
             }
         }
         for sender in &senders {
-            sender.send(FrontierMessage::LevelDone).expect("peer alive");
+            sender
+                .send(FrontierMessage::LevelDone { level })
+                .expect("peer alive");
         }
 
         // Receive this level's discoveries until every peer signals done.
         let mut next: Vec<VertexId> = Vec::new();
         let mut done = 0;
         while done < ranks {
-            match rx.recv().expect("open until level dones") {
-                FrontierMessage::LevelDone => done += 1,
-                FrontierMessage::Visit(batch) => {
-                    for v in batch {
+            let msg = inbox.next(|m| {
+                matches!(
+                    m,
+                    FrontierMessage::Visit { level: l, .. }
+                    | FrontierMessage::LevelDone { level: l } if *l == level
+                )
+            });
+            match msg {
+                FrontierMessage::LevelDone { .. } => done += 1,
+                FrontierMessage::Visit { verts, .. } => {
+                    for v in verts {
                         dist.entry(v).or_insert_with(|| {
                             next.push(v);
                             level + 1
                         });
                     }
                 }
+                FrontierMessage::Vote { .. } => unreachable!("filtered"),
             }
         }
-        level += 1;
 
         // Global termination: all frontiers empty. Exchange sizes through
         // the same channels (a tiny "allreduce").
         let local_active = u64::from(!next.is_empty());
         for sender in &senders {
             sender
-                .send(FrontierMessage::Visit(vec![local_active]))
+                .send(FrontierMessage::Vote { level, active: local_active })
                 .expect("peer alive");
         }
         let mut active_total = 0u64;
-        let mut votes = 0;
-        while votes < ranks {
-            if let FrontierMessage::Visit(batch) = rx.recv().expect("votes") {
-                active_total += batch[0];
-                votes += 1;
+        for _ in 0..ranks {
+            match inbox.next(|m| matches!(m, FrontierMessage::Vote { level: l, .. } if *l == level))
+            {
+                FrontierMessage::Vote { active, .. } => active_total += active,
+                _ => unreachable!("filtered"),
             }
         }
+        level += 1;
         if active_total == 0 {
             break;
         }

@@ -36,6 +36,18 @@ impl EdgeList {
         Ok(EdgeList { n, arcs })
     }
 
+    /// Creates a graph from an arc vector the caller guarantees is in
+    /// range, skipping the `O(nnz)` validation scan (checked in debug
+    /// builds). Used by generators whose arcs are in range by
+    /// construction, e.g. the Kronecker product of validated factors.
+    pub fn from_arcs_unchecked(n: u64, arcs: Vec<Arc>) -> Self {
+        debug_assert!(
+            arcs.iter().all(|&(u, v)| u < n && v < n),
+            "from_arcs_unchecked given an out-of-range arc"
+        );
+        EdgeList { n, arcs }
+    }
+
     /// Creates an **undirected** graph from unordered vertex pairs: each pair
     /// `{u, v}` with `u != v` contributes both arcs; `u == v` contributes one
     /// self-loop arc.

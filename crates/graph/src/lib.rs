@@ -25,6 +25,7 @@ pub mod edge_list;
 pub mod generators;
 pub mod io;
 pub mod ops;
+pub mod parallel;
 pub mod union_find;
 
 pub use csr::CsrGraph;

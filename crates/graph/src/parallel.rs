@@ -1,0 +1,362 @@
+//! Shared-memory parallel execution helpers.
+//!
+//! Every parallel entry point in the workspace funnels through this
+//! module: a thread-count resolver, balanced contiguous index chunking,
+//! ordered chunk-maps built on [`std::thread::scope`] (no external
+//! thread-pool dependency), and a disjoint-write shared slice for
+//! contention-free scatter phases. The design invariant is
+//! **determinism** — work is partitioned into contiguous index ranges and
+//! per-chunk results are recombined in chunk order, so a parallel run
+//! produces output byte-identical to the sequential loop it replaces.
+//! Callers degrade to the plain sequential path when one thread is
+//! requested.
+
+use std::num::NonZeroUsize;
+use std::ops::Range;
+
+/// Resolves an optional thread-count request.
+///
+/// `None` (or an explicit 0) means "use the machine": the value of
+/// [`std::thread::available_parallelism`], falling back to 1 when the
+/// runtime cannot report it. Any other request is honoured as given, so
+/// callers can oversubscribe deliberately in tests.
+pub fn num_threads(requested: Option<usize>) -> usize {
+    match requested {
+        Some(t) if t > 0 => t,
+        _ => std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1),
+    }
+}
+
+/// Splits `0..len` into at most `chunks` balanced contiguous ranges.
+///
+/// The first `len % chunks` ranges are one element longer, every range is
+/// non-empty, and concatenating them in order reproduces `0..len` exactly
+/// (the property the ordered merges rely on). Returns fewer than `chunks`
+/// ranges when `len < chunks`, and none at all for `len == 0`.
+pub fn chunk_ranges(len: usize, chunks: usize) -> Vec<Range<usize>> {
+    if len == 0 || chunks == 0 {
+        return Vec::new();
+    }
+    let chunks = chunks.min(len);
+    let base = len / chunks;
+    let extra = len % chunks;
+    let mut out = Vec::with_capacity(chunks);
+    let mut start = 0usize;
+    for c in 0..chunks {
+        let size = base + usize::from(c < extra);
+        out.push(start..start + size);
+        start += size;
+    }
+    debug_assert_eq!(start, len);
+    out
+}
+
+/// Splits the index space of a prefix-sum table into ranges of roughly
+/// equal **weight** rather than equal length.
+///
+/// `prefix` has `n + 1` entries with `prefix[0] == 0` and
+/// `prefix[i+1] - prefix[i]` the weight of index `i` (e.g. CSR row
+/// offsets, where the weight of a row is its arc count). Used to balance
+/// per-row work across threads under skewed degree distributions.
+pub fn split_by_weight(prefix: &[usize], chunks: usize) -> Vec<Range<usize>> {
+    let n = prefix.len().saturating_sub(1);
+    if n == 0 || chunks == 0 {
+        return Vec::new();
+    }
+    let chunks = chunks.min(n);
+    let total = prefix[n] as u128;
+    let mut out: Vec<Range<usize>> = Vec::with_capacity(chunks);
+    let mut start = 0usize;
+    for c in 1..=chunks {
+        if start >= n {
+            break;
+        }
+        let end = if c == chunks {
+            n
+        } else {
+            let target = (total * c as u128 / chunks as u128) as usize;
+            prefix.partition_point(|&w| w < target).clamp(start + 1, n)
+        };
+        out.push(start..end);
+        start = end;
+    }
+    if let Some(last) = out.last_mut() {
+        last.end = n;
+    }
+    out
+}
+
+/// Applies `work` to each range on its own scoped thread and returns the
+/// per-range results **in range order**.
+///
+/// `work` receives `(range_index, range)`. With zero or one range the
+/// closure runs on the calling thread — no spawn, identical result.
+/// Panics in workers propagate to the caller.
+pub fn map_ranges<T, F>(ranges: Vec<Range<usize>>, work: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize, Range<usize>) -> T + Sync,
+{
+    if ranges.len() <= 1 {
+        return ranges
+            .into_iter()
+            .enumerate()
+            .map(|(c, r)| work(c, r))
+            .collect();
+    }
+    let work = &work;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = ranges
+            .into_iter()
+            .enumerate()
+            .map(|(c, r)| scope.spawn(move || work(c, r)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("parallel worker panicked"))
+            .collect()
+    })
+}
+
+/// [`map_ranges`] over the balanced chunking of `0..len`.
+pub fn map_chunks<T, F>(len: usize, threads: usize, work: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize, Range<usize>) -> T + Sync,
+{
+    map_ranges(chunk_ranges(len, threads), work)
+}
+
+/// Runs `work(range_index, range, state)` for each range on its own
+/// scoped thread, handing each worker exclusive ownership of its entry of
+/// `states` (the per-thread-accumulator pattern: each worker mutates its
+/// own cursor table / buffer without synchronization).
+///
+/// `ranges` and `states` must have equal length. Results come back in
+/// range order.
+pub fn map_with_state<S, T, F>(ranges: Vec<Range<usize>>, states: Vec<S>, work: F) -> Vec<T>
+where
+    S: Send,
+    T: Send,
+    F: Fn(usize, Range<usize>, S) -> T + Sync,
+{
+    assert_eq!(ranges.len(), states.len(), "one state per range");
+    if ranges.len() <= 1 {
+        return ranges
+            .into_iter()
+            .zip(states)
+            .enumerate()
+            .map(|(c, (r, s))| work(c, r, s))
+            .collect();
+    }
+    let work = &work;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = ranges
+            .into_iter()
+            .zip(states)
+            .enumerate()
+            .map(|(c, (r, s))| scope.spawn(move || work(c, r, s)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("parallel worker panicked"))
+            .collect()
+    })
+}
+
+/// Chunk-maps `0..len`, then folds the per-chunk accumulators in chunk
+/// order: `merge(acc, chunk_result)` starting from `init`.
+///
+/// This is the per-thread-accumulator pattern (histograms, partial sums)
+/// with a deterministic merge; for order-sensitive outputs prefer
+/// [`map_chunks`] + an explicit ordered concatenation.
+pub fn map_reduce_chunks<T, A, W, M>(len: usize, threads: usize, work: W, init: A, merge: M) -> A
+where
+    T: Send,
+    W: Fn(usize, Range<usize>) -> T + Sync,
+    M: FnMut(A, T) -> A,
+{
+    map_chunks(len, threads, work).into_iter().fold(init, merge)
+}
+
+/// Ordered concatenation of per-chunk output vectors, preallocated.
+///
+/// When chunks partition an index space in order and each worker emits
+/// its slice of the sequential output, this recombination makes the
+/// parallel result byte-identical to the sequential one.
+pub fn concat_ordered<T>(parts: Vec<Vec<T>>) -> Vec<T> {
+    let total = parts.iter().map(Vec::len).sum();
+    let mut out = Vec::with_capacity(total);
+    for part in parts {
+        out.extend(part);
+    }
+    out
+}
+
+/// A shared slice that multiple workers may write through concurrently,
+/// **provided every index is written by at most one worker** (a scatter
+/// with precomputed disjoint destinations, e.g. the stable-counting-sort
+/// offsets of the parallel CSR build).
+///
+/// The aliasing discipline is the caller's obligation — this type only
+/// erases the `&mut` so the slice can cross thread boundaries.
+pub struct DisjointWriter<'a, T> {
+    ptr: *mut T,
+    len: usize,
+    _marker: std::marker::PhantomData<&'a mut [T]>,
+}
+
+// SAFETY: sharing is sound because writes go to caller-guaranteed
+// disjoint indices; `T: Send` makes moving the values between threads ok.
+unsafe impl<T: Send> Sync for DisjointWriter<'_, T> {}
+
+impl<'a, T> DisjointWriter<'a, T> {
+    /// Wraps a slice for disjoint concurrent writes.
+    pub fn new(slice: &'a mut [T]) -> Self {
+        DisjointWriter {
+            ptr: slice.as_mut_ptr(),
+            len: slice.len(),
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Writes `value` at `idx`.
+    ///
+    /// # Safety
+    ///
+    /// `idx` must be in bounds and no other thread may read or write it
+    /// during this call (each destination index owned by one worker).
+    pub unsafe fn write(&self, idx: usize, value: T) {
+        debug_assert!(idx < self.len);
+        self.ptr.add(idx).write(value);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn num_threads_default_positive() {
+        assert!(num_threads(None) >= 1);
+        assert!(num_threads(Some(0)) >= 1);
+        assert_eq!(num_threads(Some(3)), 3);
+        assert_eq!(num_threads(Some(1)), 1);
+    }
+
+    #[test]
+    fn chunk_ranges_partition_exactly() {
+        for len in [0usize, 1, 2, 7, 64, 100] {
+            for chunks in [1usize, 2, 3, 8, 150] {
+                let ranges = chunk_ranges(len, chunks);
+                // Ranges are non-empty, contiguous, and cover 0..len.
+                let mut cursor = 0usize;
+                for r in &ranges {
+                    assert_eq!(r.start, cursor);
+                    assert!(r.end > r.start, "empty chunk for len={len} chunks={chunks}");
+                    cursor = r.end;
+                }
+                assert_eq!(cursor, len);
+                if len > 0 {
+                    assert_eq!(ranges.len(), chunks.min(len));
+                    // Balance: sizes differ by at most one.
+                    let sizes: Vec<usize> = ranges.iter().map(|r| r.end - r.start).collect();
+                    let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+                    assert!(max - min <= 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn chunk_ranges_zero_chunks() {
+        assert!(chunk_ranges(5, 0).is_empty());
+    }
+
+    #[test]
+    fn split_by_weight_covers_and_orders() {
+        // Skewed weights: one heavy index among many light ones.
+        let weights = [1usize, 1, 50, 1, 1, 1, 1, 30, 1, 1];
+        let mut prefix = vec![0usize];
+        for w in weights {
+            prefix.push(prefix.last().unwrap() + w);
+        }
+        for chunks in [1usize, 2, 3, 4, 20] {
+            let ranges = split_by_weight(&prefix, chunks);
+            let mut cursor = 0usize;
+            for r in &ranges {
+                assert_eq!(r.start, cursor);
+                assert!(r.end > r.start);
+                cursor = r.end;
+            }
+            assert_eq!(cursor, weights.len(), "chunks={chunks}");
+        }
+        assert!(split_by_weight(&[0], 4).is_empty());
+    }
+
+    #[test]
+    fn map_chunks_ordered_and_equal_across_thread_counts() {
+        let items: Vec<u64> = (0..1000).map(|x| x * x % 97).collect();
+        let sequential: Vec<u64> = items.iter().map(|&x| x + 1).collect();
+        for threads in [1usize, 2, 3, 8] {
+            let parts = map_chunks(items.len(), threads, |_, range| {
+                items[range].iter().map(|&x| x + 1).collect::<Vec<u64>>()
+            });
+            assert_eq!(concat_ordered(parts), sequential, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn map_chunks_empty_input() {
+        let parts: Vec<Vec<u64>> = map_chunks(0, 4, |_, _| Vec::new());
+        assert!(parts.is_empty());
+        assert!(concat_ordered(parts).is_empty());
+    }
+
+    #[test]
+    fn map_reduce_sums() {
+        let total: u64 = map_reduce_chunks(
+            1001,
+            4,
+            |_, range| range.map(|i| i as u64).sum::<u64>(),
+            0u64,
+            |acc, part| acc + part,
+        );
+        assert_eq!(total, 1000 * 1001 / 2);
+    }
+
+    #[test]
+    fn chunk_index_passed_in_order() {
+        let indices = map_chunks(10, 3, |c, _| c);
+        assert_eq!(indices, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn map_with_state_consumes_states_in_order() {
+        let ranges = chunk_ranges(9, 3);
+        let states = vec![10u64, 20, 30];
+        let got = map_with_state(ranges, states, |c, r, s| s + c as u64 + r.start as u64);
+        assert_eq!(got, vec![10, 24, 38]);
+    }
+
+    #[test]
+    fn disjoint_writer_scatter() {
+        let n = 100usize;
+        let mut out = vec![0u64; n];
+        let writer = DisjointWriter::new(&mut out);
+        let ranges = chunk_ranges(n, 4);
+        std::thread::scope(|scope| {
+            for r in ranges {
+                let writer = &writer;
+                scope.spawn(move || {
+                    for i in r {
+                        // SAFETY: chunks are disjoint, so each index is
+                        // written by exactly one worker.
+                        unsafe { writer.write(i, (i as u64) * 3) };
+                    }
+                });
+            }
+        });
+        assert!(out.iter().enumerate().all(|(i, &x)| x == i as u64 * 3));
+    }
+}

@@ -1,0 +1,204 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the API subset the workspace benchmarks use
+//! (`benchmark_group`, `sample_size`, `throughput`, `bench_function`,
+//! `bench_with_input`, `Bencher::iter`, `BenchmarkId`,
+//! `criterion_group!`/`criterion_main!`) as a simple wall-clock harness:
+//! each benchmark runs `sample_size` timed iterations after one warm-up
+//! and reports mean time per iteration. No statistics, plots, or HTML
+//! reports — enough to compile and produce comparable numbers offline.
+
+use std::fmt::Display;
+use std::hint;
+use std::time::Instant;
+
+/// Prevents the optimizer from discarding a benchmarked value.
+pub fn black_box<T>(value: T) -> T {
+    hint::black_box(value)
+}
+
+/// Work-size annotation; only recorded for display.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier for a parameterized benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// A `function_name/parameter` id.
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId { id: format!("{function_name}/{parameter}") }
+    }
+
+    /// An id that is just the parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Timer handle passed to benchmark closures.
+pub struct Bencher {
+    iterations: u64,
+    /// Mean seconds per iteration, filled in by [`Bencher::iter`].
+    mean_secs: f64,
+}
+
+impl Bencher {
+    /// Times `routine` over the configured iteration count.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // One warm-up call outside the timed region.
+        black_box(routine());
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            black_box(routine());
+        }
+        self.mean_secs = start.elapsed().as_secs_f64() / self.iterations as f64;
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: u64,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1) as u64;
+        self
+    }
+
+    /// Records the per-iteration work size.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    fn run(&mut self, id: String, f: impl FnOnce(&mut Bencher)) {
+        let mut bencher = Bencher { iterations: self.sample_size, mean_secs: 0.0 };
+        f(&mut bencher);
+        let per_iter = bencher.mean_secs;
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) if per_iter > 0.0 => {
+                format!("  ({:.3e} elems/s)", n as f64 / per_iter)
+            }
+            Some(Throughput::Bytes(n)) if per_iter > 0.0 => {
+                format!("  ({:.3e} bytes/s)", n as f64 / per_iter)
+            }
+            _ => String::new(),
+        };
+        println!("{}/{id}: {:.6} s/iter{rate}", self.name, per_iter);
+    }
+
+    /// Runs one benchmark closure.
+    pub fn bench_function(&mut self, id: impl Display, f: impl FnOnce(&mut Bencher)) -> &mut Self {
+        self.run(id.to_string(), f);
+        self
+    }
+
+    /// Runs one benchmark closure with an input value.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        f: impl FnOnce(&mut Bencher, &I),
+    ) -> &mut Self {
+        self.run(id.to_string(), |bencher| f(bencher, input));
+        self
+    }
+
+    /// Ends the group (kept for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Display) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: 10,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Runs an ungrouped benchmark closure.
+    pub fn bench_function(&mut self, id: impl Display, f: impl FnOnce(&mut Bencher)) -> &mut Self {
+        let name = id.to_string();
+        self.benchmark_group(name.clone()).run(String::new(), f);
+        self
+    }
+}
+
+/// Bundles benchmark functions under one group name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("demo");
+        group.sample_size(3);
+        group.throughput(Throughput::Elements(100));
+        group.bench_function("sum", |bencher| {
+            bencher.iter(|| (0..100u64).sum::<u64>())
+        });
+        group.bench_with_input(BenchmarkId::new("scaled", 7), &7u64, |bencher, &k| {
+            bencher.iter(|| (0..100u64).map(|x| x * k).sum::<u64>())
+        });
+        group.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn harness_runs() {
+        benches();
+    }
+
+    #[test]
+    fn benchmark_ids_format() {
+        assert_eq!(BenchmarkId::new("f", 4).to_string(), "f/4");
+        assert_eq!(BenchmarkId::from_parameter("x").to_string(), "x");
+    }
+}

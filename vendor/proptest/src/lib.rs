@@ -1,0 +1,393 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset of the proptest API this workspace's property
+//! tests use: `Strategy` with `prop_map`, integer-range and tuple
+//! strategies, `bool::ANY`, `collection::{vec, btree_set}`, the
+//! `proptest!` macro (with optional `#![proptest_config(...)]` header),
+//! and the `prop_assert*`/`prop_assume!` macros. Inputs are drawn from a
+//! deterministic per-test generator (seeded from the test name), so runs
+//! are reproducible; there is no shrinking — a failing case panics with
+//! the standard assert message, which is enough for CI.
+
+pub mod test_runner {
+    /// Deterministic splitmix64 stream used to drive strategies.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seeds the stream from a test name (FNV-1a hash), so every test
+        /// gets an independent but reproducible input sequence.
+        pub fn from_name(name: &str) -> Self {
+            let mut h: u64 = 0xcbf29ce484222325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100000001b3);
+            }
+            TestRng { state: h }
+        }
+
+        /// Next raw 64 bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform draw in `[0, span)`; `span` must fit `u64::MAX as u128 + 1`.
+        pub fn below(&mut self, span: u128) -> u128 {
+            debug_assert!(span > 0);
+            if span > u64::MAX as u128 {
+                return self.next_u64() as u128;
+            }
+            (self.next_u64() as u128 * span) >> 64
+        }
+    }
+}
+
+/// Runner configuration; only `cases` is honoured.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random inputs each property is checked against.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` inputs per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A recipe for generating random values of `Self::Value`.
+    pub trait Strategy {
+        /// The type of value this strategy produces.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Post-processes generated values with `f`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Strategy that always yields a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "cannot sample empty range");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    (self.start as i128 + rng.below(span) as i128) as $t
+                }
+            }
+
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "cannot sample empty range");
+                    let span = (end as i128 - start as i128) as u128 + 1;
+                    (start as i128 + rng.below(span) as i128) as $t
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+}
+
+pub mod bool {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy for a uniformly random `bool`.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    /// Uniform `bool` strategy, mirroring `proptest::bool::ANY`.
+    pub const ANY: Any = Any;
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::collections::BTreeSet;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Collection size specifications accepted by [`vec`]/[`btree_set`]:
+    /// an exact `usize` or a (half-open / inclusive) range.
+    pub trait SizeRange {
+        /// Draws a concrete length.
+        fn sample_len(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl SizeRange for usize {
+        fn sample_len(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    impl SizeRange for Range<usize> {
+        fn sample_len(&self, rng: &mut TestRng) -> usize {
+            assert!(self.start < self.end, "cannot sample empty size range");
+            self.start + rng.below((self.end - self.start) as u128) as usize
+        }
+    }
+
+    impl SizeRange for RangeInclusive<usize> {
+        fn sample_len(&self, rng: &mut TestRng) -> usize {
+            let (start, end) = (*self.start(), *self.end());
+            assert!(start <= end, "cannot sample empty size range");
+            start + rng.below((end - start) as u128 + 1) as usize
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with length drawn from `size`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S, Z> {
+        element: S,
+        size: Z,
+    }
+
+    impl<S: Strategy, Z: SizeRange> Strategy for VecStrategy<S, Z> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.sample_len(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// `Vec` strategy constructor, mirroring `proptest::collection::vec`.
+    pub fn vec<S: Strategy, Z: SizeRange>(element: S, size: Z) -> VecStrategy<S, Z> {
+        VecStrategy { element, size }
+    }
+
+    /// Strategy for `BTreeSet<S::Value>` with up to `size` draws (the set
+    /// may come out smaller when draws collide, as in real proptest's
+    /// lower bound relaxation for small domains).
+    #[derive(Debug, Clone)]
+    pub struct BTreeSetStrategy<S, Z> {
+        element: S,
+        size: Z,
+    }
+
+    impl<S: Strategy, Z: SizeRange> Strategy for BTreeSetStrategy<S, Z>
+    where
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+            let len = self.size.sample_len(rng);
+            let mut set = BTreeSet::new();
+            for _ in 0..len {
+                set.insert(self.element.generate(rng));
+            }
+            set
+        }
+    }
+
+    /// `BTreeSet` strategy constructor, mirroring
+    /// `proptest::collection::btree_set`.
+    pub fn btree_set<S: Strategy, Z: SizeRange>(element: S, size: Z) -> BTreeSetStrategy<S, Z>
+    where
+        S::Value: Ord,
+    {
+        BTreeSetStrategy { element, size }
+    }
+}
+
+/// Asserts a condition inside a property (panics on failure; no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// Skips the current random case when its precondition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($msg:tt)*)?) => {
+        if !($cond) {
+            continue;
+        }
+    };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` looping over `cases` deterministic random inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_body!($cfg; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body!(<$crate::ProptestConfig as ::core::default::Default>::default(); $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    ($cfg:expr;) => {};
+    ($cfg:expr;
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::ProptestConfig = $cfg;
+            let mut __rng = $crate::test_runner::TestRng::from_name(stringify!($name));
+            let mut __case: u32 = 0;
+            while __case < __cfg.cases {
+                __case += 1;
+                $(
+                    let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng);
+                )+
+                $body
+            }
+        }
+        $crate::__proptest_body!($cfg; $($rest)*);
+    };
+}
+
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn pairs() -> impl Strategy<Value = Vec<(u64, u64)>> {
+        crate::collection::vec((0u64..5, 0u64..5), 0..10)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_in_bounds(n in 1u64..100, s in -3i64..=3) {
+            prop_assert!((1..100).contains(&n));
+            prop_assert!((-3..=3).contains(&s));
+        }
+
+        #[test]
+        fn vec_of_tuples(v in pairs()) {
+            prop_assert!(v.len() < 10);
+            for (a, b) in v {
+                prop_assert!(a < 5 && b < 5);
+            }
+        }
+
+        #[test]
+        fn map_and_assume(flags in crate::collection::vec(crate::bool::ANY, 8)) {
+            prop_assume!(flags.iter().any(|&b| b));
+            let count = flags.iter().filter(|&&b| b).count();
+            prop_assert!(count >= 1);
+        }
+
+        #[test]
+        fn sets_are_small(s in crate::collection::btree_set(0u64..4, 0..6)) {
+            prop_assert!(s.len() <= 4);
+        }
+    }
+
+    #[test]
+    fn deterministic_streams() {
+        use crate::strategy::Strategy;
+        let strat = 0u64..1000;
+        let mut a = crate::test_runner::TestRng::from_name("x");
+        let mut b = crate::test_runner::TestRng::from_name("x");
+        for _ in 0..50 {
+            assert_eq!(strat.generate(&mut a), strat.generate(&mut b));
+        }
+    }
+}

@@ -1,0 +1,215 @@
+//! Offline stand-in for `serde`.
+//!
+//! crates.io is unreachable in this build environment, so the workspace
+//! vendors the serialization surface it actually uses: a [`Serialize`]
+//! trait that lowers values into an owned JSON-like [`Value`] tree (which
+//! the vendored `serde_json` renders), a no-op [`Deserialize`] marker (no
+//! workspace code deserializes), and re-exported derive macros.
+
+// Lets the derive-emitted `::serde::...` paths resolve inside this crate's
+// own tests.
+extern crate self as serde;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, HashMap};
+
+/// Owned JSON-like value tree produced by [`Serialize::to_value`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Signed integer (covers all workspace integer widths).
+    Int(i128),
+    /// Unsigned integer too large for `i128::MAX` is clamped via `u128`.
+    UInt(u128),
+    /// Floating-point number; non-finite values render as `null`.
+    Float(f64),
+    /// JSON string.
+    String(String),
+    /// JSON array.
+    Array(Vec<Value>),
+    /// JSON object with insertion-ordered keys.
+    Object(Vec<(String, Value)>),
+}
+
+/// Lowers a value into a [`Value`] tree.
+pub trait Serialize {
+    /// Converts `self` into the JSON-like tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Marker trait kept for `#[derive(Deserialize)]` compatibility; no
+/// workspace code path deserializes, so it has no methods.
+pub trait Deserialize {}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+macro_rules! impl_serialize_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Int(*self as i128)
+            }
+        }
+    )*};
+}
+impl_serialize_signed!(i8, i16, i32, i64, i128, isize);
+
+macro_rules! impl_serialize_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::UInt(*self as u128)
+            }
+        }
+    )*};
+}
+impl_serialize_unsigned!(u8, u16, u32, u64, u128, usize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self as f64)
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![self.0.to_value(), self.1.to_value()])
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![self.0.to_value(), self.1.to_value(), self.2.to_value()])
+    }
+}
+
+impl<K: std::fmt::Display, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(self.iter().map(|(k, v)| (k.to_string(), v.to_value())).collect())
+    }
+}
+
+impl<K: std::fmt::Display, V: Serialize> Serialize for HashMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(self.iter().map(|(k, v)| (k.to_string(), v.to_value())).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Serialize, Deserialize)]
+    struct Sample {
+        count: u64,
+        label: String,
+        ratio: f64,
+        tags: Vec<u32>,
+    }
+
+    #[derive(Serialize, Deserialize, Debug, PartialEq)]
+    enum Mode {
+        Fast,
+        Slow,
+    }
+
+    #[test]
+    fn derive_struct_shape() {
+        let s = Sample {
+            count: 3,
+            label: "x".into(),
+            ratio: 0.5,
+            tags: vec![1, 2],
+        };
+        match s.to_value() {
+            Value::Object(fields) => {
+                assert_eq!(fields.len(), 4);
+                assert_eq!(fields[0].0, "count");
+                assert_eq!(fields[0].1, Value::UInt(3));
+                assert_eq!(fields[3].1, Value::Array(vec![Value::UInt(1), Value::UInt(2)]));
+            }
+            other => panic!("expected object, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn derive_unit_enum() {
+        assert_eq!(Mode::Fast.to_value(), Value::String("Fast".to_string()));
+        assert_eq!(Mode::Slow.to_value(), Value::String("Slow".to_string()));
+    }
+
+    #[test]
+    fn map_keys_stringify() {
+        let mut m = BTreeMap::new();
+        m.insert(7u64, 2u64);
+        assert_eq!(
+            m.to_value(),
+            Value::Object(vec![("7".to_string(), Value::UInt(2))])
+        );
+    }
+}

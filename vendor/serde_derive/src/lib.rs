@@ -1,0 +1,169 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Hand-rolled (no `syn`/`quote` available offline) derive macros for the
+//! shimmed `serde` API: structs with named fields serialize to
+//! `Value::Object`, enums with unit variants to `Value::String`. That
+//! covers every `#[derive(Serialize, Deserialize)]` in this workspace;
+//! generic types and tuple/struct variants are rejected with a
+//! `compile_error!` so unsupported shapes fail loudly at the derive site.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Item {
+    Struct { name: String, fields: Vec<String> },
+    Enum { name: String, variants: Vec<String> },
+}
+
+fn error(message: &str) -> TokenStream {
+    format!("compile_error!({message:?});").parse().unwrap()
+}
+
+/// Parses the derive input into a struct field list or enum variant list.
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut idx = 0;
+    // Skip outer attributes (`#[...]`, doc comments) and visibility.
+    let mut kind: Option<&'static str> = None;
+    let mut name = None;
+    let mut body = None;
+    while idx < tokens.len() {
+        match &tokens[idx] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                idx += 2; // '#' + bracketed attribute group
+            }
+            TokenTree::Ident(id) => {
+                let text = id.to_string();
+                match (kind, text.as_str()) {
+                    (None, "struct") => {
+                        kind = Some("struct");
+                        idx += 1;
+                    }
+                    (None, "enum") => {
+                        kind = Some("enum");
+                        idx += 1;
+                    }
+                    (None, _) => idx += 1, // `pub`, `crate`, ...
+                    (Some(_), _) => {
+                        if name.is_none() {
+                            name = Some(text);
+                        }
+                        idx += 1;
+                    }
+                }
+            }
+            TokenTree::Punct(p) if p.as_char() == '<' && kind.is_some() => {
+                return Err("generic types are not supported by the offline serde shim".into());
+            }
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace && name.is_some() => {
+                body = Some(g.stream());
+                idx += 1;
+            }
+            _ => idx += 1,
+        }
+    }
+    let name = name.ok_or("could not find type name")?;
+    let body = body.ok_or("only brace-bodied structs/enums are supported")?;
+    match kind {
+        Some("struct") => Ok(Item::Struct { name, fields: parse_names(body, false)? }),
+        Some("enum") => Ok(Item::Enum { name, variants: parse_names(body, true)? }),
+        _ => Err("expected a struct or enum".into()),
+    }
+}
+
+/// Extracts the leading identifier of each comma-separated entry, tracking
+/// `<...>` depth so commas inside generic field types don't split entries.
+/// For enums (`unit_only`), any variant payload is an error.
+fn parse_names(body: TokenStream, unit_only: bool) -> Result<Vec<String>, String> {
+    let mut names = Vec::new();
+    let mut angle_depth = 0i32;
+    let mut entry_done = false; // saw this entry's name already
+    let mut tokens = body.into_iter().peekable();
+    while let Some(token) = tokens.next() {
+        match token {
+            TokenTree::Punct(p) => match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => entry_done = false,
+                '#' if !entry_done => {
+                    tokens.next(); // attribute group
+                }
+                _ => {}
+            },
+            TokenTree::Ident(id) if !entry_done && angle_depth == 0 => {
+                let text = id.to_string();
+                if text == "pub" || text == "crate" || text == "r" {
+                    continue;
+                }
+                names.push(text);
+                entry_done = true;
+            }
+            TokenTree::Group(g) if unit_only && entry_done => {
+                if g.delimiter() != Delimiter::None {
+                    return Err(
+                        "enum variants with payloads are not supported by the serde shim".into()
+                    );
+                }
+            }
+            _ => {}
+        }
+    }
+    Ok(names)
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(e) => return error(&e),
+    };
+    let generated = match item {
+        Item::Struct { name, fields } => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "fields.push(({f:?}.to_string(), \
+                         ::serde::Serialize::to_value(&self.{f})));\n"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         let mut fields: Vec<(String, ::serde::Value)> = Vec::new();\n\
+                         {pushes}\
+                         ::serde::Value::Object(fields)\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    format!("{name}::{v} => ::serde::Value::String({v:?}.to_string()),\n")
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{ {arms} }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    generated.parse().unwrap()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(e) => return error(&e),
+    };
+    let name = match item {
+        Item::Struct { name, .. } | Item::Enum { name, .. } => name,
+    };
+    format!("impl ::serde::Deserialize for {name} {{}}").parse().unwrap()
+}

@@ -3,65 +3,94 @@
 //! BFS is *the* Graph500 kernel — the benchmark family the paper's
 //! generator feeds (§I). This is a level-synchronous implementation on a
 //! source-partitioned store: each rank expands the frontier vertices it
-//! owns and sends newly reached vertices to their owners; a round ends
-//! when every rank has drained its peers' frontier messages. The
-//! resulting distances validate against the Thm. 3 ground-truth hop
+//! owns and sends newly reached vertices to their owners; a level ends
+//! when every peer's frontier traffic for that level is fully in, and the
+//! search ends when a vote round agrees every frontier is empty.
+//!
+//! The protocol runs over the control class of [`crate::transport`], so
+//! messages can be **duplicated, delayed, and reordered** (drops belong
+//! to the data plane, where the edge exchange's ack/retry layer recovers
+//! them). Three mechanisms make that survivable:
+//!
+//! * every message is **epoch-tagged** with its level, so stragglers from
+//!   a finished level are recognizably stale and discarded;
+//! * frontier messages carry a per-link sequence tag and each
+//!   [`LevelDone`](FrontierMessage::LevelDone) marker declares how many
+//!   frontier messages its sender put on that link, so an
+//!   [`EpochTally`] can tell "all traffic arrived" from "a duplicate
+//!   arrived twice" — level barriers neither fire early on duplicated
+//!   markers nor hang on reordered ones;
+//! * votes are collected at most once per peer per level.
+//!
+//! The resulting distances validate against the Thm. 3 ground-truth hop
 //! formula in the tests — the paper's validation workflow for a second,
-//! different analytic.
+//! different analytic — and the chaos suite replays the whole search
+//! under seeded fault schedules.
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
 use kron_graph::VertexId;
 use std::collections::BTreeMap;
 
 use crate::generator::DistResult;
 use crate::owner::EdgeOwner;
+use crate::reliability::EpochTally;
+use crate::transport::{Endpoint, TransportConfig};
 
 /// Unvisited marker (matches `kron-analytics::distance::UNREACHABLE`).
 pub const UNREACHABLE: u32 = u32::MAX;
 
+#[derive(Debug, Clone)]
 enum FrontierMessage {
-    /// Vertices entering the next frontier.
-    Visit { level: u32, verts: Vec<VertexId> },
-    /// Sender finished the current level.
-    LevelDone { level: u32 },
+    /// Vertices entering the next frontier. `seq` tags the message on its
+    /// link within the level (dedup identity).
+    Visit { level: u32, from: usize, seq: u64, verts: Vec<VertexId> },
+    /// Sender finished expanding `level`, having sent `visits_sent`
+    /// Visit messages on this link for it.
+    LevelDone { level: u32, from: usize, visits_sent: u64 },
     /// Sender's termination vote for the level (1 = frontier non-empty).
-    Vote { level: u32, active: u64 },
+    Vote { level: u32, from: usize, active: u64 },
 }
 
-/// Receives messages for the phase the rank is currently in, stashing
-/// out-of-phase ones. Ranks drift: a peer that has passed the level-`L`
-/// vote barrier may already be sending level-`L+1` traffic while this
-/// rank is still collecting level-`L` votes, so a raw `recv` can hand a
-/// phase the wrong message kind (the original cause of corrupt
-/// distances and deadlocks on single-core schedules). Per-sender FIFO
-/// bounds the drift to one level, so the stash stays tiny.
-struct Inbox {
-    rx: Receiver<FrontierMessage>,
-    stash: Vec<FrontierMessage>,
-}
-
-impl Inbox {
-    fn next(&mut self, want: impl Fn(&FrontierMessage) -> bool) -> FrontierMessage {
-        if let Some(pos) = self.stash.iter().position(&want) {
-            return self.stash.swap_remove(pos);
-        }
-        loop {
-            let msg = self.rx.recv().expect("peers alive until join");
-            if want(&msg) {
-                return msg;
-            }
-            self.stash.push(msg);
+impl FrontierMessage {
+    fn level(&self) -> u32 {
+        match self {
+            FrontierMessage::Visit { level, .. }
+            | FrontierMessage::LevelDone { level, .. }
+            | FrontierMessage::Vote { level, .. } => *level,
         }
     }
 }
 
-/// Runs a distributed BFS from `source`, returning the full distance
-/// vector (`dist[source] = 0`). `owner` must match the generation run.
+const KIND_VISIT: u64 = 1;
+const KIND_LEVEL_DONE: u64 = 2;
+const KIND_VOTE: u64 = 3;
+
+/// Transport key of a control message (feeds the per-message fault
+/// schedule; uniqueness per link+level+kind is all that matters).
+fn key(kind: u64, level: u32, seq: u64) -> u64 {
+    (kind << 60) ^ ((level as u64) << 24) ^ seq
+}
+
+/// Runs a distributed BFS from `source` over perfect channels, returning
+/// the full distance vector (`dist[source] = 0`). `owner` must match the
+/// generation run.
 pub fn distributed_bfs(
     result: &DistResult,
     owner: &dyn EdgeOwner,
     n_c: u64,
     source: VertexId,
+) -> Vec<u32> {
+    distributed_bfs_with(result, owner, n_c, source, &TransportConfig::Perfect)
+}
+
+/// [`distributed_bfs`] over an explicit transport — pass a
+/// [`TransportConfig::Faulty`] to replay the search under a seeded
+/// chaos schedule.
+pub fn distributed_bfs_with(
+    result: &DistResult,
+    owner: &dyn EdgeOwner,
+    n_c: u64,
+    source: VertexId,
+    transport: &TransportConfig,
 ) -> Vec<u32> {
     let ranks = result.per_rank.len();
     assert_eq!(ranks, owner.ranks(), "owner map must match the run");
@@ -83,26 +112,15 @@ pub fn distributed_bfs(
         })
         .collect();
 
-    let mut senders: Vec<Sender<FrontierMessage>> = Vec::with_capacity(ranks);
-    let mut receivers: Vec<Option<Receiver<FrontierMessage>>> = Vec::with_capacity(ranks);
-    for _ in 0..ranks {
-        let (tx, rx) = unbounded();
-        senders.push(tx);
-        receivers.push(Some(rx));
-    }
+    let endpoints: Vec<Endpoint<FrontierMessage>> = Endpoint::mesh(transport, ranks);
 
     let mut distance_parts: Vec<Vec<(VertexId, u32)>> = Vec::with_capacity(ranks);
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(ranks);
-        for (rank, slot) in receivers.iter_mut().enumerate() {
-            let rx = slot.take().expect("taken once");
-            let senders = senders.clone();
+        for ep in endpoints {
             let local_rows = &local_rows;
-            handles.push(scope.spawn(move || {
-                bfs_rank(rank, rx, senders, local_rows, owner, source)
-            }));
+            handles.push(scope.spawn(move || bfs_rank(ep, local_rows, owner, source)));
         }
-        drop(senders);
         for handle in handles {
             distance_parts.push(handle.join().expect("rank thread panicked"));
         }
@@ -117,19 +135,29 @@ pub fn distributed_bfs(
     dist
 }
 
+/// Per-level receive state of one rank.
+struct LevelState {
+    tally: EpochTally,
+    votes: Vec<Option<u64>>,
+    next: Vec<VertexId>,
+}
+
 fn bfs_rank(
-    rank: usize,
-    rx: Receiver<FrontierMessage>,
-    senders: Vec<Sender<FrontierMessage>>,
+    mut ep: Endpoint<FrontierMessage>,
     local_rows: &[BTreeMap<VertexId, Vec<VertexId>>],
     owner: &dyn EdgeOwner,
     source: VertexId,
 ) -> Vec<(VertexId, u32)> {
-    let ranks = senders.len();
+    let rank = ep.rank();
+    let ranks = ep.ranks();
     let mine = &local_rows[rank];
-    let mut inbox = Inbox { rx, stash: Vec::new() };
     let mut dist: BTreeMap<VertexId, u32> = BTreeMap::new();
     let mut frontier: Vec<VertexId> = Vec::new();
+    // Messages from the next level, parked until this rank gets there.
+    // Drift is bounded: a peer can run at most one level ahead (its next
+    // vote barrier needs our vote), so the stash never holds more than
+    // one level of traffic.
+    let mut stash: Vec<FrontierMessage> = Vec::new();
 
     // Level 0: the source's owner seeds its own frontier. `owner` routes
     // by source vertex, so `owner(source, source)` is the owning rank.
@@ -149,67 +177,116 @@ fn bfs_rank(
                 }
             }
         }
+        let mut state = LevelState {
+            tally: EpochTally::new(ranks),
+            votes: vec![None; ranks],
+            next: Vec::new(),
+        };
+        // One Visit message per link per level here; the count protocol
+        // supports any number. Self traffic rides the mesh like any other.
         for (dest, batch) in outboxes.into_iter().enumerate() {
-            if !batch.is_empty() {
-                senders[dest]
-                    .send(FrontierMessage::Visit { level, verts: batch })
-                    .expect("peer alive");
+            let visits_sent = u64::from(!batch.is_empty());
+            if visits_sent > 0 {
+                ep.send_control(
+                    dest,
+                    key(KIND_VISIT, level, 0),
+                    FrontierMessage::Visit { level, from: rank, seq: 0, verts: batch },
+                );
             }
+            ep.send_control(
+                dest,
+                key(KIND_LEVEL_DONE, level, 0),
+                FrontierMessage::LevelDone { level, from: rank, visits_sent },
+            );
         }
-        for sender in &senders {
-            sender
-                .send(FrontierMessage::LevelDone { level })
-                .expect("peer alive");
-        }
+        // Everything for this level is on the wire before we wait —
+        // including copies the adversary parked in delay buffers.
+        ep.flush();
 
-        // Receive this level's discoveries until every peer signals done.
-        let mut next: Vec<VertexId> = Vec::new();
-        let mut done = 0;
-        while done < ranks {
-            let msg = inbox.next(|m| {
-                matches!(
-                    m,
-                    FrontierMessage::Visit { level: l, .. }
-                    | FrontierMessage::LevelDone { level: l } if *l == level
-                )
-            });
-            match msg {
-                FrontierMessage::LevelDone { .. } => done += 1,
-                FrontierMessage::Visit { verts, .. } => {
-                    for v in verts {
-                        dist.entry(v).or_insert_with(|| {
-                            next.push(v);
-                            level + 1
-                        });
-                    }
+        // Phase 1: absorb this level's frontier traffic until every
+        // peer's declared message count is met. Stale duplicates are
+        // discarded, future-level messages stashed.
+        let parked = std::mem::take(&mut stash);
+        for msg in parked {
+            absorb(msg, level, &mut state, &mut dist, &mut stash);
+        }
+        while !state.tally.complete() {
+            match ep.try_recv() {
+                Some(msg) => absorb(msg, level, &mut state, &mut dist, &mut stash),
+                None => {
+                    ep.flush();
+                    std::thread::yield_now();
                 }
-                FrontierMessage::Vote { .. } => unreachable!("filtered"),
             }
         }
 
-        // Global termination: all frontiers empty. Exchange sizes through
-        // the same channels (a tiny "allreduce").
-        let local_active = u64::from(!next.is_empty());
-        for sender in &senders {
-            sender
-                .send(FrontierMessage::Vote { level, active: local_active })
-                .expect("peer alive");
+        // Phase 2: termination vote — a tiny allreduce over the same
+        // mesh. Duplicated votes are idempotent (first one wins).
+        let local_active = u64::from(!state.next.is_empty());
+        for dest in 0..ranks {
+            ep.send_control(
+                dest,
+                key(KIND_VOTE, level, 0),
+                FrontierMessage::Vote { level, from: rank, active: local_active },
+            );
         }
-        let mut active_total = 0u64;
-        for _ in 0..ranks {
-            match inbox.next(|m| matches!(m, FrontierMessage::Vote { level: l, .. } if *l == level))
-            {
-                FrontierMessage::Vote { active, .. } => active_total += active,
-                _ => unreachable!("filtered"),
+        ep.flush();
+        while state.votes.iter().any(Option::is_none) {
+            match ep.try_recv() {
+                Some(msg) => absorb(msg, level, &mut state, &mut dist, &mut stash),
+                None => {
+                    ep.flush();
+                    std::thread::yield_now();
+                }
             }
         }
+
+        let active_total: u64 = state.votes.iter().map(|v| v.unwrap_or(0)).sum();
         level += 1;
         if active_total == 0 {
             break;
         }
-        frontier = next;
+        frontier = state.next;
     }
+    // Release any parked duplicates so no held message outlives the mesh.
+    ep.flush();
     dist.into_iter().collect()
+}
+
+/// Routes one received message: discard if stale, stash if early, apply
+/// if it belongs to the current level.
+fn absorb(
+    msg: FrontierMessage,
+    level: u32,
+    state: &mut LevelState,
+    dist: &mut BTreeMap<VertexId, u32>,
+    stash: &mut Vec<FrontierMessage>,
+) {
+    if msg.level() < level {
+        return; // stale duplicate from a completed level
+    }
+    if msg.level() > level {
+        stash.push(msg);
+        return;
+    }
+    match msg {
+        FrontierMessage::Visit { from, seq, verts, .. } => {
+            if state.tally.record_item(from, seq) {
+                for v in verts {
+                    dist.entry(v).or_insert_with(|| {
+                        state.next.push(v);
+                        level + 1
+                    });
+                }
+            }
+        }
+        FrontierMessage::LevelDone { from, visits_sent, .. } => {
+            state.tally.record_done(from, visits_sent);
+        }
+        FrontierMessage::Vote { from, active, .. } => {
+            state.votes[from].get_or_insert(active);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -217,6 +294,7 @@ mod tests {
     use super::*;
     use crate::generator::{generate_distributed, DistConfig, OwnerConfig};
     use crate::owner::{HashOwner, VertexBlockOwner};
+    use crate::transport::FaultConfig;
     use kron_core::distance::DistanceOracle;
     use kron_core::{KroneckerPair, SelfLoopMode};
     use kron_graph::generators::{clique, cycle, erdos_renyi, path};
@@ -288,6 +366,25 @@ mod tests {
             let distributed = distributed_bfs(&result, &owner, pair.n_c(), source);
             let sequential = bfs_distances(&c, source);
             assert_eq!(distributed, sequential, "source {source}");
+        }
+    }
+
+    #[test]
+    fn survives_duplicated_reordered_frontier_traffic() {
+        let pair =
+            KroneckerPair::new(path(4), cycle(5), SelfLoopMode::FullBoth).unwrap();
+        let result = generate_distributed(&pair, &DistConfig::new(3));
+        let owner = VertexBlockOwner::new(pair.n_c(), 3);
+        let baseline = distributed_bfs(&result, &owner, pair.n_c(), 0);
+        for seed in [1u64, 7, 2024] {
+            let chaotic = distributed_bfs_with(
+                &result,
+                &owner,
+                pair.n_c(),
+                0,
+                &TransportConfig::Faulty(FaultConfig::dup_reorder_only(seed)),
+            );
+            assert_eq!(chaotic, baseline, "repro seed={seed} (dup+reorder BFS)");
         }
     }
 }

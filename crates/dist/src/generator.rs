@@ -3,20 +3,26 @@
 //! Each simulated rank runs on its own thread and executes §III's loop:
 //! generate the arcs of its work cells `C_r = A_r ⊗ B_r`, look up each
 //! arc's storage owner, batch arcs per destination, and exchange batches
-//! over an all-to-all channel mesh (the stand-in for HavoqGT's
-//! asynchronous MPI communication). A rank finishes once it has drained
-//! one `Done` marker from every peer, so termination needs no barrier
-//! beyond the channels themselves.
+//! over an all-to-all [`crate::transport`] mesh (the stand-in for
+//! HavoqGT's asynchronous MPI communication). The exchange rides the
+//! reliable layer ([`crate::reliability`]): batches are sequence-numbered
+//! per link, acked cumulatively, retransmitted on idle, and deduplicated
+//! at the receiver — so the run survives a faulty transport that drops,
+//! duplicates, delays, and reorders messages. A rank finishes once it has
+//! delivered a `Done` payload from every peer (in-order delivery implies
+//! it then holds every batch too) *and* every payload it sent is acked,
+//! so no peer still needs its retransmissions.
 
 use std::time::Instant;
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
 use kron_core::KroneckerPair;
 use kron_graph::{Arc, EdgeList};
 
 use crate::owner::{DelegateOwner, EdgeOwner, HashOwner, VertexBlockOwner};
 use crate::partition::{FactorPartition, PartitionScheme};
+use crate::reliability::{Packet, ReliableEndpoint};
 use crate::stats::{GenStats, RankStats};
+use crate::transport::{Endpoint, TransportConfig};
 
 /// Whether ranks store routed edges or only count them (throughput runs at
 /// scales where storing `C` is impossible — the paper's trillion-edge
@@ -75,6 +81,9 @@ pub struct DistConfig {
     pub owner: OwnerConfig,
     /// Drain strategy.
     pub exchange: ExchangeMode,
+    /// The rank mesh the exchange runs over: perfect channels or the
+    /// seeded fault-injecting adversary.
+    pub transport: TransportConfig,
 }
 
 impl DistConfig {
@@ -87,6 +96,7 @@ impl DistConfig {
             storage: StorageMode::Store,
             owner: OwnerConfig::VertexBlock,
             exchange: ExchangeMode::Phased,
+            transport: TransportConfig::Perfect,
         }
     }
 }
@@ -120,6 +130,12 @@ impl DistResult {
     }
 
     /// Union of all ranks' stored arcs as one edge list (validation use).
+    ///
+    /// The product map `(i,j) ⊗ (k,l) ↦ (i·n_B+k, j·n_B+l)` is injective
+    /// and every arc has exactly one owner, so a correct run stores each
+    /// arc exactly once across all ranks. In debug/test builds a
+    /// duplicate is treated as a protocol failure (a redelivery bug would
+    /// otherwise silently inflate `m_C` after dedup hid it).
     pub fn union(&self, n_c: u64) -> EdgeList {
         let mut all = EdgeList::new(n_c);
         for rank_edges in &self.per_rank {
@@ -127,7 +143,14 @@ impl DistResult {
                 all.add_arc(p, q).expect("generated arcs are in range");
             }
         }
+        let before = all.nnz();
         all.sort_dedup();
+        debug_assert_eq!(
+            before,
+            all.nnz(),
+            "{} duplicate arcs across rank stores — redelivery bug inflating m_C",
+            before - all.nnz()
+        );
         all
     }
 
@@ -154,6 +177,7 @@ impl DistResult {
         // the linear head scan per element is cheap.
         let mut heads = vec![0usize; sorted.len()];
         let mut out: Vec<Arc> = Vec::with_capacity(total);
+        let mut duplicates = 0usize;
         loop {
             let mut best: Option<(usize, Arc)> = None;
             for (c, chunk) in sorted.iter().enumerate() {
@@ -167,13 +191,22 @@ impl DistResult {
             heads[c] += 1;
             if out.last() != Some(&arc) {
                 out.push(arc);
+            } else {
+                duplicates += 1;
             }
         }
+        debug_assert_eq!(
+            duplicates, 0,
+            "{duplicates} duplicate arcs across rank stores — redelivery bug inflating m_C"
+        );
         // Generated arcs were validated when stored at their ranks.
         EdgeList::from_arcs_unchecked(n_c, out)
     }
 }
 
+/// The exchange payloads; `Clone` because the reliable layer keeps
+/// unacked payloads for retransmission.
+#[derive(Debug, Clone)]
 enum Message {
     Batch(Vec<Arc>),
     Done,
@@ -211,30 +244,20 @@ pub fn generate_distributed(pair: &KroneckerPair, config: &DistConfig) -> DistRe
     let owner = &*owner;
     let n_b = pair.b().n();
 
-    let mut senders: Vec<Sender<Message>> = Vec::with_capacity(config.ranks);
-    let mut receivers: Vec<Option<Receiver<Message>>> = Vec::with_capacity(config.ranks);
-    for _ in 0..config.ranks {
-        let (tx, rx) = unbounded();
-        senders.push(tx);
-        receivers.push(Some(rx));
-    }
+    let endpoints: Vec<Endpoint<Packet<Message>>> =
+        Endpoint::mesh(&config.transport, config.ranks);
 
     let started = Instant::now();
     let mut per_rank: Vec<(RankStats, EdgeList)> = Vec::with_capacity(config.ranks);
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(config.ranks);
-        for (rank, slot) in receivers.iter_mut().enumerate() {
-            let rx = slot.take().expect("receiver taken once");
-            let senders = senders.clone();
+        for ep in endpoints {
             let partition = &partition;
             let cfg = config;
             handles.push(scope.spawn(move || {
-                run_rank(rank, rx, senders, partition, owner, cfg, n_b, pair.n_c())
+                run_rank(ep, partition, owner, cfg, n_b, pair.n_c())
             }));
         }
-        // Drop the original senders so channels close once rank threads
-        // drop their clones.
-        drop(senders);
         for handle in handles {
             per_rank.push(handle.join().expect("rank thread panicked"));
         }
@@ -250,21 +273,20 @@ pub fn generate_distributed(pair: &KroneckerPair, config: &DistConfig) -> DistRe
     DistResult { per_rank: edges, stats }
 }
 
-#[allow(clippy::too_many_arguments)]
 fn run_rank(
-    rank: usize,
-    rx: Receiver<Message>,
-    senders: Vec<Sender<Message>>,
+    ep: Endpoint<Packet<Message>>,
     partition: &FactorPartition,
     owner: &(dyn EdgeOwner + Send + Sync),
     config: &DistConfig,
     n_b: u64,
     n_c: u64,
 ) -> (RankStats, EdgeList) {
+    let rank = ep.rank();
+    let mut link = ReliableEndpoint::new(ep);
     let mut stats = RankStats::default();
     let mut stored = EdgeList::new(n_c);
     let mut outboxes: Vec<Vec<Arc>> = vec![Vec::new(); config.ranks];
-    let mut pending_dones = 0usize;
+    let mut dones = 0usize;
 
     // Generation phase: multiply this rank's work cells.
     for cell in partition.cells_of(rank) {
@@ -291,12 +313,13 @@ fn run_rank(
                     if outbox.len() >= config.batch_size {
                         let batch = std::mem::take(outbox);
                         stats.messages += 1;
-                        senders[dest].send(Message::Batch(batch)).expect("peer alive");
+                        link.send(dest, Message::Batch(batch));
                         if config.exchange == ExchangeMode::Interleaved {
-                            // Drain whatever has already arrived so the
-                            // inbox never builds up (Dones cannot arrive
-                            // yet — peers send them only after generating).
-                            while let Ok(message) = rx.try_recv() {
+                            // Drain whatever the reliable layer has
+                            // already delivered so the inbox never builds
+                            // up (HavoqGT-style asynchrony). Peers that
+                            // finished early may already send Dones.
+                            while let Some((_, message)) = link.poll() {
                                 match message {
                                     Message::Batch(batch) => {
                                         for (p, q) in batch {
@@ -304,7 +327,7 @@ fn run_rank(
                                             stored.add_arc(p, q).expect("in range");
                                         }
                                     }
-                                    Message::Done => pending_dones += 1,
+                                    Message::Done => dones += 1,
                                 }
                             }
                         }
@@ -313,31 +336,41 @@ fn run_rank(
             }
         }
     }
-    // Flush and signal completion to every peer.
-    for (dest, outbox) in outboxes.into_iter().enumerate() {
+    // Flush remainders and signal completion to every rank, self
+    // included — Done is an ordinary sequenced payload, so delivering it
+    // proves every earlier batch on that link was delivered too.
+    for (dest, outbox) in outboxes.iter_mut().enumerate() {
         if !outbox.is_empty() {
             stats.messages += 1;
-            senders[dest].send(Message::Batch(outbox)).expect("peer alive");
+            link.send(dest, Message::Batch(std::mem::take(outbox)));
         }
     }
-    for sender in &senders {
-        sender.send(Message::Done).expect("peer alive");
+    for dest in 0..config.ranks {
+        link.send(dest, Message::Done);
     }
-    drop(senders);
 
-    // Drain phase: run until a Done from every rank (including self).
-    let mut done = pending_dones;
-    while done < config.ranks {
-        match rx.recv().expect("channel open until all Dones sent") {
-            Message::Batch(batch) => {
+    // Drain phase: run until (a) a Done from every rank — in-order
+    // delivery means every batch is in by then — and (b) everything this
+    // rank sent is acked, so no peer still waits on our retransmissions.
+    // `poll` retransmits unacked payloads and flushes held traffic
+    // whenever the mesh goes idle, which guarantees progress under
+    // bounded fair loss.
+    while dones < config.ranks || !link.all_acked() {
+        match link.poll() {
+            Some((_, Message::Batch(batch))) => {
                 for (p, q) in batch {
                     stats.stored += 1;
                     stored.add_arc(p, q).expect("in range");
                 }
             }
-            Message::Done => done += 1,
+            Some((_, Message::Done)) => dones += 1,
+            None => {}
         }
     }
+    // Late acks and held duplicates must still reach draining peers.
+    link.shutdown();
+    stats.retransmissions = link.retransmissions;
+    stats.redeliveries_discarded = link.duplicates_discarded;
     (stats, stored)
 }
 

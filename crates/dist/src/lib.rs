@@ -2,9 +2,9 @@
 //!
 //! The paper's HPC generator runs on MPI ranks under HavoqGT (IBM BG/Q,
 //! 1.57M cores). This crate reproduces its *structure* on one machine:
-//! each simulated rank is an OS thread, the asynchronous edge exchange is
-//! a crossbeam channel mesh, and edge storage ownership is a hash map over
-//! ranks — so the partitioning math, communication pattern, storage
+//! each simulated rank is an OS thread, the asynchronous edge exchange
+//! runs over a channel mesh behind a swappable (and fault-injectable)
+//! transport, and edge storage ownership is a hash map over ranks — so the partitioning math, communication pattern, storage
 //! bounds, and the 1D-vs-2D scalability argument of §III/Rem. 1 are all
 //! exercised by real concurrent code.
 //!
@@ -13,20 +13,28 @@
 //! * [`owner`] — which rank stores a generated edge (block or hash map).
 //! * [`generator`] — the rank threads: generate `C_r = A_r ⊗ B_r`, route
 //!   every edge to its owner, drain incoming edges, report stats.
+//! * [`transport`] — the swappable rank mesh: perfect channels or a
+//!   seeded adversary injecting drop/duplication/delay/reordering.
+//! * [`reliability`] — seq/ack/retry exactly-once links for the edge
+//!   exchange and the epoch tally behind the analytics' termination.
 //! * [`stats`] — per-rank counters and load-imbalance/storage metrics.
 
 pub mod bfs;
 pub mod generator;
 pub mod owner;
 pub mod partition;
+pub mod reliability;
 pub mod stats;
+pub mod transport;
 pub mod triangle_count;
 pub mod validate;
 
 pub use generator::{generate_distributed, DistConfig, DistResult, ExchangeMode, OwnerConfig, StorageMode};
 pub use owner::{EdgeOwner, HashOwner, VertexBlockOwner};
 pub use partition::{FactorPartition, PartitionScheme};
+pub use reliability::{EpochTally, ReliableEndpoint};
 pub use stats::{GenStats, RankStats};
-pub use bfs::distributed_bfs;
-pub use triangle_count::distributed_triangle_count;
+pub use transport::{Endpoint, FaultConfig, TransportConfig, TransportStats};
+pub use bfs::{distributed_bfs, distributed_bfs_with};
+pub use triangle_count::{distributed_triangle_count, distributed_triangle_count_with};
 pub use validate::{validate_against_ground_truth, ValidationReport};

@@ -1,0 +1,397 @@
+//! Delivery-fault tolerance on top of [`crate::transport`].
+//!
+//! Two mechanisms, matching the two message classes of the fault model:
+//!
+//! * [`ReliableEndpoint`] — the edge-exchange data plane. Every payload
+//!   is sequence-numbered per link; the receiver delivers **in order,
+//!   exactly once**, acks cumulatively, and the sender retransmits
+//!   unacked payloads when the mesh goes idle. Redelivery dedup is
+//!   *bounded*: one `u64` cumulative counter per peer kills every
+//!   duplicate below it, and only the (small, transient) out-of-order
+//!   window is buffered — no unbounded seen-set.
+//! * [`EpochTally`] — the analytics control plane (BFS levels, triangle
+//!   rounds). Senders tag every item with `(epoch, per-link sequence)`
+//!   and close each epoch with a count-carrying done marker; the tally
+//!   accepts items at most once and declares the epoch complete only
+//!   when every peer's declared count has been met — immune to
+//!   duplicated, reordered, and delayed control traffic.
+//!
+//! ## Why termination is safe
+//!
+//! A rank may leave the exchange only when (a) it has delivered a `Done`
+//! payload from every peer — in-order delivery means it then holds every
+//! earlier payload too — and (b) all of its own payloads are acked, so no
+//! peer still needs its retransmissions. Acks ride the no-drop control
+//! class and are flushed before exit; in-process channels retain already
+//! sent messages, so a straggler still receives the final acks after the
+//! peer's thread is gone. Drops are fair-loss with a deterministic bound
+//! ([`crate::transport::FaultConfig::drop_cap`]), so idle-triggered
+//! retransmission always makes progress. No wall clock, no timeouts.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use crate::transport::Endpoint;
+
+/// Wire format of the reliable layer.
+#[derive(Debug, Clone)]
+pub enum Packet<T> {
+    /// Sequenced payload. `seq` is per (sender, receiver) link.
+    Data {
+        /// Sending rank (channels are anonymous).
+        from: usize,
+        /// Link-local sequence number, from 0.
+        seq: u64,
+        /// The protocol message.
+        payload: T,
+    },
+    /// Cumulative ack: every `seq < upto` on the link is delivered.
+    Ack {
+        /// Acking rank.
+        from: usize,
+        /// One past the highest contiguously delivered sequence.
+        upto: u64,
+    },
+}
+
+/// How many consecutive empty polls an idle rank waits before
+/// retransmitting its unacked payloads and flushing held traffic. Purely
+/// event-counted — no wall clock — so behaviour is identical on loaded
+/// and idle machines.
+const RETRY_IDLE_POLLS: u32 = 32;
+
+/// Reliable, exactly-once, per-link-FIFO endpoint for the edge exchange.
+pub struct ReliableEndpoint<T: Clone + Send> {
+    ep: Endpoint<Packet<T>>,
+    /// Next sequence number to assign, per destination.
+    next_seq: Vec<u64>,
+    /// Sent but not yet cumulatively acked payloads, per destination.
+    unacked: Vec<BTreeMap<u64, T>>,
+    /// Next sequence expected, per source (the bounded dedup cursor).
+    next_expected: Vec<u64>,
+    /// Out-of-order arrivals awaiting their gap, per source.
+    ooo: Vec<BTreeMap<u64, T>>,
+    /// Payloads delivered in order, ready for the protocol.
+    ready: VecDeque<(usize, T)>,
+    idle_polls: u32,
+    /// First transmissions of payloads.
+    pub data_sent: u64,
+    /// Idle-triggered retransmissions.
+    pub retransmissions: u64,
+    /// Redelivered payloads discarded by dedup.
+    pub duplicates_discarded: u64,
+}
+
+impl<T: Clone + Send> ReliableEndpoint<T> {
+    /// Wraps a transport endpoint.
+    pub fn new(ep: Endpoint<Packet<T>>) -> Self {
+        let ranks = ep.ranks();
+        ReliableEndpoint {
+            ep,
+            next_seq: vec![0; ranks],
+            unacked: vec![BTreeMap::new(); ranks],
+            next_expected: vec![0; ranks],
+            ooo: vec![BTreeMap::new(); ranks],
+            ready: VecDeque::new(),
+            idle_polls: 0,
+            data_sent: 0,
+            retransmissions: 0,
+            duplicates_discarded: 0,
+        }
+    }
+
+    /// This endpoint's rank.
+    pub fn rank(&self) -> usize {
+        self.ep.rank()
+    }
+
+    /// Ranks in the mesh.
+    pub fn ranks(&self) -> usize {
+        self.ep.ranks()
+    }
+
+    /// Transport-level fault counters.
+    pub fn transport_stats(&self) -> crate::transport::TransportStats {
+        self.ep.stats
+    }
+
+    /// Sends `payload` to `dest` reliably (first transmission).
+    pub fn send(&mut self, dest: usize, payload: T) {
+        let seq = self.next_seq[dest];
+        self.next_seq[dest] += 1;
+        self.unacked[dest].insert(seq, payload.clone());
+        self.data_sent += 1;
+        let from = self.ep.rank();
+        self.ep.send(dest, data_key(seq), Packet::Data { from, seq, payload });
+    }
+
+    /// True when every payload this rank ever sent is cumulatively acked.
+    pub fn all_acked(&self) -> bool {
+        self.unacked.iter().all(BTreeMap::is_empty)
+    }
+
+    /// Delivers the next in-order payload if one is available, else
+    /// `None`. Processes all transport traffic that has arrived (acks
+    /// included) before answering.
+    pub fn poll(&mut self) -> Option<(usize, T)> {
+        if let Some(out) = self.ready.pop_front() {
+            return Some(out);
+        }
+        while let Some(packet) = self.ep.try_recv() {
+            self.idle_polls = 0;
+            match packet {
+                Packet::Data { from, seq, payload } => self.on_data(from, seq, payload),
+                Packet::Ack { from, upto } => {
+                    let still_pending = self.unacked[from].split_off(&upto);
+                    self.unacked[from] = still_pending;
+                }
+            }
+        }
+        let out = self.ready.pop_front();
+        if out.is_none() {
+            self.idle_polls += 1;
+            if self.idle_polls >= RETRY_IDLE_POLLS {
+                self.idle_polls = 0;
+                self.retransmit();
+            }
+            std::thread::yield_now();
+        }
+        out
+    }
+
+    fn on_data(&mut self, from: usize, seq: u64, payload: T) {
+        use std::cmp::Ordering;
+        let expected = self.next_expected[from];
+        match seq.cmp(&expected) {
+            Ordering::Less => {
+                // Redelivery below the cumulative cursor: dedup is the
+                // single counter — nothing stored. Re-ack so the sender
+                // stops retransmitting (its ack may have been delayed).
+                self.duplicates_discarded += 1;
+                self.send_ack(from);
+            }
+            Ordering::Equal => {
+                self.ready.push_back((from, payload));
+                self.next_expected[from] += 1;
+                // Release any contiguous run waiting behind the gap.
+                while let Some(p) = self.ooo[from].remove(&self.next_expected[from]) {
+                    self.ready.push_back((from, p));
+                    self.next_expected[from] += 1;
+                }
+                self.send_ack(from);
+            }
+            Ordering::Greater => {
+                if self.ooo[from].insert(seq, payload).is_some() {
+                    self.duplicates_discarded += 1;
+                }
+            }
+        }
+    }
+
+    fn send_ack(&mut self, to: usize) {
+        let upto = self.next_expected[to];
+        let from = self.ep.rank();
+        // Acks are control class: never dropped, may be duplicated,
+        // delayed, reordered — all harmless for a cumulative counter.
+        self.ep.send_control(to, ack_key(upto), Packet::Ack { from, upto });
+    }
+
+    fn retransmit(&mut self) {
+        let from = self.ep.rank();
+        for dest in 0..self.unacked.len() {
+            // Clone out the pending set to appease the borrow on self.ep.
+            let pending: Vec<(u64, T)> = self.unacked[dest]
+                .iter()
+                .map(|(&s, p)| (s, p.clone()))
+                .collect();
+            for (seq, payload) in pending {
+                self.retransmissions += 1;
+                self.ep
+                    .send(dest, data_key(seq), Packet::Data { from, seq, payload });
+            }
+        }
+        self.ep.flush();
+    }
+
+    /// Final flush so late acks and held copies reach peers that are
+    /// still draining. Call once the protocol's exit condition holds.
+    pub fn shutdown(&mut self) {
+        self.ep.flush();
+    }
+}
+
+#[inline]
+fn data_key(seq: u64) -> u64 {
+    seq ^ 0xDA7A_DA7A_0000_0000
+}
+
+#[inline]
+fn ack_key(upto: u64) -> u64 {
+    upto ^ 0xACC0_ACC0_0000_0000
+}
+
+/// Per-epoch receive tally for the count-based termination protocol of
+/// the analytics (BFS levels, the triangle-count round).
+///
+/// Each sender tags its items `0..k` within the epoch and announces `k`
+/// in its done marker; duplicates (same `(sender, tag)`) are reported
+/// stale, and [`EpochTally::complete`] holds only when every sender has
+/// both declared and delivered its full count — so duplicated, reordered
+/// and delayed control traffic can neither terminate an epoch early nor
+/// double-count an item.
+#[derive(Debug)]
+pub struct EpochTally {
+    seen: Vec<BTreeSet<u64>>,
+    declared: Vec<Option<u64>>,
+}
+
+impl EpochTally {
+    /// Empty tally over `ranks` senders.
+    pub fn new(ranks: usize) -> Self {
+        EpochTally { seen: vec![BTreeSet::new(); ranks], declared: vec![None; ranks] }
+    }
+
+    /// Records item `tag` from `from`; `true` iff it is fresh (first
+    /// delivery — process it), `false` for duplicates (discard).
+    pub fn record_item(&mut self, from: usize, tag: u64) -> bool {
+        self.seen[from].insert(tag)
+    }
+
+    /// Records `from`'s done marker declaring `count` items; `true` iff
+    /// it is the first one. Duplicate markers must agree on the count.
+    pub fn record_done(&mut self, from: usize, count: u64) -> bool {
+        match self.declared[from] {
+            Some(prev) => {
+                assert_eq!(prev, count, "peer {from} changed its epoch count");
+                false
+            }
+            None => {
+                self.declared[from] = Some(count);
+                true
+            }
+        }
+    }
+
+    /// True when every sender has declared and every declared item has
+    /// arrived.
+    pub fn complete(&self) -> bool {
+        self.declared
+            .iter()
+            .zip(&self.seen)
+            .all(|(d, s)| d.map_or(false, |count| s.len() as u64 == count))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::{Endpoint, FaultConfig, TransportConfig};
+
+    /// Two endpoints of a 2-rank mesh, driven by hand on one thread.
+    fn pair_of(config: &TransportConfig) -> (ReliableEndpoint<u64>, ReliableEndpoint<u64>) {
+        let mut eps = Endpoint::mesh(config, 2);
+        let b = ReliableEndpoint::new(eps.pop().expect("two"));
+        let a = ReliableEndpoint::new(eps.pop().expect("one"));
+        (a, b)
+    }
+
+    fn drain_count(ep: &mut ReliableEndpoint<u64>, want: usize) -> Vec<u64> {
+        let mut got = Vec::new();
+        let mut spins = 0u64;
+        while got.len() < want {
+            match ep.poll() {
+                Some((_, v)) => got.push(v),
+                None => {
+                    spins += 1;
+                    assert!(spins < 5_000_000, "no progress after {} items", got.len());
+                }
+            }
+        }
+        got
+    }
+
+    #[test]
+    fn perfect_link_delivers_in_order() {
+        let (mut a, mut b) = pair_of(&TransportConfig::Perfect);
+        for v in 0..100 {
+            a.send(1, v);
+        }
+        assert_eq!(drain_count(&mut b, 100), (0..100).collect::<Vec<_>>());
+        // Drive a so it processes b's acks.
+        while !a.all_acked() {
+            let _ = a.poll();
+        }
+    }
+
+    #[test]
+    fn chaos_link_still_exactly_once_in_order() {
+        for seed in [1u64, 2, 3, 20, 21] {
+            let cfg = TransportConfig::Faulty(FaultConfig::chaos(seed));
+            let (mut a, mut b) = pair_of(&cfg);
+            for v in 0..200 {
+                a.send(1, v);
+            }
+            // Interleave: b drains while a retransmits and absorbs acks.
+            let mut got = Vec::new();
+            let mut spins = 0u64;
+            while got.len() < 200 || !a.all_acked() {
+                if let Some((_, v)) = b.poll() {
+                    got.push(v);
+                }
+                let _ = a.poll();
+                spins += 1;
+                assert!(
+                    spins < 20_000_000,
+                    "seed {seed}: stalled at {} delivered, all_acked={}",
+                    got.len(),
+                    a.all_acked()
+                );
+            }
+            assert_eq!(got, (0..200).collect::<Vec<_>>(), "seed {seed}");
+            assert_eq!(b.poll(), None, "seed {seed}: spurious extra delivery");
+            a.shutdown();
+            b.shutdown();
+        }
+    }
+
+    #[test]
+    fn duplicates_are_discarded_not_redelivered() {
+        let cfg = TransportConfig::Faulty(FaultConfig::dup_reorder_only(7));
+        let (mut a, mut b) = pair_of(&cfg);
+        for v in 0..300 {
+            a.send(1, v);
+        }
+        a.shutdown();
+        let got = drain_count(&mut b, 300);
+        assert_eq!(got, (0..300).collect::<Vec<_>>());
+        // With dup_p = 0.25 over 300 messages some duplicates must have
+        // been injected and all of them discarded.
+        assert!(
+            b.duplicates_discarded + b.ooo.iter().map(|m| m.len() as u64).sum::<u64>() > 0
+                || b.transport_stats().duplicated == 0
+        );
+        b.shutdown();
+    }
+
+    #[test]
+    fn tally_requires_full_count() {
+        let mut t = EpochTally::new(2);
+        assert!(!t.complete());
+        assert!(t.record_item(0, 0));
+        assert!(!t.record_item(0, 0), "duplicate item must be stale");
+        assert!(t.record_done(0, 2));
+        assert!(!t.record_done(0, 2), "duplicate done must be stale");
+        assert!(!t.complete(), "missing item 1 from rank 0");
+        assert!(t.record_item(0, 1));
+        assert!(!t.complete(), "rank 1 has not declared");
+        assert!(t.record_done(1, 0));
+        assert!(t.complete());
+    }
+
+    #[test]
+    #[should_panic(expected = "changed its epoch count")]
+    fn tally_rejects_inconsistent_counts() {
+        let mut t = EpochTally::new(1);
+        t.record_done(0, 3);
+        t.record_done(0, 4);
+    }
+}

@@ -17,6 +17,11 @@ pub struct RankStats {
     pub messages: u64,
     /// Factor arcs this rank held (`|E_{A_r}| + |E_{B_r}|`).
     pub factor_arcs: u64,
+    /// Payloads retransmitted by the reliable layer (0 on a perfect
+    /// transport).
+    pub retransmissions: u64,
+    /// Redelivered payloads the reliable layer deduplicated away.
+    pub redeliveries_discarded: u64,
 }
 
 /// Aggregated statistics over all ranks of one generation run.
@@ -63,6 +68,16 @@ impl GenStats {
     /// Max factor arcs held by any rank (the §III storage bound term).
     pub fn max_factor_arcs(&self) -> u64 {
         self.per_rank.iter().map(|r| r.factor_arcs).max().unwrap_or(0)
+    }
+
+    /// Total reliable-layer retransmissions (0 on a perfect transport).
+    pub fn total_retransmissions(&self) -> u64 {
+        self.per_rank.iter().map(|r| r.retransmissions).sum()
+    }
+
+    /// Total redelivered payloads discarded by receive-side dedup.
+    pub fn total_redeliveries_discarded(&self) -> u64 {
+        self.per_rank.iter().map(|r| r.redeliveries_discarded).sum()
     }
 
     /// Generation throughput in arcs/second.

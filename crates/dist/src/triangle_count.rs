@@ -17,27 +17,59 @@
 //! `owner(u)`. The global count is the sum of rank-local counts — which
 //! the tests check against both direct enumeration and the paper's
 //! `τ_C = 6 τ_A τ_B` formula.
+//!
+//! The push phase runs over the control class of [`crate::transport`], so
+//! rows and termination markers may be **duplicated, delayed, and
+//! reordered**. Each row carries a per-link sequence tag, each
+//! [`Done`](RowMessage::Done) marker declares how many rows its sender
+//! pushed on that link, and an [`EpochTally`] over the single exchange
+//! epoch dedups redelivered rows (counting a row twice would silently
+//! inflate the triangle count) and tells true completion apart from a
+//! duplicated marker.
 
 use std::collections::BTreeMap;
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
 use kron_graph::VertexId;
 
 use crate::generator::DistResult;
 use crate::owner::EdgeOwner;
+use crate::reliability::EpochTally;
+use crate::transport::{Endpoint, TransportConfig};
 
+#[derive(Debug, Clone)]
 enum RowMessage {
-    /// `(v, sorted out-row of v)`.
-    Row(VertexId, Vec<VertexId>),
-    Done,
+    /// `(v, sorted out-row of v)`, the `seq`-th row its sender pushed on
+    /// this link (dedup identity under redelivery).
+    Row { from: usize, seq: u64, v: VertexId, row: Vec<VertexId> },
+    /// Sender pushed `rows_sent` rows on this link and will send no more.
+    Done { from: usize, rows_sent: u64 },
+}
+
+const KIND_ROW: u64 = 1;
+const KIND_DONE: u64 = 2;
+
+fn key(kind: u64, seq: u64) -> u64 {
+    (kind << 60) ^ seq
 }
 
 /// Counts unordered triangles of the stored (undirected) graph across
-/// ranks. `owner` must be the mapping the generation run used.
+/// ranks, over perfect channels. `owner` must be the mapping the
+/// generation run used.
 ///
 /// Panics if a rank stores an arc whose source it does not own (the
 /// row-push algorithm requires source-complete rows).
 pub fn distributed_triangle_count(result: &DistResult, owner: &dyn EdgeOwner) -> u64 {
+    distributed_triangle_count_with(result, owner, &TransportConfig::Perfect)
+}
+
+/// [`distributed_triangle_count`] over an explicit transport — pass a
+/// [`TransportConfig::Faulty`] to replay the count under a seeded chaos
+/// schedule.
+pub fn distributed_triangle_count_with(
+    result: &DistResult,
+    owner: &dyn EdgeOwner,
+    transport: &TransportConfig,
+) -> u64 {
     let ranks = result.per_rank.len();
     assert_eq!(ranks, owner.ranks(), "owner map must match the run");
     assert!(
@@ -68,26 +100,15 @@ pub fn distributed_triangle_count(result: &DistResult, owner: &dyn EdgeOwner) ->
         })
         .collect();
 
-    let mut senders: Vec<Sender<RowMessage>> = Vec::with_capacity(ranks);
-    let mut receivers: Vec<Option<Receiver<RowMessage>>> = Vec::with_capacity(ranks);
-    for _ in 0..ranks {
-        let (tx, rx) = unbounded();
-        senders.push(tx);
-        receivers.push(Some(rx));
-    }
+    let endpoints: Vec<Endpoint<RowMessage>> = Endpoint::mesh(transport, ranks);
 
     let mut total = 0u64;
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(ranks);
-        for (rank, slot) in receivers.iter_mut().enumerate() {
-            let rx = slot.take().expect("taken once");
-            let senders = senders.clone();
+        for ep in endpoints {
             let local_rows = &local_rows;
-            handles.push(scope.spawn(move || {
-                count_on_rank(rank, rx, senders, local_rows, owner)
-            }));
+            handles.push(scope.spawn(move || count_on_rank(ep, local_rows, owner)));
         }
-        drop(senders);
         for handle in handles {
             total += handle.join().expect("rank thread panicked");
         }
@@ -96,15 +117,17 @@ pub fn distributed_triangle_count(result: &DistResult, owner: &dyn EdgeOwner) ->
 }
 
 fn count_on_rank(
-    rank: usize,
-    rx: Receiver<RowMessage>,
-    senders: Vec<Sender<RowMessage>>,
+    mut ep: Endpoint<RowMessage>,
     local_rows: &[BTreeMap<VertexId, Vec<VertexId>>],
     owner: &dyn EdgeOwner,
 ) -> u64 {
+    let rank = ep.rank();
+    let ranks = ep.ranks();
     let mine = &local_rows[rank];
 
-    // Push phase: send each owned row to the owners of smaller neighbors.
+    // Push phase: send each owned row to the owners of smaller neighbors,
+    // tagging it with a per-link sequence number.
+    let mut rows_sent = vec![0u64; ranks];
     for (&v, row) in mine {
         let mut dests: Vec<usize> = row
             .iter()
@@ -114,25 +137,44 @@ fn count_on_rank(
         dests.sort_unstable();
         dests.dedup();
         for dest in dests {
-            senders[dest]
-                .send(RowMessage::Row(v, row.clone()))
-                .expect("peer alive");
+            let seq = rows_sent[dest];
+            rows_sent[dest] += 1;
+            ep.send_control(
+                dest,
+                key(KIND_ROW, seq),
+                RowMessage::Row { from: rank, seq, v, row: row.clone() },
+            );
         }
     }
-    for sender in &senders {
-        sender.send(RowMessage::Done).expect("peer alive");
+    for (dest, &sent) in rows_sent.iter().enumerate() {
+        ep.send_control(dest, key(KIND_DONE, 0), RowMessage::Done { from: rank, rows_sent: sent });
     }
-    drop(senders);
+    // Everything — including adversary-parked copies — on the wire
+    // before this rank goes quiet.
+    ep.flush();
 
     // Count phase: for each received row N(v) and each owned u ∈ N(v)
-    // with u < v, count common neighbors w > v.
-    let ranks = local_rows.len();
+    // with u < v, count common neighbors w > v. Runs until every peer's
+    // declared row count has been absorbed exactly once.
+    let mut tally = EpochTally::new(ranks);
     let mut count = 0u64;
-    let mut done = 0;
-    while done < ranks {
-        match rx.recv().expect("open until all Dones") {
-            RowMessage::Done => done += 1,
-            RowMessage::Row(v, row_v) => {
+    while !tally.complete() {
+        let msg = match ep.try_recv() {
+            Some(msg) => msg,
+            None => {
+                ep.flush();
+                std::thread::yield_now();
+                continue;
+            }
+        };
+        match msg {
+            RowMessage::Done { from, rows_sent } => {
+                tally.record_done(from, rows_sent);
+            }
+            RowMessage::Row { from, seq, v, row: row_v } => {
+                if !tally.record_item(from, seq) {
+                    continue; // redelivered row — counting it twice would inflate the total
+                }
                 for &u in row_v.iter().filter(|&&u| u < v) {
                     if let Some(row_u) = mine.get(&u) {
                         if row_u.binary_search(&v).is_err() {
@@ -144,6 +186,7 @@ fn count_on_rank(
             }
         }
     }
+    ep.flush();
     count
 }
 
@@ -172,6 +215,7 @@ mod tests {
     use super::*;
     use crate::generator::{generate_distributed, DistConfig, OwnerConfig};
     use crate::owner::{HashOwner, VertexBlockOwner};
+    use crate::transport::FaultConfig;
     use kron_core::triangles::TriangleOracle;
     use kron_core::{KroneckerPair, SelfLoopMode};
     use kron_graph::generators::{barabasi_albert, clique, erdos_renyi};
@@ -238,5 +282,21 @@ mod tests {
         let result = generate_distributed(&pair, &DistConfig::new(2));
         let owner = VertexBlockOwner::new(pair.n_c(), 3); // wrong rank count
         distributed_triangle_count(&result, &owner);
+    }
+
+    #[test]
+    fn survives_duplicated_reordered_rows() {
+        let pair = KroneckerPair::as_is(clique(4), erdos_renyi(6, 0.6, 54)).unwrap();
+        let result = generate_distributed(&pair, &DistConfig::new(4));
+        let owner = VertexBlockOwner::new(pair.n_c(), 4);
+        let baseline = distributed_triangle_count(&result, &owner);
+        for seed in [3u64, 8, 4096] {
+            let counted = distributed_triangle_count_with(
+                &result,
+                &owner,
+                &TransportConfig::Faulty(FaultConfig::dup_reorder_only(seed)),
+            );
+            assert_eq!(counted, baseline, "repro seed={seed} (dup+reorder TC)");
+        }
     }
 }

@@ -1,0 +1,183 @@
+//! Seeded chaos matrix for the distributed layer.
+//!
+//! Every cell of the grid — seed × fault mix × rank count × exchange
+//! mode — replays distributed generation (and the BFS / triangle-count
+//! analytics) over a fault-injecting transport and asserts the results
+//! are **bit-identical** to the perfect-transport run. Fault schedules
+//! are pure functions of the seed, so every failure is replayable: each
+//! assertion message carries the full cell coordinates.
+//!
+//! `cargo test` covers a small default seed set; `scripts/chaos.sh`
+//! widens it via `KRON_CHAOS_SEEDS=<count>` for the full sweep.
+
+use kron_core::KroneckerPair;
+use kron_dist::{
+    distributed_bfs_with, distributed_triangle_count_with, generate_distributed, DistConfig,
+    DistResult, ExchangeMode, FaultConfig, TransportConfig, VertexBlockOwner,
+};
+use kron_graph::generators::{cycle, erdos_renyi};
+use kron_graph::VertexId;
+
+const DEFAULT_SEED_COUNT: u64 = 4;
+const RANK_COUNTS: [usize; 4] = [1, 2, 4, 8];
+const MODES: [ExchangeMode; 2] = [ExchangeMode::Phased, ExchangeMode::Interleaved];
+
+/// Deterministic seed schedule; `KRON_CHAOS_SEEDS=<count>` widens it.
+fn seeds() -> Vec<u64> {
+    let count: u64 = std::env::var("KRON_CHAOS_SEEDS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(DEFAULT_SEED_COUNT);
+    (0..count)
+        .map(|i| 0xC7A0_5EED_u64.wrapping_add(i.wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+        .collect()
+}
+
+fn mixes(seed: u64) -> [(&'static str, FaultConfig); 3] {
+    [
+        ("drops_only", FaultConfig::drops_only(seed)),
+        ("dup_reorder_only", FaultConfig::dup_reorder_only(seed)),
+        ("chaos", FaultConfig::chaos(seed)),
+    ]
+}
+
+/// A small but structured product: FullBoth keeps it connected (BFS
+/// reaches everything) and the cross terms create triangles.
+fn test_pair() -> KroneckerPair {
+    KroneckerPair::with_full_self_loops(erdos_renyi(6, 0.5, 77), cycle(5)).unwrap()
+}
+
+fn config(ranks: usize, mode: ExchangeMode, transport: TransportConfig) -> DistConfig {
+    let mut cfg = DistConfig::new(ranks);
+    cfg.exchange = mode;
+    cfg.transport = transport;
+    cfg
+}
+
+/// Per-rank stored arcs, sorted — arrival order varies under chaos, the
+/// stored *set* per rank must not.
+fn canonical_stores(result: &DistResult) -> Vec<Vec<(VertexId, VertexId)>> {
+    result
+        .per_rank
+        .iter()
+        .map(|edges| {
+            let mut arcs = edges.arcs().to_vec();
+            arcs.sort_unstable();
+            arcs
+        })
+        .collect()
+}
+
+#[test]
+fn chaos_matrix_generation_is_bit_identical() {
+    let pair = test_pair();
+    let mut chaos_retransmissions = 0u64;
+    let mut chaos_redeliveries = 0u64;
+    for ranks in RANK_COUNTS {
+        for mode in MODES {
+            let baseline =
+                generate_distributed(&pair, &config(ranks, mode, TransportConfig::Perfect));
+            let expected = canonical_stores(&baseline);
+            assert_eq!(
+                u128::from(baseline.stats.total_stored()),
+                pair.nnz_c(),
+                "perfect baseline sanity"
+            );
+            for seed in seeds() {
+                for (mix, faults) in mixes(seed) {
+                    let cell = format!(
+                        "repro: seed={seed} mix={mix} ranks={ranks} mode={mode:?}"
+                    );
+                    let run = generate_distributed(
+                        &pair,
+                        &config(ranks, mode, TransportConfig::Faulty(faults)),
+                    );
+                    assert_eq!(
+                        u128::from(run.stats.total_stored()),
+                        pair.nnz_c(),
+                        "stored arc count drifted under faults — {cell}"
+                    );
+                    assert_eq!(
+                        canonical_stores(&run),
+                        expected,
+                        "per-rank edge stores differ from perfect run — {cell}"
+                    );
+                    assert_eq!(
+                        run.union(pair.n_c()).arcs(),
+                        baseline.union(pair.n_c()).arcs(),
+                        "edge union differs from perfect run — {cell}"
+                    );
+                    chaos_retransmissions += run.stats.total_retransmissions();
+                    chaos_redeliveries += run.stats.total_redeliveries_discarded();
+                }
+            }
+        }
+    }
+    // The matrix is vacuous if the adversary never actually bit: across
+    // all cells, drops must have forced retransmissions and duplication
+    // must have forced receive-side dedup.
+    assert!(chaos_retransmissions > 0, "no fault schedule ever dropped a payload");
+    assert!(chaos_redeliveries > 0, "no fault schedule ever duplicated a payload");
+}
+
+#[test]
+fn chaos_matrix_bfs_distances_are_bit_identical() {
+    let pair = test_pair();
+    for ranks in RANK_COUNTS {
+        let result =
+            generate_distributed(&pair, &config(ranks, ExchangeMode::Phased, TransportConfig::Perfect));
+        let owner = VertexBlockOwner::new(pair.n_c(), ranks);
+        for source in [0u64, pair.n_c() / 2] {
+            let baseline = distributed_bfs_with(
+                &result,
+                &owner,
+                pair.n_c(),
+                source,
+                &TransportConfig::Perfect,
+            );
+            for seed in seeds() {
+                for (mix, faults) in mixes(seed) {
+                    let dist = distributed_bfs_with(
+                        &result,
+                        &owner,
+                        pair.n_c(),
+                        source,
+                        &TransportConfig::Faulty(faults),
+                    );
+                    assert_eq!(
+                        dist, baseline,
+                        "BFS distances differ from perfect run — repro: seed={seed} \
+                         mix={mix} ranks={ranks} source={source}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn chaos_matrix_triangle_counts_are_bit_identical() {
+    let pair = test_pair();
+    for ranks in RANK_COUNTS {
+        let result =
+            generate_distributed(&pair, &config(ranks, ExchangeMode::Phased, TransportConfig::Perfect));
+        let owner = VertexBlockOwner::new(pair.n_c(), ranks);
+        let baseline =
+            distributed_triangle_count_with(&result, &owner, &TransportConfig::Perfect);
+        assert!(baseline > 0, "test graph must contain triangles");
+        for seed in seeds() {
+            for (mix, faults) in mixes(seed) {
+                let count = distributed_triangle_count_with(
+                    &result,
+                    &owner,
+                    &TransportConfig::Faulty(faults),
+                );
+                assert_eq!(
+                    count, baseline,
+                    "triangle count differs from perfect run — repro: seed={seed} \
+                     mix={mix} ranks={ranks}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! Property tests for the edge-ownership mappings (§III).
+//!
+//! The exchange protocol's correctness rests on three properties of every
+//! `EdgeOwner`: it is **total** (any arc has an owner), **deterministic**
+//! (the same arc always maps to the same rank — ranks route independently
+//! and must agree), and **in-range** (the owner is a real rank). On top
+//! of that, `HashOwner`'s whole point is balance, so its documented bound
+//! — max rank load ≤ 1.25× the mean for ≥ 500 sources per rank — is
+//! checked here too.
+
+use kron_dist::owner::DelegateOwner;
+use kron_dist::{EdgeOwner, HashOwner, VertexBlockOwner};
+use proptest::prelude::*;
+
+fn delegate(ranks: usize, seed: u64, threshold: u64) -> DelegateOwner {
+    // Factor degrees with a hub: d_C spans [1, 400].
+    let d_a = vec![20, 1, 3, 7];
+    let d_b = vec![1, 20, 2];
+    DelegateOwner::new(d_a, d_b, threshold, ranks, seed)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn block_owner_total_deterministic_in_range(
+        n in 1u64..10_000,
+        ranks in 1usize..=16,
+        p in 0u64..10_000,
+        q in 0u64..10_000,
+    ) {
+        prop_assume!(p < n && q < n);
+        let o = VertexBlockOwner::new(n, ranks);
+        let r = o.owner(p, q);
+        prop_assert!(r < ranks, "owner {r} out of range for {ranks} ranks");
+        prop_assert_eq!(r, o.owner(p, q), "same arc, different owner");
+        prop_assert_eq!(
+            r,
+            VertexBlockOwner::new(n, ranks).owner(p, q),
+            "owner must be a pure function of (n, ranks, arc)"
+        );
+        // Source-routed: the target never matters (this is what makes
+        // block ownership source-complete for the row-push analytics).
+        prop_assert_eq!(r, o.owner(p, (q + 1) % n));
+    }
+
+    #[test]
+    fn hash_owner_total_deterministic_in_range(
+        ranks in 1usize..=16,
+        seed in 0u64..u64::MAX,
+        p in 0u64..u64::MAX,
+        q in 0u64..u64::MAX,
+    ) {
+        let o = HashOwner::new(ranks, seed);
+        let r = o.owner(p, q);
+        prop_assert!(r < ranks, "owner {r} out of range for {ranks} ranks");
+        prop_assert_eq!(r, HashOwner::new(ranks, seed).owner(p, q));
+        prop_assert_eq!(r, o.owner(p, q.wrapping_add(1)), "hash owner must route by source only");
+    }
+
+    #[test]
+    fn delegate_owner_total_deterministic_in_range(
+        ranks in 1usize..=16,
+        seed in 0u64..u64::MAX,
+        p in 0u64..12,
+        q in 0u64..12,
+    ) {
+        let o = delegate(ranks, seed, 40);
+        let r = o.owner(p, q);
+        prop_assert!(r < ranks, "owner {r} out of range for {ranks} ranks");
+        prop_assert_eq!(r, delegate(ranks, seed, 40).owner(p, q));
+        // Non-delegated sources are source-routed; delegated hubs may
+        // spread across ranks but still deterministically per arc.
+        if !o.is_delegated(p) {
+            prop_assert_eq!(r, o.owner(p, (q + 1) % 12));
+        }
+    }
+
+    #[test]
+    fn hash_owner_balance_within_documented_bound(
+        ranks in 1usize..=16,
+        seed in 0u64..u64::MAX,
+    ) {
+        // The bound documented on `HashOwner`: with at least 500 sources
+        // per rank, the most loaded rank holds ≤ 1.25× the mean.
+        let n = 500 * ranks as u64;
+        let o = HashOwner::new(ranks, seed);
+        let mut counts = vec![0u64; ranks];
+        for p in 0..n {
+            counts[o.owner(p, 0)] += 1;
+        }
+        let mean = n as f64 / ranks as f64;
+        let max = *counts.iter().max().expect("nonempty") as f64;
+        prop_assert!(
+            max <= mean * 1.25,
+            "seed {seed}, {ranks} ranks: max load {max} vs mean {mean} exceeds 1.25x"
+        );
+    }
+}

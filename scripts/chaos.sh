@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Chaos conformance sweep for the distributed layer (EXPERIMENTS.md,
+# DESIGN.md §7).
+#
+# Runs the seeded fault-injection matrix over 32 fixed seeds — every
+# cell (seed × fault mix × ranks × exchange mode) must produce results
+# bit-identical to the perfect-transport run — plus the owner property
+# tests and the §I brute-force conformance sweep, which replays every
+# ground-truth property under both transports.
+#
+# A failing cell prints its repro coordinates
+# (seed=… mix=… ranks=… mode=…); re-run with the same KRON_CHAOS_SEEDS
+# to reproduce exactly — fault schedules are pure functions of the seed.
+#
+# Usage: scripts/chaos.sh [seed-count]   (default 32)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SEEDS="${1:-32}"
+
+echo "== chaos matrix: ${SEEDS} seeds x {drops_only, dup_reorder_only, chaos} x ranks {1,2,4,8} x {Phased, Interleaved} =="
+KRON_CHAOS_SEEDS="${SEEDS}" cargo test -q --offline -p kron-dist --test chaos
+
+echo "== owner map properties (total / deterministic / in-range / balance bound) =="
+cargo test -q --offline -p kron-dist --test owner_props
+
+echo "== §I ground-truth brute force under perfect + chaos transports =="
+cargo test -q --offline --test paper_claims intro_table_brute_force
+
+echo "chaos sweep passed (${SEEDS} seeds)"

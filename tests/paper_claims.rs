@@ -198,6 +198,161 @@ fn cor1_cross_terms_create_triangles() {
     );
 }
 
+// ===== §I table, brute-forced over the distributed store =====
+//
+// The paper's pitch is that the *distributed* generator emits a graph
+// whose properties are known exactly in advance. The tests above check
+// the formulas against a sequentially materialized `C`; the sweep below
+// closes the remaining gap: it materializes `C` from a distributed run
+// (union of the per-rank stores) and brute-forces degrees, vertex/edge/
+// global triangles, distances/diameter, and community edge counts
+// against the §I oracles — once over perfect channels and once over the
+// seeded fault-injecting transport, so the conformance claim covers the
+// chaos-hardened exchange too.
+
+use kronecker::dist::{generate_distributed, DistConfig, FaultConfig, TransportConfig};
+use kronecker::graph::CsrGraph;
+
+fn section1_pairs() -> Vec<(&'static str, KroneckerPair)> {
+    vec![
+        (
+            "ER(7) x BA(6) as-is",
+            KroneckerPair::as_is(erdos_renyi(7, 0.5, 41), barabasi_albert(6, 2, 42)).unwrap(),
+        ),
+        ("K4 x C5 as-is", KroneckerPair::as_is(clique(4), cycle(5)).unwrap()),
+        ("C6 x C5 as-is (triangle-free)", KroneckerPair::as_is(cycle(6), cycle(5)).unwrap()),
+        (
+            "preloaded full loops, as-is",
+            KroneckerPair::new(
+                path(5).with_full_self_loops(),
+                cycle(4).with_full_self_loops(),
+                SelfLoopMode::AsIs,
+            )
+            .unwrap(),
+        ),
+        ("P4 x C5 full-both", KroneckerPair::with_full_self_loops(path(4), cycle(5)).unwrap()),
+        (
+            "ER(6) x K3 full-both",
+            KroneckerPair::with_full_self_loops(erdos_renyi(6, 0.5, 43), clique(3)).unwrap(),
+        ),
+        ("star5 x P4 full-both", KroneckerPair::with_full_self_loops(star(5), path(4)).unwrap()),
+    ]
+}
+
+/// How many pairs each oracle family actually checked (guards against the
+/// sweep silently skipping everything via the `if let Ok` gates).
+#[derive(Default)]
+struct SweepCoverage {
+    triangles: usize,
+    distances: usize,
+    communities: usize,
+}
+
+fn brute_force_sweep(tname: &str, transport: &TransportConfig) -> SweepCoverage {
+    let mut coverage = SweepCoverage::default();
+    for (name, pair) in section1_pairs() {
+        let ctx = format!("{name} [{tname}]");
+        let mut cfg = DistConfig::new(3);
+        cfg.transport = transport.clone();
+        let result = generate_distributed(&pair, &cfg);
+        let c = CsrGraph::from_edge_list(&result.union(pair.n_c()));
+        let reference = generate::materialize(&pair);
+        assert_eq!(
+            c.arcs().collect::<Vec<_>>(),
+            reference.arcs().collect::<Vec<_>>(),
+            "{ctx}: distributed union differs from materialized C"
+        );
+
+        // §I table rows 1–2: n_C = n_A n_B and d_C = d_A ⊗ d_B.
+        assert_eq!(c.n(), pair.n_c(), "{ctx}: vertex count");
+        assert_eq!(
+            c.degrees(),
+            kronecker::core::degree::degrees(&pair),
+            "{ctx}: degree vector"
+        );
+
+        // §I triangles: per-vertex, per-edge, and global counts.
+        if let Ok(oracle) = TriangleOracle::new(&pair) {
+            coverage.triangles += 1;
+            let counted = triangles::vertex_triangles(&c);
+            assert_eq!(
+                counted.per_vertex,
+                oracle.vertex_triangle_vector(),
+                "{ctx}: vertex triangle vector"
+            );
+            assert_eq!(
+                counted.global as u128,
+                oracle.global_triangles(),
+                "{ctx}: global triangle count"
+            );
+            for ((u, v), count) in triangles::edge_triangles(&c).iter() {
+                assert_eq!(
+                    count,
+                    oracle.edge_triangles_of(u, v).unwrap(),
+                    "{ctx}: triangles at edge ({u},{v})"
+                );
+            }
+        }
+
+        // Thm. 3 / Cor. 3: distances and diameter (max-law premise).
+        if let Ok(oracle) = DistanceOracle::new(&pair) {
+            coverage.distances += 1;
+            assert_eq!(distance::diameter(&c), oracle.diameter(), "{ctx}: diameter");
+            for p in [0, pair.n_c() - 1] {
+                let dist = distance::bfs_distances(&c, p);
+                for q in (0..pair.n_c()).step_by(3) {
+                    // hops_of reports walk length, which for q = p is the
+                    // self-loop walk, not the BFS convention of 0.
+                    let expected = if q == p { 0 } else { oracle.hops_of(p, q).unwrap() };
+                    assert_eq!(dist[q as usize], expected, "{ctx}: hops {p}->{q}");
+                }
+            }
+        }
+
+        // Thm. 6: community edge counts of S_A ⊗ S_B.
+        if let Ok(oracle) = CommunityOracle::new(&pair) {
+            coverage.communities += 1;
+            let s_a: Vec<u64> = (0..pair.a().n()).step_by(2).collect();
+            let s_b: Vec<u64> = (0..pair.b().n().div_ceil(2)).collect();
+            let members = oracle.kron_vertex_set(&s_a, &s_b);
+            let counted = community::community_profile(&c, &members);
+            let truth = oracle.profile_of(&s_a, &s_b);
+            assert_eq!(
+                (counted.size, counted.m_in, counted.m_out),
+                (truth.size, truth.m_in, truth.m_out),
+                "{ctx}: community size / m_in / m_out"
+            );
+        }
+    }
+    coverage
+}
+
+fn assert_sweep_covered(coverage: &SweepCoverage) {
+    assert!(coverage.triangles >= 5, "triangle oracle checked on too few pairs");
+    assert!(coverage.distances >= 3, "distance oracle checked on too few pairs");
+    assert!(coverage.communities >= 2, "community oracle checked on too few pairs");
+}
+
+/// §I table: every ground-truth property, brute-forced against the store
+/// produced by the distributed generator over perfect channels.
+#[test]
+fn intro_table_brute_force_distributed_perfect() {
+    let coverage = brute_force_sweep("perfect transport", &TransportConfig::Perfect);
+    assert_sweep_covered(&coverage);
+}
+
+/// Same sweep with the seeded chaos transport: drop/duplication/delay/
+/// reordering in the exchange must not change a single ground-truth
+/// property of the stored graph.
+#[test]
+fn intro_table_brute_force_distributed_chaos() {
+    let coverage = brute_force_sweep(
+        "chaos transport seed=0xC4A05",
+        &TransportConfig::Faulty(FaultConfig::chaos(0xC4A05)),
+    );
+    assert_sweep_covered(&coverage);
+}
+
 /// SelfLoopMode::AsIs with factors that already carry full loops satisfies
 /// the distance formulas too (Thm. 3's actual premise is on the effective
 /// factors, however they were obtained).

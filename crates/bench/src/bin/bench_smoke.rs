@@ -1,18 +1,23 @@
-//! Shared-memory parallel smoke benchmark (PR 1).
+//! Structure-exploiting kernel smoke benchmark (PR 4, extends PR 1).
 //!
-//! Runs generation + CSR build, direct triangle counting, and the
-//! closeness fast path at a fixed small scale for 1 thread and for the
-//! machine's full parallelism, verifies the outputs are identical, and
-//! writes wall times + speedups to `BENCH_PR1.json`.
+//! Runs generation + CSR build through **direct synthesis** and through
+//! the legacy arc-materialization path, the compact-forward direct
+//! triangle kernel, and the class-collapsed closeness batch, at a fixed
+//! small scale for 1 thread and the machine's full parallelism. Each
+//! phase's outputs are verified identical across thread counts (and the
+//! two generation paths against each other), and wall times, speedups,
+//! and an **analytic peak-intermediate-allocation estimate** per phase
+//! are written to `BENCH_PR4.json`. When a PR 1 baseline file is
+//! present, a per-phase comparison is embedded in the report and printed.
 //!
-//! Usage: `bench_smoke [--scale S] [--out PATH]`
+//! Usage: `bench_smoke [--scale S] [--out PATH] [--baseline PATH]`
 
 use std::time::Instant;
 
 use kron_analytics::triangles::vertex_triangles_threads;
 use kron_core::closeness::closeness_batch_threads;
 use kron_core::distance::DistanceOracle;
-use kron_core::generate::materialize_threads;
+use kron_core::generate::{materialize_threads, materialize_via_arcs_threads};
 use kron_core::KroneckerPair;
 use kron_graph::generators::{rmat, RmatConfig};
 use kron_graph::parallel;
@@ -24,6 +29,18 @@ struct Phase {
     secs_threads_1: f64,
     secs_threads_max: f64,
     speedup: f64,
+    /// Analytic estimate of the peak transient allocation the phase makes
+    /// beyond its returned output (bytes, single-threaded shape).
+    peak_intermediate_bytes: u64,
+}
+
+#[derive(Serialize)]
+struct BaselineDelta {
+    name: String,
+    baseline_secs_threads_1: f64,
+    secs_threads_1: f64,
+    /// baseline / current — >1 means this PR is faster.
+    speedup_vs_baseline: f64,
 }
 
 #[derive(Serialize)]
@@ -33,6 +50,8 @@ struct SmokeReport {
     product_arcs: u64,
     threads_max: usize,
     phases: Vec<Phase>,
+    baseline_file: Option<String>,
+    vs_baseline: Vec<BaselineDelta>,
 }
 
 fn time<T>(f: impl FnOnce() -> T) -> (T, f64) {
@@ -41,16 +60,42 @@ fn time<T>(f: impl FnOnce() -> T) -> (T, f64) {
     (out, start.elapsed().as_secs_f64())
 }
 
-fn phase<T: PartialEq>(name: &str, tmax: usize, run: impl Fn(usize) -> T) -> Phase {
+fn phase<T: PartialEq>(
+    name: &str,
+    tmax: usize,
+    intermediate_bytes: u64,
+    run: impl Fn(usize) -> T,
+) -> (Phase, T) {
     let (seq, secs_1) = time(|| run(1));
     let (par, secs_max) = time(|| run(tmax));
     assert!(par == seq, "{name}: parallel output differs from sequential");
-    Phase {
+    let phase = Phase {
         name: name.to_string(),
         secs_threads_1: secs_1,
         secs_threads_max: secs_max,
         speedup: secs_1 / secs_max.max(1e-12),
+        peak_intermediate_bytes: intermediate_bytes,
+    };
+    (phase, seq)
+}
+
+/// Extracts `(name, secs_threads_1)` pairs from a previous report without
+/// a JSON deserializer (the vendored serde_json is serialize-only): scans
+/// for `"name"` / `"secs_threads_1"` string and number fields in order.
+fn parse_baseline(text: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    let mut current: Option<String> = None;
+    for line in text.lines() {
+        let line = line.trim().trim_end_matches(',');
+        if let Some(rest) = line.strip_prefix("\"name\":") {
+            current = Some(rest.trim().trim_matches('"').to_string());
+        } else if let Some(rest) = line.strip_prefix("\"secs_threads_1\":") {
+            if let (Some(name), Ok(secs)) = (current.take(), rest.trim().parse::<f64>()) {
+                out.push((name, secs));
+            }
+        }
     }
+    out
 }
 
 fn main() {
@@ -62,7 +107,8 @@ fn main() {
             .cloned()
     };
     let scale: u32 = get("--scale").map_or(7, |s| s.parse().expect("numeric --scale"));
-    let out_path = get("--out").unwrap_or_else(|| "BENCH_PR1.json".to_string());
+    let out_path = get("--out").unwrap_or_else(|| "BENCH_PR4.json".to_string());
+    let baseline_path = get("--baseline").unwrap_or_else(|| "BENCH_PR1.json".to_string());
     let tmax = parallel::num_threads(None);
 
     let a = rmat(&RmatConfig::graph500(scale, 12));
@@ -70,35 +116,92 @@ fn main() {
     // FullBoth keeps the product connected-ish and satisfies the distance
     // oracle's full-self-loop precondition (Thm. 3).
     let pair = KroneckerPair::with_full_self_loops(a, b).expect("loop-free R-MAT factors");
+    let n_c = pair.n_c();
+    let m_c = pair.nnz_c() as u64;
     eprintln!(
-        "bench_smoke: scale {scale} factors, n_C = {}, {} product arcs, max threads = {tmax}",
-        pair.n_c(),
-        pair.nnz_c()
+        "bench_smoke: scale {scale} factors, n_C = {n_c}, {m_c} product arcs, \
+         max threads = {tmax}"
     );
 
     let mut phases = Vec::new();
-    phases.push(phase("generate_and_csr_build", tmax, |t| {
+
+    // Direct synthesis: the only transients beyond the output CSR are the
+    // B-degree table and the per-A-row block prefix used for splitting.
+    let synth_intermediate = 8 * (pair.b().n() + pair.a().n() + 1);
+    let (p, c) = phase("generate_and_csr_build", tmax, synth_intermediate, |t| {
         materialize_threads(&pair, Some(t))
-    }));
-    let c = materialize_threads(&pair, None);
-    phases.push(phase("triangle_vector_direct", tmax, |t| {
+    });
+    phases.push(p);
+
+    // Legacy arc path: a 16-byte arc Vec of all m_C product arcs plus the
+    // counting-sort row cursors, all freed before the CSR is returned.
+    let arc_intermediate = 16 * m_c + 8 * n_c;
+    let (p, c_arcs) = phase("generate_and_csr_build_arc_path", tmax, arc_intermediate, |t| {
+        materialize_via_arcs_threads(&pair, Some(t))
+    });
+    phases.push(p);
+    assert!(c_arcs == c, "arc path CSR differs from direct synthesis");
+    drop(c_arcs);
+
+    // Degree-ordered marking kernel: rank order + inverse + rank-space
+    // counts (8 + 4 + 8 bytes per vertex), forward half-adjacency
+    // (usize offsets + u32 targets for ~m/2 oriented arcs), and the
+    // one-bit-per-vertex anchor bitmap.
+    let forward_intermediate = 20 * n_c + 8 * (n_c + 1) + 4 * (m_c / 2) + n_c / 8;
+    let (p, _) = phase("triangle_vector_direct", tmax, forward_intermediate, |t| {
         vertex_triangles_threads(&c, Some(t))
-    }));
+    });
+    phases.push(p);
+
     let oracle = DistanceOracle::new(&pair).expect("distance oracle");
-    let vertices: Vec<u64> = (0..pair.n_c()).collect();
-    phases.push(phase("closeness_batch", tmax, |t| {
+    let vertices: Vec<u64> = (0..n_c).collect();
+    // Class-collapsed closeness: per-factor cumulative hop tables (≤ n_A +
+    // n_B of them, each ≤ eccentricity+2 u64s — bounded by the factor BFS
+    // matrices) plus the class-id slots.
+    let ecc_bound = 8 * (pair.a().n() + pair.b().n()) * 16 + 4 * (pair.a().n() + pair.b().n());
+    let (p, _) = phase("closeness_batch", tmax, ecc_bound, |t| {
         closeness_batch_threads(&oracle, &vertices, Some(t)).expect("in range")
-    }));
+    });
+    phases.push(p);
+
+    // Compare against the PR 1 baseline when its report file is present.
+    let mut vs_baseline = Vec::new();
+    let mut baseline_file = None;
+    match std::fs::read_to_string(&baseline_path) {
+        Ok(text) => {
+            baseline_file = Some(baseline_path.clone());
+            for (name, base_secs) in parse_baseline(&text) {
+                let Some(now) = phases.iter().find(|p| p.name == name) else {
+                    continue;
+                };
+                vs_baseline.push(BaselineDelta {
+                    name,
+                    baseline_secs_threads_1: base_secs,
+                    secs_threads_1: now.secs_threads_1,
+                    speedup_vs_baseline: base_secs / now.secs_threads_1.max(1e-12),
+                });
+            }
+        }
+        Err(e) => eprintln!("bench_smoke: no baseline at {baseline_path} ({e}); skipping"),
+    }
+    for d in &vs_baseline {
+        eprintln!(
+            "bench_smoke: {}: {:.4}s -> {:.4}s ({:.2}x vs baseline)",
+            d.name, d.baseline_secs_threads_1, d.secs_threads_1, d.speedup_vs_baseline
+        );
+    }
 
     let report = SmokeReport {
         factor_scale: scale,
-        n_c: pair.n_c(),
-        product_arcs: pair.nnz_c() as u64,
+        n_c,
+        product_arcs: m_c,
         threads_max: tmax,
         phases,
+        baseline_file,
+        vs_baseline,
     };
     let json = serde_json::to_string_pretty(&report).expect("serializable");
-    std::fs::write(&out_path, format!("{json}\n")).expect("write BENCH_PR1.json");
+    std::fs::write(&out_path, format!("{json}\n")).expect("write report");
     println!("{json}");
     eprintln!("bench_smoke: wrote {out_path}");
 }

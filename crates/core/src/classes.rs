@@ -1,0 +1,121 @@
+//! Factor stat classes — the collapse that turns `O(n_C)` oracle sweeps
+//! into `O(#classes + n_C)`.
+//!
+//! Every per-vertex ground-truth formula in this crate depends on the
+//! product vertex `p = (i, k)` only through a small tuple of factor
+//! statistics of `i` and `k` (its *stat class*): triangles use
+//! `(t_A(i), d_A(i)) × (t_B(k), d_B(k))`, closeness uses the cumulative
+//! hop tables of the two factor rows, and so on. Grouping each factor's
+//! vertices by class, evaluating the formula once per **distinct class
+//! pair**, and scattering the result back out computes the identical
+//! value vector while doing the real arithmetic at most
+//! `#classes_A · #classes_B` times instead of `n_A · n_B` times. Because
+//! the scattered value is *the same computed value* (not a recomputation),
+//! the collapsed sweep is bit-identical to the per-vertex sweep even for
+//! floating-point outputs.
+
+/// Groups a sequence of class keys into distinct classes.
+///
+/// `class_of[v]` is the class id of element `v`; ids are assigned in
+/// order of first appearance, so the mapping is deterministic for a given
+/// input sequence. `keys[c]` is the representative key of class `c` and
+/// `counts[c]` its multiplicity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClassMap<K> {
+    /// Class id of each input element, in input order.
+    pub class_of: Vec<u32>,
+    /// Representative key per class, indexed by class id.
+    pub keys: Vec<K>,
+    /// Number of elements per class, indexed by class id.
+    pub counts: Vec<u64>,
+}
+
+impl<K: Ord + Clone> ClassMap<K> {
+    /// Builds the class map from an iterator of per-element keys.
+    pub fn build<I: IntoIterator<Item = K>>(elements: I) -> Self {
+        let mut ids: std::collections::BTreeMap<K, u32> = std::collections::BTreeMap::new();
+        let mut class_of = Vec::new();
+        let mut keys: Vec<K> = Vec::new();
+        let mut counts: Vec<u64> = Vec::new();
+        for key in elements {
+            let next = keys.len() as u32;
+            let id = *ids.entry(key.clone()).or_insert_with(|| {
+                keys.push(key);
+                counts.push(0);
+                next
+            });
+            counts[id as usize] += 1;
+            class_of.push(id);
+        }
+        ClassMap { class_of, keys, counts }
+    }
+}
+
+impl<K> ClassMap<K> {
+    /// Number of distinct classes.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// True when no element was classified.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+}
+
+/// Evaluates `value(key_a, key_b)` once per distinct class pair and
+/// returns the dense `#classes_A × #classes_B` table (row-major by the
+/// `A` class id). The expansion loop then reads
+/// `table[class_of_a[i] · len_b + class_of_b[k]]` per product vertex.
+pub fn pair_table<KA, KB, V>(
+    a: &ClassMap<KA>,
+    b: &ClassMap<KB>,
+    mut value: impl FnMut(&KA, &KB) -> V,
+) -> Vec<V> {
+    let mut table = Vec::with_capacity(a.len() * b.len());
+    for ka in &a.keys {
+        for kb in &b.keys {
+            table.push(value(ka, kb));
+        }
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classes_group_by_key_in_first_seen_order() {
+        let m = ClassMap::build([3u64, 1, 3, 2, 1, 3]);
+        assert_eq!(m.class_of, vec![0, 1, 0, 2, 1, 0]);
+        assert_eq!(m.keys, vec![3, 1, 2]);
+        assert_eq!(m.counts, vec![3, 2, 1]);
+        assert_eq!(m.len(), 3);
+        assert!(!m.is_empty());
+    }
+
+    #[test]
+    fn empty_input() {
+        let m: ClassMap<u64> = ClassMap::build([]);
+        assert!(m.is_empty());
+        assert_eq!(m.class_of, Vec::<u32>::new());
+    }
+
+    #[test]
+    fn composite_keys() {
+        let m = ClassMap::build([(1u64, 2u64), (1, 2), (2, 1)]);
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.counts, vec![2, 1]);
+    }
+
+    #[test]
+    fn pair_table_row_major() {
+        let a = ClassMap::build([10u64, 20]);
+        let b = ClassMap::build([1u64, 2, 1]);
+        let t = pair_table(&a, &b, |&x, &y| x + y);
+        assert_eq!(t, vec![11, 12, 21, 22]);
+        // Expansion index: class_of_a[i] * b.len() + class_of_b[k].
+        assert_eq!(t[(a.class_of[1] as usize) * b.len() + b.class_of[2] as usize], 21);
+    }
+}

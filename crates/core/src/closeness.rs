@@ -94,20 +94,87 @@ pub fn closeness_from_cumulative(cum_a: &[u64], cum_b: &[u64]) -> f64 {
     sum
 }
 
-/// Closeness for a batch of `r` sample vertices, fast path. Costs
-/// `O(r (n_A + n_B + h*))` total, matching the paper's `r²`-subset claim
-/// when samples are the cross product of `r` rows of each factor.
+/// Resolves the hop-table class of one factor vertex, lazily: the row's
+/// cumulative table is built at most once per factor vertex and
+/// deduplicated against every table seen so far, so vertices with
+/// identical hop profiles share one class id.
+fn hop_class(
+    row: &[u32],
+    slot: &mut Option<u32>,
+    ids: &mut std::collections::BTreeMap<Vec<u64>, u32>,
+    tables: &mut Vec<Vec<u64>>,
+) -> u32 {
+    if let Some(x) = *slot {
+        return x;
+    }
+    let cum = cumulative_hop_counts(row);
+    let id = match ids.get(&cum) {
+        Some(&x) => x,
+        None => {
+            let x = tables.len() as u32;
+            ids.insert(cum.clone(), x);
+            tables.push(cum);
+            x
+        }
+    };
+    *slot = Some(id);
+    id
+}
+
+/// Closeness for a batch of `r` sample vertices, fast path.
+///
+/// Class-collapsed: product vertices are grouped by the pair of factor
+/// hop-table classes `(class_A(i), class_B(k))`, and
+/// [`closeness_from_cumulative`] runs **once per distinct class pair** in
+/// the batch; every other vertex of the pair receives the same computed
+/// `f64`, which makes the collapsed batch bit-identical to mapping
+/// [`closeness_fast`] over the batch (same arithmetic, same inputs). Cost
+/// drops from `O(r (n_A + n_B + h*))` to
+/// `O(rows (n + h log) + pairs · h* + r)` — on products of regular or
+/// highly symmetric factors (few distinct hop profiles) the per-vertex
+/// term is a table lookup.
 pub fn closeness_batch(
     oracle: &DistanceOracle<'_>,
     vertices: &[VertexId],
 ) -> crate::Result<Vec<f64>> {
-    vertices.iter().map(|&p| closeness_fast(oracle, p)).collect()
+    let pair = oracle.pair();
+    let mut slot_a: Vec<Option<u32>> = vec![None; pair.a().n() as usize];
+    let mut slot_b: Vec<Option<u32>> = vec![None; pair.b().n() as usize];
+    let mut ids_a = std::collections::BTreeMap::new();
+    let mut ids_b = std::collections::BTreeMap::new();
+    let mut tables_a: Vec<Vec<u64>> = Vec::new();
+    let mut tables_b: Vec<Vec<u64>> = Vec::new();
+    let mut memo: std::collections::BTreeMap<(u32, u32), f64> = std::collections::BTreeMap::new();
+    let mut out = Vec::with_capacity(vertices.len());
+    for &p in vertices {
+        pair.check_vertex(p)?;
+        let (i, k) = pair.split(p);
+        let xa = hop_class(
+            oracle.hops_a_row(i),
+            &mut slot_a[i as usize],
+            &mut ids_a,
+            &mut tables_a,
+        );
+        let xb = hop_class(
+            oracle.hops_b_row(k),
+            &mut slot_b[k as usize],
+            &mut ids_b,
+            &mut tables_b,
+        );
+        let value = *memo.entry((xa, xb)).or_insert_with(|| {
+            closeness_from_cumulative(&tables_a[xa as usize], &tables_b[xb as usize])
+        });
+        out.push(value);
+    }
+    Ok(out)
 }
 
 /// Parallel [`closeness_batch`] over source vertices (`None` = machine
-/// parallelism). Each worker evaluates a contiguous slice of `vertices`
-/// and slices are concatenated in order, so results — including the first
-/// out-of-range error, if any — match the sequential batch exactly.
+/// parallelism). Each worker runs the class-collapsed batch on a
+/// contiguous slice of `vertices` and slices are concatenated in order,
+/// so results — including the first out-of-range error, if any — match
+/// the sequential batch exactly (each class pair's value is computed by
+/// the same arithmetic wherever it is computed).
 pub fn closeness_batch_threads(
     oracle: &DistanceOracle<'_>,
     vertices: &[VertexId],
@@ -118,10 +185,7 @@ pub fn closeness_batch_threads(
         return closeness_batch(oracle, vertices);
     }
     let parts = parallel::map_chunks(vertices.len(), t, |_, range| {
-        vertices[range]
-            .iter()
-            .map(|&p| closeness_fast(oracle, p))
-            .collect::<crate::Result<Vec<f64>>>()
+        closeness_batch(oracle, &vertices[range])
     });
     let mut out = Vec::with_capacity(vertices.len());
     for part in parts {
@@ -206,6 +270,26 @@ mod tests {
         let batch = closeness_batch(&oracle, &vertices).unwrap();
         for (idx, &p) in vertices.iter().enumerate() {
             assert_eq!(batch[idx], closeness_fast(&oracle, p).unwrap());
+        }
+    }
+
+    #[test]
+    fn collapsed_batch_bit_identical_to_per_vertex() {
+        // Mixed symmetric (cycle: one hop profile) and skewed factors,
+        // with duplicate sample vertices to exercise the pair memo.
+        let pair = full_pair(barabasi_albert(14, 2, 5), cycle(7));
+        let oracle = DistanceOracle::new(&pair).unwrap();
+        let mut vertices: Vec<u64> = (0..pair.n_c()).collect();
+        vertices.extend([0, 0, 13, pair.n_c() - 1]);
+        let batch = closeness_batch(&oracle, &vertices).unwrap();
+        for (idx, &p) in vertices.iter().enumerate() {
+            let single = closeness_fast(&oracle, p).unwrap();
+            assert!(
+                batch[idx].to_bits() == single.to_bits(),
+                "p={p}: {} vs {}",
+                batch[idx],
+                single
+            );
         }
     }
 

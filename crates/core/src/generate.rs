@@ -5,11 +5,16 @@
 //! `(γ(i,k), γ(j,l)) ∈ C` (Def. 1 on 0/1 adjacencies). [`ArcIter`] streams
 //! these pairs lazily off the factor CSR structures without allocating;
 //! [`materialize`] builds an explicit [`CsrGraph`] for validation at small
-//! scale, and [`collect_arcs_threads`]/[`materialize_threads`] are the
-//! shared-memory parallel versions (partitioning the outer loop over `A`'s
-//! arcs, with an ordered merge so the output is identical to the
-//! sequential order). The distributed version of this loop lives in
-//! `kron-dist`.
+//! scale via **direct CSR synthesis** ([`synthesize_csr`]): the product
+//! row `p = (i, k)` has exactly `d_A(i)·d_B(k)` targets, so the offset
+//! array is the analytic prefix sum of `d_A ⊗ d_B`, and emitting targets
+//! `j·n_B + l` with `j` outer / `l` inner writes each row already sorted —
+//! no intermediate arc `Vec` and no counting sort. The legacy
+//! collect-then-sort path survives as [`materialize_via_arcs`] (the
+//! reference the equivalence suite checks bit-identity against), and
+//! `*_threads` variants partition work into disjoint contiguous blocks so
+//! parallel output is identical to sequential. The distributed version of
+//! this loop lives in `kron-dist`.
 
 use kron_graph::{parallel, Arc, CsrGraph, EdgeList};
 
@@ -164,11 +169,177 @@ pub fn collect_arcs_threads(pair: &KroneckerPair, threads: Option<usize>) -> Vec
     parallel::concat_ordered(parts)
 }
 
-/// Materializes `C` as an explicit CSR graph.
+/// Analytic product row offsets: `offsets[p + 1] − offsets[p] = d_A(i)·d_B(k)`
+/// for `p = (i, k)`, i.e. the prefix sum of `d_A ⊗ d_B`. No arc is touched.
+fn product_offsets(pair: &KroneckerPair) -> Vec<usize> {
+    let a = pair.a();
+    let b = pair.b();
+    let d_b: Vec<usize> = (0..b.n()).map(|k| b.degree(k) as usize).collect();
+    let mut offsets = vec![0usize; pair.n_c() as usize + 1];
+    let mut cursor = 0usize;
+    let mut p = 0usize;
+    for i in 0..a.n() {
+        let da = a.degree(i) as usize;
+        for &db in &d_b {
+            cursor += da * db;
+            p += 1;
+            offsets[p] = cursor;
+        }
+    }
+    offsets
+}
+
+/// Fills the target windows of every product row `p = (i, k)` with
+/// `i ∈ i_range`. `out[0]` corresponds to global position `base`, so the
+/// same routine serves the sequential build (`base = 0`, full slice) and
+/// the threaded per-row-block windows.
+///
+/// For a fixed row, targets `j·n_B + l` are emitted with `j` outer
+/// (ascending over `A`'s sorted row) and `l` inner (ascending over `B`'s
+/// sorted row). Since `l < n_B`, consecutive targets are strictly
+/// increasing across the whole row — each row lands already sorted and
+/// duplicate-free, which is what lets [`CsrGraph::from_sorted_parts`]
+/// skip the counting sort entirely.
+fn fill_product_rows(
+    pair: &KroneckerPair,
+    i_range: std::ops::Range<u64>,
+    offsets: &[usize],
+    base: usize,
+    out: &mut [u64],
+) {
+    let a = pair.a();
+    let b = pair.b();
+    let nb = b.n();
+    for i in i_range {
+        let row_a = a.neighbors(i);
+        for k in 0..nb {
+            let p = (i * nb + k) as usize;
+            let mut w = offsets[p] - base;
+            let row_b = b.neighbors(k);
+            for &j in row_a {
+                let col_base = j * nb;
+                for &l in row_b {
+                    out[w] = col_base + l;
+                    w += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Builds the CSR of `C` **directly from the factor CSRs** — no
+/// intermediate arc `Vec`, no counting sort.
+///
+/// Offsets come from the analytic prefix sum of `d_A ⊗ d_B`; each row is
+/// emitted already sorted (see [`fill_product_rows`]' ordering argument),
+/// so the result is field-for-field identical to
+/// `CsrGraph::from_edge_list` over the product arc stream while doing
+/// `O(nnz_C)` writes straight into the output.
+pub fn synthesize_csr(pair: &KroneckerPair) -> CsrGraph {
+    let total = pair.nnz_c();
+    assert!(total <= usize::MAX as u128, "product too large to materialize");
+    let offsets = product_offsets(pair);
+    let mut targets = vec![0u64; total as usize];
+    fill_product_rows(pair, 0..pair.a().n(), &offsets, 0, &mut targets);
+    CsrGraph::from_sorted_parts(pair.n_c(), offsets, targets)
+}
+
+/// Parallel [`synthesize_csr`] (`None` = machine parallelism).
+///
+/// The outer factor's row space is split across workers by arc weight
+/// (`A`-row `i` contributes `d_A(i)·nnz_B` product arcs) and every worker
+/// fills its own disjoint window of the target array — the row-block
+/// boundaries are exactly the analytic offsets, so no two workers share a
+/// byte and the output is identical to the sequential synthesis.
+pub fn synthesize_csr_threads(pair: &KroneckerPair, threads: Option<usize>) -> CsrGraph {
+    let t = parallel::num_threads(threads);
+    if t <= 1 {
+        return synthesize_csr(pair);
+    }
+    let total = pair.nnz_c();
+    assert!(total <= usize::MAX as u128, "product too large to materialize");
+    let offsets = product_offsets(pair);
+    let mut targets = vec![0u64; total as usize];
+    let na = pair.a().n() as usize;
+    let nb = pair.b().n() as usize;
+    // Prefix of product arcs per A-row block: block i spans product rows
+    // [i·n_B, (i+1)·n_B), whose arcs end at offsets[(i+1)·n_B].
+    let block_prefix: Vec<usize> = (0..=na).map(|i| offsets[i * nb]).collect();
+    let ranges = parallel::split_by_weight(&block_prefix, t);
+    let windows = parallel::windows_by_prefix(&mut targets, &block_prefix, &ranges);
+    parallel::map_with_state(ranges, windows, |_, r, window| {
+        fill_product_rows(
+            pair,
+            r.start as u64..r.end as u64,
+            &offsets,
+            block_prefix[r.start],
+            window,
+        );
+    });
+    CsrGraph::from_sorted_parts(pair.n_c(), offsets, targets)
+}
+
+/// Synthesizes the CSR rows of `C` for the contiguous product-row range
+/// `rows` only: returns `(offsets, targets)` with offsets local to the
+/// block (`offsets[0] == 0`, `rows.len() + 1` entries) and global column
+/// ids. The block boundary may cut inside an `A`-row's span, so rows are
+/// addressed as `p = (i, k)` individually.
+///
+/// This is what lets a row-contiguous storage owner (`VertexBlockOwner`)
+/// materialize each rank's shard straight from the factors — no
+/// generation loop, no exchange.
+pub fn synthesize_row_block(
+    pair: &KroneckerPair,
+    rows: std::ops::Range<u64>,
+) -> (Vec<usize>, Vec<u64>) {
+    assert!(rows.end <= pair.n_c(), "row range exceeds n_C");
+    let a = pair.a();
+    let b = pair.b();
+    let nb = b.n();
+    let mut offsets = Vec::with_capacity((rows.end - rows.start) as usize + 1);
+    offsets.push(0usize);
+    let mut cursor = 0usize;
+    for p in rows.clone() {
+        let (i, k) = pair.split(p);
+        cursor += (a.degree(i) * b.degree(k)) as usize;
+        offsets.push(cursor);
+    }
+    let mut targets = vec![0u64; cursor];
+    for (idx, p) in rows.enumerate() {
+        let (i, k) = pair.split(p);
+        let mut w = offsets[idx];
+        let row_b = b.neighbors(k);
+        for &j in a.neighbors(i) {
+            let col_base = j * nb;
+            for &l in row_b {
+                targets[w] = col_base + l;
+                w += 1;
+            }
+        }
+    }
+    (offsets, targets)
+}
+
+/// Materializes `C` as an explicit CSR graph (direct synthesis path).
 ///
 /// Memory is `O(nnz_A · nnz_B)` — intended for validation-scale products
 /// only; panics if the arc count would exceed `usize`.
 pub fn materialize(pair: &KroneckerPair) -> CsrGraph {
+    synthesize_csr(pair)
+}
+
+/// Parallel [`materialize`] (`None` = machine parallelism); delegates to
+/// [`synthesize_csr_threads`] and produces the same canonical
+/// [`CsrGraph`] as the sequential path.
+pub fn materialize_threads(pair: &KroneckerPair, threads: Option<usize>) -> CsrGraph {
+    synthesize_csr_threads(pair, threads)
+}
+
+/// The legacy arc-collecting materialization: stream all product arcs
+/// into an [`EdgeList`], then counting-sort it into CSR. Kept as the
+/// independent reference implementation the synthesis equivalence suite
+/// (and the allocation comparison in `bench_smoke`) measures against.
+pub fn materialize_via_arcs(pair: &KroneckerPair) -> CsrGraph {
     let total = pair.nnz_c();
     assert!(total <= usize::MAX as u128, "product too large to materialize");
     let mut list = EdgeList::new(pair.n_c());
@@ -178,13 +349,13 @@ pub fn materialize(pair: &KroneckerPair) -> CsrGraph {
     CsrGraph::from_edge_list(&list)
 }
 
-/// Parallel [`materialize`]: generation and the CSR build both run on
-/// `threads` workers (`None` = machine parallelism) and produce the same
-/// canonical [`CsrGraph`] as the sequential path.
-pub fn materialize_threads(pair: &KroneckerPair, threads: Option<usize>) -> CsrGraph {
+/// Parallel [`materialize_via_arcs`]: generation and the CSR build both
+/// run on `threads` workers (`None` = machine parallelism) and produce
+/// the same canonical [`CsrGraph`] as the sequential path.
+pub fn materialize_via_arcs_threads(pair: &KroneckerPair, threads: Option<usize>) -> CsrGraph {
     let t = parallel::num_threads(threads);
     if t <= 1 {
-        return materialize(pair);
+        return materialize_via_arcs(pair);
     }
     let arcs = collect_arcs_threads(pair, Some(t));
     // Product arcs are in range by construction (factor vertices are in
@@ -307,6 +478,63 @@ mod tests {
         let sequential = materialize(&pair);
         for threads in [1usize, 2, 3, 8] {
             assert_eq!(materialize_threads(&pair, Some(threads)), sequential, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn synthesis_matches_arc_path_small_families() {
+        for mode in [SelfLoopMode::AsIs, SelfLoopMode::FullBoth] {
+            for (a, b) in [
+                (clique(4), cycle(5)),
+                (star(5), path(4)),
+                (path(1), clique(3)),
+            ] {
+                let pair = KroneckerPair::new(a, b, mode).unwrap();
+                let reference = materialize_via_arcs(&pair);
+                assert_eq!(synthesize_csr(&pair), reference, "mode={mode:?}");
+                for threads in [1usize, 2, 3, 8] {
+                    assert_eq!(
+                        synthesize_csr_threads(&pair, Some(threads)),
+                        reference,
+                        "mode={mode:?} threads={threads}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn synthesis_handles_isolated_vertices() {
+        // Empty factor rows make empty product row blocks.
+        let a = CsrGraph::from_arcs(4, vec![(1, 3), (3, 1)]).unwrap();
+        let b = CsrGraph::from_arcs(3, vec![(0, 2), (2, 0)]).unwrap();
+        let pair = KroneckerPair::as_is(a, b).unwrap();
+        let reference = materialize_via_arcs(&pair);
+        assert_eq!(synthesize_csr(&pair), reference);
+        assert_eq!(synthesize_csr_threads(&pair, Some(3)), reference);
+        // Arc-free product.
+        let arcless = KroneckerPair::as_is(CsrGraph::from_arcs(3, vec![]).unwrap(), clique(3))
+            .unwrap();
+        assert_eq!(synthesize_csr(&arcless).nnz(), 0);
+        assert_eq!(synthesize_csr_threads(&arcless, Some(4)).nnz(), 0);
+    }
+
+    #[test]
+    fn row_block_synthesis_covers_the_whole_product() {
+        let pair = KroneckerPair::with_full_self_loops(star(4), cycle(5)).unwrap();
+        let c = synthesize_csr(&pair);
+        // Any split of the row space reassembles to the full CSR.
+        for cut in [0u64, 1, 7, pair.n_c() / 2, pair.n_c()] {
+            let (off_lo, tgt_lo) = synthesize_row_block(&pair, 0..cut);
+            let (off_hi, tgt_hi) = synthesize_row_block(&pair, cut..pair.n_c());
+            assert_eq!(off_lo.len() as u64 + off_hi.len() as u64, pair.n_c() + 2);
+            let mut offsets = off_lo.clone();
+            offsets.pop();
+            offsets.extend(off_hi.iter().map(|&o| o + tgt_lo.len()));
+            let mut targets = tgt_lo;
+            targets.extend(tgt_hi);
+            let rebuilt = CsrGraph::from_sorted_parts(pair.n_c(), offsets, targets);
+            assert_eq!(rebuilt, c, "cut={cut}");
         }
     }
 

@@ -27,6 +27,7 @@
 //! `O(|E_A| + |E_B|)` storage produces ground truth for a graph with
 //! `|E_A|·|E_B|` edges, which is the paper's sublinear-memory claim.
 
+pub mod classes;
 pub mod clustering;
 pub mod closeness;
 pub mod community;

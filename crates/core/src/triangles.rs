@@ -35,7 +35,19 @@ use kron_analytics::triangles::{edge_triangles, vertex_triangles, EdgeTriangles}
 use kron_analytics::Histogram;
 use kron_graph::{parallel, VertexId};
 
+use crate::classes::{pair_table, ClassMap};
 use crate::pair::{KronError, KroneckerPair, SelfLoopMode};
+
+/// The Cor. 1 per-vertex triangle value as a function of the stat-class
+/// key `(t, d)` of each factor vertex — the single place the formula
+/// lives, shared by the per-vertex query, the class-collapsed vector, and
+/// the histogram.
+fn triangle_value(mode: SelfLoopMode, ti: u64, di: u64, tk: u64, dk: u64) -> u64 {
+    match mode {
+        SelfLoopMode::AsIs => 2 * ti * tk,
+        SelfLoopMode::FullBoth => 2 * ti * tk + 3 * (ti * dk + di * dk + di * tk) + ti + tk,
+    }
+}
 
 /// Precomputed factor triangle/degree data for O(1) per-query ground truth.
 pub struct TriangleOracle<'a> {
@@ -76,34 +88,75 @@ impl<'a> TriangleOracle<'a> {
         self.pair.check_vertex(p)?;
         let (i, k) = self.pair.split(p);
         let (ti, tk) = (self.t_a[i as usize], self.t_b[k as usize]);
-        Ok(match self.pair.mode() {
-            SelfLoopMode::AsIs => 2 * ti * tk,
-            SelfLoopMode::FullBoth => {
-                let (di, dk) = (self.d_a[i as usize], self.d_b[k as usize]);
-                2 * ti * tk + 3 * (ti * dk + di * dk + di * tk) + ti + tk
-            }
-        })
+        let (di, dk) = (self.d_a[i as usize], self.d_b[k as usize]);
+        Ok(triangle_value(self.pair.mode(), ti, di, tk, dk))
+    }
+
+    /// Class maps of both factors (vertices grouped by `(t, d)` key) plus
+    /// the dense value table over distinct class pairs — the shared
+    /// precomputation of the collapsed vector, its parallel variant, and
+    /// the histogram. At most `#classes_A · #classes_B` formula
+    /// evaluations regardless of `n_C`.
+    fn vertex_class_table(
+        &self,
+    ) -> (ClassMap<(u64, u64)>, ClassMap<(u64, u64)>, Vec<u64>) {
+        let ca = ClassMap::build(self.t_a.iter().copied().zip(self.d_a.iter().copied()));
+        let cb = ClassMap::build(self.t_b.iter().copied().zip(self.d_b.iter().copied()));
+        let mode = self.pair.mode();
+        let table =
+            pair_table(&ca, &cb, |&(ti, di), &(tk, dk)| triangle_value(mode, ti, di, tk, dk));
+        (ca, cb, table)
     }
 
     /// Full vertex-triangle vector of `C` (allocates `n_C` entries).
+    ///
+    /// Class-collapsed: the formula runs once per distinct
+    /// `(t_A, d_A) × (t_B, d_B)` class pair and the per-vertex loop is a
+    /// table lookup — `O(#classes² + n_C)` instead of `O(n_C)` formula
+    /// evaluations, with output identical to the per-vertex sweep
+    /// ([`TriangleOracle::vertex_triangle_vector_per_vertex`]).
     pub fn vertex_triangle_vector(&self) -> Vec<u64> {
+        let (ca, cb, table) = self.vertex_class_table();
+        let lb = cb.len();
+        let mut out = Vec::with_capacity(self.pair.n_c() as usize);
+        for &xa in &ca.class_of {
+            let base = xa as usize * lb;
+            for &xb in &cb.class_of {
+                out.push(table[base + xb as usize]);
+            }
+        }
+        out
+    }
+
+    /// Reference per-vertex sweep: evaluates the Cor. 1 formula at every
+    /// product vertex independently. Kept as the uncollapsed baseline the
+    /// equivalence suite compares [`TriangleOracle::vertex_triangle_vector`]
+    /// against element-for-element.
+    pub fn vertex_triangle_vector_per_vertex(&self) -> Vec<u64> {
         (0..self.pair.n_c())
             .map(|p| self.vertex_triangles_of(p).expect("p < n_C"))
             .collect()
     }
 
     /// Parallel [`TriangleOracle::vertex_triangle_vector`] (`None` =
-    /// machine parallelism): the `0..n_C` index space is chunked across
-    /// workers and per-chunk outputs concatenated in order — identical to
-    /// the sequential vector.
+    /// machine parallelism): the class table is built once, then the
+    /// `0..n_C` index space is chunked across workers and per-chunk
+    /// expansions concatenated in order — identical to the sequential
+    /// vector.
     pub fn vertex_triangle_vector_threads(&self, threads: Option<usize>) -> Vec<u64> {
         let t = parallel::num_threads(threads);
         if t <= 1 {
             return self.vertex_triangle_vector();
         }
+        let (ca, cb, table) = self.vertex_class_table();
+        let lb = cb.len();
         let parts = parallel::map_chunks(self.pair.n_c() as usize, t, |_, range| {
             range
-                .map(|p| self.vertex_triangles_of(p as u64).expect("p < n_C"))
+                .map(|p| {
+                    let (i, k) = self.pair.split(p as u64);
+                    table[ca.class_of[i as usize] as usize * lb
+                        + cb.class_of[k as usize] as usize]
+                })
                 .collect::<Vec<u64>>()
         });
         parallel::concat_ordered(parts)
@@ -113,18 +166,59 @@ impl<'a> TriangleOracle<'a> {
     /// `O(classes_A · classes_B)` where a class is a distinct `(t, d)`
     /// pair — never touching `C`.
     pub fn vertex_triangle_histogram(&self) -> Histogram {
-        let classes_a = class_counts(&self.t_a, &self.d_a);
-        let classes_b = class_counts(&self.t_b, &self.d_b);
+        let (ca, cb, table) = self.vertex_class_table();
         let mut out = Histogram::new();
-        for (&(ti, di), &ca) in &classes_a {
-            for (&(tk, dk), &cb) in &classes_b {
+        for (x, &na) in ca.counts.iter().enumerate() {
+            for (y, &nb) in cb.counts.iter().enumerate() {
+                out.add_count(table[x * cb.len() + y], na * nb);
+            }
+        }
+        out
+    }
+
+    /// Edge-triangle histogram over the canonical (`p < q`, loop-free)
+    /// edges of `C`, computed entirely from factor **arc classes** —
+    /// `O(#arc_classes_A · #arc_classes_B)` formula evaluations, never
+    /// touching `C`.
+    ///
+    /// The Def. 6 value at product arc `((i,j),(k,l))` depends only on
+    /// `(Δ_ij, A_ij, δ(i,j), d_i) × (Δ_kl, B_kl, δ(k,l), d_k)`. On an
+    /// effective factor that tuple collapses to two class kinds: a base
+    /// arc is `(Δ, 1, 0, ·)` — keyed by `Δ` alone — and a FullBoth
+    /// diagonal arc is `(0, 0, 1, d)` — keyed by `d`. Class pairs where
+    /// both sides are diagonal are exactly the product self loops and are
+    /// skipped. Every admissible class-pair bucket contains each
+    /// unordered product edge via both of its directed arcs (the
+    /// arc-reversal involution maps the bucket to itself with no fixed
+    /// points), so halving the `count_A · count_B` arc-pair count yields
+    /// the edge histogram exactly.
+    pub fn edge_triangle_histogram(&self) -> Histogram {
+        let with_loops = self.pair.mode() == SelfLoopMode::FullBoth;
+        let ca = arc_classes(&self.delta_a, &self.d_a, with_loops);
+        let cb = arc_classes(&self.delta_b, &self.d_b, with_loops);
+        let mut out = Histogram::new();
+        for (&(la, xa), &na) in &ca {
+            for (&(lb, xb), &nb) in &cb {
+                if la && lb {
+                    continue; // both diagonal ⇒ product self loop, not an edge
+                }
                 let value = match self.pair.mode() {
-                    SelfLoopMode::AsIs => 2 * ti * tk,
+                    SelfLoopMode::AsIs => xa * xb,
                     SelfLoopMode::FullBoth => {
-                        2 * ti * tk + 3 * (ti * dk + di * dk + di * tk) + ti + tk
+                        // The corrected Cor. 2 with the class kinds
+                        // substituted: loop arcs carry (Δ=0, A=0, δ=1, d=x),
+                        // base arcs carry (Δ=x, A=1, δ=0).
+                        let (dij, a_ij, di) = if la { (0, 0, xa) } else { (xa, 1, 0) };
+                        let (dkl, b_kl, dk) = if lb { (0, 0, xb) } else { (xb, 1, 0) };
+                        dij * dkl
+                            + 2 * (dij * b_kl + a_ij * dkl + a_ij * b_kl)
+                            + dij * (dk + 1) * u64::from(lb)
+                            + dkl * (di + 1) * u64::from(la)
+                            + 2 * (a_ij * dk * u64::from(lb) + b_kl * di * u64::from(la))
                     }
                 };
-                out.add_count(value, ca * cb);
+                debug_assert_eq!((na * nb) % 2, 0, "arc-pair bucket must pair up");
+                out.add_count(value, na * nb / 2);
             }
         }
         out
@@ -201,11 +295,25 @@ impl<'a> TriangleOracle<'a> {
     }
 }
 
-/// Groups vertices into `(t, d)` classes with multiplicities.
-fn class_counts(t: &[u64], d: &[u64]) -> std::collections::BTreeMap<(u64, u64), u64> {
+/// Arc classes of one effective factor, keyed `(is_loop, x)` → directed
+/// arc count: every canonical base edge contributes **two** arcs keyed by
+/// its triangle count `Δ`, and (with `with_loops`) the diagonal
+/// contributes one arc per vertex keyed by its base degree. Base edges'
+/// arc counts are therefore always even — the parity the histogram
+/// halving argument relies on.
+fn arc_classes(
+    delta: &EdgeTriangles,
+    d: &[u64],
+    with_loops: bool,
+) -> std::collections::BTreeMap<(bool, u64), u64> {
     let mut classes = std::collections::BTreeMap::new();
-    for (&ti, &di) in t.iter().zip(d) {
-        *classes.entry((ti, di)).or_insert(0u64) += 1;
+    for (_, dv) in delta.iter() {
+        *classes.entry((false, dv)).or_insert(0u64) += 2;
+    }
+    if with_loops {
+        for &dv in d {
+            *classes.entry((true, dv)).or_insert(0u64) += 1;
+        }
     }
     classes
 }
@@ -223,9 +331,14 @@ mod tests {
         let oracle = TriangleOracle::new(&pair).unwrap();
         let c = materialize(&pair);
 
-        // Vertex counts.
+        // Vertex counts: collapsed path, and collapsed == per-vertex sweep.
         let expected = direct::vertex_triangles(&c);
         assert_eq!(oracle.vertex_triangle_vector(), expected.per_vertex, "vertex triangles");
+        assert_eq!(
+            oracle.vertex_triangle_vector(),
+            oracle.vertex_triangle_vector_per_vertex(),
+            "class collapse changed the vertex vector"
+        );
 
         // Global count.
         assert_eq!(oracle.global_triangles(), expected.global as u128, "global triangles");
@@ -240,9 +353,11 @@ mod tests {
             );
         }
 
-        // Histogram.
+        // Histograms: vertex and edge, both from classes only.
         let want_hist = Histogram::from_values(expected.per_vertex.iter().copied());
         assert_eq!(oracle.vertex_triangle_histogram(), want_hist, "histogram");
+        let want_edge_hist = Histogram::from_values(et.iter().map(|(_, c)| c));
+        assert_eq!(oracle.edge_triangle_histogram(), want_edge_hist, "edge histogram");
     }
 
     #[test]

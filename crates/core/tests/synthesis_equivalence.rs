@@ -1,0 +1,139 @@
+//! Property tests for the structure-exploiting kernels: direct CSR
+//! synthesis must be field-identical to the legacy arc-materialization
+//! path, and every class-collapsed oracle must reproduce its per-vertex
+//! (per-edge) reference element for element — bit-for-bit in the f64
+//! case — across random factor pairs, both self-loop modes, and thread
+//! counts {1, 2, 3, 8} (oversubscribing the host is deliberate).
+
+use proptest::prelude::*;
+
+use kron_analytics::Histogram;
+use kron_core::closeness::{closeness_batch, closeness_batch_threads, closeness_fast};
+use kron_core::distance::DistanceOracle;
+use kron_core::generate::{
+    materialize_via_arcs, materialize_via_arcs_threads, synthesize_csr, synthesize_csr_threads,
+    synthesize_row_block,
+};
+use kron_core::triangles::TriangleOracle;
+use kron_core::{KroneckerPair, SelfLoopMode};
+use kron_graph::{CsrGraph, EdgeList};
+
+const THREADS: [usize; 4] = [1, 2, 3, 8];
+
+/// Builds an undirected loop-free factor from a raw arc bag.
+fn factor(n: u64, raw: Vec<(u64, u64)>) -> CsrGraph {
+    let mut list = EdgeList::from_arcs(n, raw).expect("arcs in range by strategy");
+    list.symmetrize();
+    list.remove_self_loops();
+    CsrGraph::from_edge_list(&list)
+}
+
+fn raw_arcs(n: u64, max_arcs: usize) -> impl Strategy<Value = Vec<(u64, u64)>> {
+    proptest::collection::vec((0..n, 0..n), 0..max_arcs)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Direct synthesis (sequential, threaded, and row-block) equals the
+    /// legacy arc-path materialization exactly, in both self-loop modes.
+    #[test]
+    fn synthesis_matches_arc_path(
+        raw_a in raw_arcs(6, 24),
+        raw_b in raw_arcs(5, 18),
+        cut_num in 0u64..=8,
+    ) {
+        let a = factor(6, raw_a);
+        let b = factor(5, raw_b);
+        for mode in [SelfLoopMode::AsIs, SelfLoopMode::FullBoth] {
+            let pair = KroneckerPair::new(a.clone(), b.clone(), mode).unwrap();
+            let reference = materialize_via_arcs(&pair);
+            prop_assert_eq!(&synthesize_csr(&pair), &reference, "direct synthesis");
+            for t in THREADS {
+                prop_assert_eq!(&synthesize_csr_threads(&pair, Some(t)), &reference,
+                    "threaded synthesis, threads={}", t);
+                prop_assert_eq!(&materialize_via_arcs_threads(&pair, Some(t)), &reference,
+                    "threaded arc path, threads={}", t);
+            }
+            // A random two-way row split reassembles into the full CSR.
+            let n_c = pair.n_c();
+            let cut = cut_num * n_c / 8;
+            let (mut off, mut tgt) = synthesize_row_block(&pair, 0..cut);
+            let (off_hi, tgt_hi) = synthesize_row_block(&pair, cut..n_c);
+            off.pop();
+            off.extend(off_hi.iter().map(|o| o + tgt.len()));
+            tgt.extend_from_slice(&tgt_hi);
+            prop_assert_eq!(off.as_slice(), reference.offsets(), "block offsets, cut={}", cut);
+            prop_assert_eq!(tgt.as_slice(), reference.targets(), "block targets, cut={}", cut);
+        }
+    }
+
+    /// The class-collapsed triangle vector, its threaded variant, and the
+    /// class-collapsed histograms equal their per-vertex / per-edge
+    /// references exactly.
+    #[test]
+    fn collapsed_triangles_match_per_element(
+        raw_a in raw_arcs(6, 20),
+        raw_b in raw_arcs(5, 14),
+    ) {
+        let a = factor(6, raw_a);
+        let b = factor(5, raw_b);
+        for mode in [SelfLoopMode::AsIs, SelfLoopMode::FullBoth] {
+            let pair = KroneckerPair::new(a.clone(), b.clone(), mode).unwrap();
+            let tri = TriangleOracle::new(&pair).unwrap();
+            let reference = tri.vertex_triangle_vector_per_vertex();
+            prop_assert_eq!(&tri.vertex_triangle_vector(), &reference, "collapsed vector");
+            for t in THREADS {
+                prop_assert_eq!(&tri.vertex_triangle_vector_threads(Some(t)), &reference,
+                    "collapsed vector, threads={}", t);
+            }
+            prop_assert_eq!(
+                tri.vertex_triangle_histogram(),
+                Histogram::from_values(reference.iter().copied()),
+                "vertex histogram"
+            );
+            // Edge reference: every canonical (p < q) edge of the
+            // materialized product, queried through the per-edge oracle.
+            let c = synthesize_csr(&pair);
+            let edge_values = c
+                .arcs()
+                .filter(|&(p, q)| p < q)
+                .map(|(p, q)| tri.edge_triangles_of(p, q).unwrap());
+            prop_assert_eq!(
+                tri.edge_triangle_histogram(),
+                Histogram::from_values(edge_values),
+                "edge histogram"
+            );
+        }
+    }
+
+    /// The class-collapsed closeness batch is bit-identical to the
+    /// per-vertex fast path, sequentially and across thread counts.
+    #[test]
+    fn collapsed_closeness_is_bit_identical(
+        raw_a in raw_arcs(6, 20),
+        raw_b in raw_arcs(5, 14),
+    ) {
+        let a = factor(6, raw_a);
+        let b = factor(5, raw_b);
+        let pair = KroneckerPair::with_full_self_loops(a, b).unwrap();
+        let dist = DistanceOracle::new(&pair).unwrap();
+        // Duplicates included: memoized classes must return the same bits
+        // no matter how often a class pair is hit.
+        let mut vertices: Vec<u64> = (0..pair.n_c()).collect();
+        vertices.extend(0..pair.n_c().min(7));
+        let reference: Vec<f64> = vertices
+            .iter()
+            .map(|&p| closeness_fast(&dist, p).unwrap())
+            .collect();
+        let batch = closeness_batch(&dist, &vertices).unwrap();
+        prop_assert_eq!(batch.len(), reference.len());
+        for (i, (got, want)) in batch.iter().zip(&reference).enumerate() {
+            prop_assert_eq!(got.to_bits(), want.to_bits(), "vertex index {}", i);
+        }
+        for t in THREADS {
+            let got = closeness_batch_threads(&dist, &vertices, Some(t)).unwrap();
+            prop_assert_eq!(&got, &batch, "threads={}", t);
+        }
+    }
+}

@@ -273,6 +273,39 @@ pub fn generate_distributed(pair: &KroneckerPair, config: &DistConfig) -> DistRe
     DistResult { per_rank: edges, stats }
 }
 
+/// Materializes the per-rank shards of `C = A ⊗ B` **directly from the
+/// factors**, with no generation loop and no exchange — the structure-
+/// exploiting shortcut available exactly when the storage map is the
+/// row-contiguous [`VertexBlockOwner`]: rank `r` owns the contiguous
+/// product-row interval [`VertexBlockOwner::row_range`], so its stored
+/// shard is precisely that row block of `C`, which
+/// [`kron_core::generate::synthesize_row_block`] emits already sorted
+/// and duplicate-free from the factor CSRs.
+///
+/// The output matches what a [`generate_distributed`] run under
+/// [`OwnerConfig::VertexBlock`] stores at each rank, up to arc order
+/// (exchange arrival order is nondeterministic; this path is sorted).
+pub fn materialize_shards_direct(pair: &KroneckerPair, ranks: usize) -> Vec<EdgeList> {
+    assert!(ranks > 0, "need at least one rank");
+    let owner = VertexBlockOwner::new(pair.n_c(), ranks);
+    (0..ranks)
+        .map(|rank| {
+            let rows = owner.row_range(rank);
+            let base = rows.start;
+            let (offsets, targets) =
+                kron_core::generate::synthesize_row_block(pair, rows);
+            let mut arcs: Vec<Arc> = Vec::with_capacity(targets.len());
+            for (idx, w) in offsets.windows(2).enumerate() {
+                let p = base + idx as u64;
+                for &q in &targets[w[0]..w[1]] {
+                    arcs.push((p, q));
+                }
+            }
+            EdgeList::from_arcs_unchecked(pair.n_c(), arcs)
+        })
+        .collect()
+}
+
 fn run_rank(
     ep: Endpoint<Packet<Message>>,
     partition: &FactorPartition,
@@ -286,6 +319,11 @@ fn run_rank(
     let mut stats = RankStats::default();
     let mut stored = EdgeList::new(n_c);
     let mut outboxes: Vec<Vec<Arc>> = vec![Vec::new(); config.ranks];
+    // Recycled batch buffers: drained inbound `Vec`s are cleared and
+    // handed back out as outbox replacements instead of allocating a
+    // fresh `Vec` per sent batch. Bounded by the rank count so the pool
+    // never outgrows one buffer per open outbox.
+    let mut spare: Vec<Vec<Arc>> = Vec::new();
     let mut dones = 0usize;
 
     // Generation phase: multiply this rank's work cells.
@@ -311,7 +349,9 @@ fn run_rank(
                     let outbox = &mut outboxes[dest];
                     outbox.push((p, q));
                     if outbox.len() >= config.batch_size {
-                        let batch = std::mem::take(outbox);
+                        let refill = spare.pop();
+                        stats.batch_buffers_reused += u64::from(refill.is_some());
+                        let batch = std::mem::replace(outbox, refill.unwrap_or_default());
                         stats.messages += 1;
                         link.send(dest, Message::Batch(batch));
                         if config.exchange == ExchangeMode::Interleaved {
@@ -321,10 +361,14 @@ fn run_rank(
                             // finished early may already send Dones.
                             while let Some((_, message)) = link.poll() {
                                 match message {
-                                    Message::Batch(batch) => {
-                                        for (p, q) in batch {
+                                    Message::Batch(mut batch) => {
+                                        for &(p, q) in &batch {
                                             stats.stored += 1;
                                             stored.add_arc(p, q).expect("in range");
+                                        }
+                                        batch.clear();
+                                        if spare.len() < config.ranks {
+                                            spare.push(batch);
                                         }
                                     }
                                     Message::Done => dones += 1,
@@ -584,6 +628,50 @@ mod tests {
         }
         merged.sort_dedup();
         assert_eq!(merged, reference(&pair));
+    }
+
+    #[test]
+    fn direct_shards_match_distributed_run() {
+        let pairs = [
+            KroneckerPair::with_full_self_loops(erdos_renyi(7, 0.5, 4), cycle(5)).unwrap(),
+            KroneckerPair::as_is(clique(4), path(6)).unwrap(),
+        ];
+        for pair in &pairs {
+            for ranks in [1usize, 2, 3, 5] {
+                let shards = materialize_shards_direct(pair, ranks);
+                let run = generate_distributed(pair, &DistConfig::new(ranks));
+                assert_eq!(shards.len(), run.per_rank.len());
+                for (rank, (direct, exchanged)) in
+                    shards.iter().zip(&run.per_rank).enumerate()
+                {
+                    let mut exchanged = exchanged.clone();
+                    exchanged.sort_dedup();
+                    assert_eq!(direct, &exchanged, "ranks={ranks} rank={rank}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn interleaved_exchange_recycles_buffers() {
+        // batch_size 1 with a scattering owner: every remote arc is a
+        // send followed by an inbox poll, so drained receive buffers are
+        // recycled into outbox refills throughout generation. Whichever
+        // rank's sends are scheduled later necessarily polls after the
+        // other has delivered, so the total reuse count is positive under
+        // any interleaving.
+        let pair = KroneckerPair::as_is(clique(6), clique(6)).unwrap();
+        let mut cfg = DistConfig::new(2);
+        cfg.batch_size = 1;
+        cfg.exchange = ExchangeMode::Interleaved;
+        cfg.owner = OwnerConfig::Hash { seed: 5 };
+        let result = generate_distributed(&pair, &cfg);
+        assert_eq!(result.union(pair.n_c()), reference(&pair));
+        assert!(
+            result.stats.total_batch_buffers_reused() > 0,
+            "no batch buffers recycled: {:?}",
+            result.stats.per_rank
+        );
     }
 
     #[test]

@@ -44,6 +44,17 @@ impl VertexBlockOwner {
     pub fn vertex_owner(&self, p: VertexId) -> usize {
         ((p as u128 * self.ranks as u128) / self.n as u128) as usize
     }
+
+    /// The contiguous vertex (product-row) range owned by `rank`:
+    /// `⌈r·n/R⌉ .. ⌈(r+1)·n/R⌉`, the inverse image of
+    /// [`VertexBlockOwner::vertex_owner`]. Row-contiguity is what lets a
+    /// rank's stored shard be synthesized directly from the factors.
+    pub fn row_range(&self, rank: usize) -> std::ops::Range<u64> {
+        assert!(rank < self.ranks, "rank out of range");
+        let start = (rank as u128 * self.n as u128).div_ceil(self.ranks as u128) as u64;
+        let end = ((rank as u128 + 1) * self.n as u128).div_ceil(self.ranks as u128) as u64;
+        start..end
+    }
 }
 
 impl EdgeOwner for VertexBlockOwner {
@@ -176,6 +187,23 @@ mod tests {
             counts[o.vertex_owner(p)] += 1;
         }
         assert!(counts.iter().all(|&c| c == 125));
+    }
+
+    #[test]
+    fn row_ranges_partition_and_invert_owner() {
+        for (n, ranks) in [(100u64, 7usize), (1000, 8), (5, 9), (1, 1), (64, 64)] {
+            let o = VertexBlockOwner::new(n, ranks);
+            let mut covered = 0u64;
+            for r in 0..ranks {
+                let range = o.row_range(r);
+                assert_eq!(range.start, covered, "n={n} ranks={ranks} rank={r}");
+                for p in range.clone() {
+                    assert_eq!(o.vertex_owner(p), r, "n={n} ranks={ranks} p={p}");
+                }
+                covered = range.end;
+            }
+            assert_eq!(covered, n);
+        }
     }
 
     #[test]

@@ -22,6 +22,10 @@ pub struct RankStats {
     pub retransmissions: u64,
     /// Redelivered payloads the reliable layer deduplicated away.
     pub redeliveries_discarded: u64,
+    /// Batch buffers recycled from drained inbound messages instead of
+    /// freshly allocated — each one is a `batch_size`-capacity `Vec` the
+    /// exchange did **not** allocate.
+    pub batch_buffers_reused: u64,
 }
 
 /// Aggregated statistics over all ranks of one generation run.
@@ -78,6 +82,12 @@ impl GenStats {
     /// Total redelivered payloads discarded by receive-side dedup.
     pub fn total_redeliveries_discarded(&self) -> u64 {
         self.per_rank.iter().map(|r| r.redeliveries_discarded).sum()
+    }
+
+    /// Total batch buffers recycled across ranks — allocations the
+    /// exchange saved by reusing drained receive buffers for outboxes.
+    pub fn total_batch_buffers_reused(&self) -> u64 {
+        self.per_rank.iter().map(|r| r.batch_buffers_reused).sum()
     }
 
     /// Generation throughput in arcs/second.

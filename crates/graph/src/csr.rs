@@ -187,6 +187,48 @@ impl CsrGraph {
         Ok(Self::from_edge_list_threads(&EdgeList::from_arcs(n, arcs)?, threads))
     }
 
+    /// Builds from prebuilt canonical CSR parts: `offsets` must have
+    /// `n + 1` entries starting at 0 and ending at `targets.len()`, and
+    /// every row of `targets` must be strictly increasing with entries
+    /// `< n`.
+    ///
+    /// This is the constructor for kernels that *synthesize* rows already
+    /// in canonical order (direct Kronecker CSR synthesis emits each
+    /// product row sorted and duplicate-free by construction), skipping
+    /// the counting sort and per-row sort/dedup of [`from_edge_list`].
+    /// The invariants are checked in debug builds; a release caller is
+    /// trusted.
+    ///
+    /// [`from_edge_list`]: CsrGraph::from_edge_list
+    pub fn from_sorted_parts(n: u64, offsets: Vec<usize>, targets: Vec<VertexId>) -> Self {
+        debug_assert_eq!(offsets.len(), n as usize + 1, "offsets must have n + 1 entries");
+        debug_assert_eq!(offsets.first(), Some(&0));
+        debug_assert_eq!(offsets.last(), Some(&targets.len()));
+        #[cfg(debug_assertions)]
+        for v in 0..n as usize {
+            debug_assert!(offsets[v] <= offsets[v + 1], "offsets not monotone at row {v}");
+            let row = &targets[offsets[v]..offsets[v + 1]];
+            for w in row.windows(2) {
+                debug_assert!(w[0] < w[1], "row {v} not strictly increasing");
+            }
+            if let Some(&last) = row.last() {
+                debug_assert!(last < n, "row {v} has out-of-range target {last}");
+            }
+        }
+        CsrGraph { n, offsets, targets }
+    }
+
+    /// Row offsets (`n + 1` entries); `offsets[v]..offsets[v + 1]` indexes
+    /// `v`'s neighbor slice within the target array.
+    pub fn offsets(&self) -> &[usize] {
+        &self.offsets
+    }
+
+    /// The concatenated sorted neighbor rows (one entry per stored arc).
+    pub fn targets(&self) -> &[VertexId] {
+        &self.targets
+    }
+
     /// Number of vertices.
     pub fn n(&self) -> u64 {
         self.n
@@ -224,19 +266,34 @@ impl CsrGraph {
         self.has_arc(v, v)
     }
 
+    /// Scans row `v` for its diagonal entry without binary search; rows
+    /// are sorted, so the scan stops at the first entry `≥ v`. One pass
+    /// over the target array in total across all rows — cache-linear,
+    /// unlike a per-vertex binary search.
+    #[inline]
+    fn row_has_loop(&self, v: usize) -> bool {
+        let diag = v as u64;
+        for &t in &self.targets[self.offsets[v]..self.offsets[v + 1]] {
+            if t >= diag {
+                return t == diag;
+            }
+        }
+        false
+    }
+
     /// Number of self loops in the graph.
     pub fn self_loop_count(&self) -> u64 {
-        (0..self.n).filter(|&v| self.has_self_loop(v)).count() as u64
+        (0..self.n as usize).filter(|&v| self.row_has_loop(v)).count() as u64
     }
 
     /// True when every vertex has a self loop (`A ∘ I_A = I_A`).
     pub fn has_full_self_loops(&self) -> bool {
-        (0..self.n).all(|v| self.has_self_loop(v))
+        (0..self.n as usize).all(|v| self.row_has_loop(v))
     }
 
     /// True when no self loop is present (`A ∘ I_A = O_A`).
     pub fn is_loop_free(&self) -> bool {
-        (0..self.n).all(|v| !self.has_self_loop(v))
+        (0..self.n as usize).all(|v| !self.row_has_loop(v))
     }
 
     /// Number of unordered edges; a self loop counts as one edge.
@@ -432,6 +489,39 @@ mod tests {
             assert_eq!(arcless, CsrGraph::from_arcs(5, vec![]).unwrap());
             assert_eq!(arcless.degree(3), 0);
         }
+    }
+
+    #[test]
+    fn from_sorted_parts_matches_edge_list_build() {
+        let g = triangle();
+        let rebuilt = CsrGraph::from_sorted_parts(
+            g.n(),
+            g.offsets().to_vec(),
+            g.arcs().map(|(_, v)| v).collect(),
+        );
+        assert_eq!(rebuilt, g);
+        // Empty rows and an arc-free graph round-trip too.
+        let sparse = CsrGraph::from_arcs(4, vec![(2, 0), (2, 3)]).unwrap();
+        let rebuilt =
+            CsrGraph::from_sorted_parts(4, sparse.offsets().to_vec(), vec![0, 3]);
+        assert_eq!(rebuilt, sparse);
+        let empty = CsrGraph::from_sorted_parts(0, vec![0], vec![]);
+        assert_eq!(empty, CsrGraph::from_arcs(0, vec![]).unwrap());
+    }
+
+    #[test]
+    fn loop_scans_match_binary_search() {
+        // Mixed rows: loop first, loop mid-row, loop last, no loop.
+        let arcs = vec![(0, 0), (0, 2), (1, 0), (1, 1), (1, 3), (2, 0), (2, 1), (2, 2), (3, 1)];
+        let g = CsrGraph::from_arcs(4, arcs).unwrap();
+        for v in 0..4 {
+            assert_eq!(g.row_has_loop(v as usize), g.has_self_loop(v), "vertex {v}");
+        }
+        assert_eq!(g.self_loop_count(), 3);
+        assert!(!g.has_full_self_loops());
+        assert!(!g.is_loop_free());
+        assert!(g.with_full_self_loops().has_full_self_loops());
+        assert!(g.without_self_loops().is_loop_free());
     }
 
     #[test]

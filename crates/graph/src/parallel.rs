@@ -193,6 +193,35 @@ pub fn concat_ordered<T>(parts: Vec<Vec<T>>) -> Vec<T> {
     out
 }
 
+/// Splits a mutable slice into per-range disjoint windows according to a
+/// prefix-sum table: range `r` receives `slice[prefix[r.start]..prefix[r.end]]`.
+///
+/// `ranges` must be a contiguous ascending partition of the prefix's
+/// index space (the output shape of [`chunk_ranges`]/[`split_by_weight`])
+/// and `slice` must span exactly the prefix total. This is the safe
+/// counterpart of [`DisjointWriter`] for the common case where each
+/// worker owns one contiguous output region: hand the windows to
+/// [`map_with_state`] and every worker fills its own `&mut [T]` with no
+/// unsafe code.
+pub fn windows_by_prefix<'a, T>(
+    mut slice: &'a mut [T],
+    prefix: &[usize],
+    ranges: &[Range<usize>],
+) -> Vec<&'a mut [T]> {
+    let mut out = Vec::with_capacity(ranges.len());
+    let mut consumed = 0usize;
+    for r in ranges {
+        assert_eq!(prefix[r.start], consumed, "ranges must partition the prefix in order");
+        let len = prefix[r.end] - prefix[r.start];
+        let (head, tail) = slice.split_at_mut(len);
+        out.push(head);
+        slice = tail;
+        consumed += len;
+    }
+    assert!(slice.is_empty(), "slice longer than the prefix total");
+    out
+}
+
 /// A shared slice that multiple workers may write through concurrently,
 /// **provided every index is written by at most one worker** (a scatter
 /// with precomputed disjoint destinations, e.g. the stable-counting-sort
@@ -337,6 +366,30 @@ mod tests {
         let states = vec![10u64, 20, 30];
         let got = map_with_state(ranges, states, |c, r, s| s + c as u64 + r.start as u64);
         assert_eq!(got, vec![10, 24, 38]);
+    }
+
+    #[test]
+    fn windows_by_prefix_partition_and_fill() {
+        // Weighted rows: window sizes follow the prefix, not the ranges.
+        let prefix = [0usize, 2, 2, 7, 8];
+        let mut out = vec![0u64; 8];
+        let ranges = vec![0..2usize, 2..4];
+        let windows = windows_by_prefix(&mut out, &prefix, &ranges);
+        assert_eq!(windows.iter().map(|w| w.len()).collect::<Vec<_>>(), vec![2, 6]);
+        let states = windows;
+        map_with_state(ranges, states, |c, _, window| {
+            for x in window.iter_mut() {
+                *x = c as u64 + 1;
+            }
+        });
+        assert_eq!(out, vec![1, 1, 2, 2, 2, 2, 2, 2]);
+    }
+
+    #[test]
+    fn windows_by_prefix_empty_ranges() {
+        let mut out: Vec<u64> = vec![];
+        let windows = windows_by_prefix(&mut out, &[0], &[]);
+        assert!(windows.is_empty());
     }
 
     #[test]

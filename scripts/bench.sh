@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Structure-exploiting kernel benchmark (EXPERIMENTS.md, DESIGN.md §8).
+#
+# Builds the release bench binary and runs the extended smoke benchmark:
+# generation + CSR build via direct Kronecker synthesis AND via the
+# legacy arc-materialization path, the compact-forward direct triangle
+# kernel, and the class-collapsed closeness batch. Each phase reports
+# wall time at 1 thread and at machine parallelism, a speedup, and an
+# analytic peak-intermediate-allocation estimate; outputs are asserted
+# identical across paths and thread counts before timings are trusted.
+#
+# Writes BENCH_PR4.json and, when BENCH_PR1.json is present, prints the
+# per-phase speedup versus that baseline and embeds it in the report.
+#
+# Usage: scripts/bench.sh [--scale S] [--out PATH] [--baseline PATH]
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release --offline -p kron-bench
+
+echo "== bench_smoke: synthesis vs arc path, compact-forward triangles, collapsed closeness =="
+./target/release/bench_smoke "$@"

@@ -227,6 +227,7 @@ impl Forward {
 /// assert_eq!(t.global, 4);
 /// ```
 pub fn vertex_triangles(g: &CsrGraph) -> TriangleCounts {
+    let _span = kron_obs::span::enter("analytics/vertex_triangles");
     let n = g.n() as usize;
     let f = Forward::build(g);
     let mut per_rank = vec![0u64; n];
@@ -237,6 +238,7 @@ pub fn vertex_triangles(g: &CsrGraph) -> TriangleCounts {
 
 /// Global triangle count `τ_A`.
 pub fn global_triangles(g: &CsrGraph) -> u64 {
+    let _span = kron_obs::span::enter("analytics/global_triangles");
     let n = g.n() as usize;
     let f = Forward::build(g);
     let mut per_rank = vec![0u64; n];
@@ -255,6 +257,7 @@ pub fn vertex_triangles_threads(g: &CsrGraph, threads: Option<usize>) -> Triangl
     if t <= 1 {
         return vertex_triangles(g);
     }
+    let _span = kron_obs::span::enter("analytics/vertex_triangles_threads");
     let n = g.n() as usize;
     let f = Forward::build(g);
     let parts = parallel::map_ranges(f.anchor_ranges(t), |_, anchors| {
@@ -280,6 +283,7 @@ pub fn global_triangles_threads(g: &CsrGraph, threads: Option<usize>) -> u64 {
     if t <= 1 {
         return global_triangles(g);
     }
+    let _span = kron_obs::span::enter("analytics/global_triangles_threads");
     let n = g.n() as usize;
     let f = Forward::build(g);
     parallel::map_ranges(f.anchor_ranges(t), |_, anchors| {

@@ -137,6 +137,8 @@ pub fn closeness_batch(
     oracle: &DistanceOracle<'_>,
     vertices: &[VertexId],
 ) -> crate::Result<Vec<f64>> {
+    let _span = kron_obs::span::enter("core/closeness_batch");
+    kron_obs::counter!("core.closeness_sources").add(vertices.len() as u64);
     let pair = oracle.pair();
     let mut slot_a: Vec<Option<u32>> = vec![None; pair.a().n() as usize];
     let mut slot_b: Vec<Option<u32>> = vec![None; pair.b().n() as usize];
@@ -184,6 +186,7 @@ pub fn closeness_batch_threads(
     if t <= 1 {
         return closeness_batch(oracle, vertices);
     }
+    let _span = kron_obs::span::enter("core/closeness_batch_threads");
     let parts = parallel::map_chunks(vertices.len(), t, |_, range| {
         closeness_batch(oracle, &vertices[range])
     });

@@ -236,8 +236,10 @@ fn fill_product_rows(
 /// `CsrGraph::from_edge_list` over the product arc stream while doing
 /// `O(nnz_C)` writes straight into the output.
 pub fn synthesize_csr(pair: &KroneckerPair) -> CsrGraph {
+    let _span = kron_obs::span::enter("core/synthesize_csr");
     let total = pair.nnz_c();
     assert!(total <= usize::MAX as u128, "product too large to materialize");
+    kron_obs::counter!("core.synthesized_arcs").add(total as u64);
     let offsets = product_offsets(pair);
     let mut targets = vec![0u64; total as usize];
     fill_product_rows(pair, 0..pair.a().n(), &offsets, 0, &mut targets);
@@ -256,8 +258,10 @@ pub fn synthesize_csr_threads(pair: &KroneckerPair, threads: Option<usize>) -> C
     if t <= 1 {
         return synthesize_csr(pair);
     }
+    let _span = kron_obs::span::enter("core/synthesize_csr_threads");
     let total = pair.nnz_c();
     assert!(total <= usize::MAX as u128, "product too large to materialize");
+    kron_obs::counter!("core.synthesized_arcs").add(total as u64);
     let offsets = product_offsets(pair);
     let mut targets = vec![0u64; total as usize];
     let na = pair.a().n() as usize;
@@ -340,6 +344,7 @@ pub fn materialize_threads(pair: &KroneckerPair, threads: Option<usize>) -> CsrG
 /// independent reference implementation the synthesis equivalence suite
 /// (and the allocation comparison in `bench_smoke`) measures against.
 pub fn materialize_via_arcs(pair: &KroneckerPair) -> CsrGraph {
+    let _span = kron_obs::span::enter("core/materialize_via_arcs");
     let total = pair.nnz_c();
     assert!(total <= usize::MAX as u128, "product too large to materialize");
     let mut list = EdgeList::new(pair.n_c());
@@ -357,6 +362,7 @@ pub fn materialize_via_arcs_threads(pair: &KroneckerPair, threads: Option<usize>
     if t <= 1 {
         return materialize_via_arcs(pair);
     }
+    let _span = kron_obs::span::enter("core/materialize_via_arcs_threads");
     let arcs = collect_arcs_threads(pair, Some(t));
     // Product arcs are in range by construction (factor vertices are in
     // range and `join` was overflow-checked at pair construction).

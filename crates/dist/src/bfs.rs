@@ -28,7 +28,9 @@
 //! under seeded fault schedules.
 
 use kron_graph::VertexId;
+use kron_obs::events::{EventKind, Timeline, NO_PEER};
 use std::collections::BTreeMap;
+use std::time::Instant;
 
 use crate::generator::DistResult;
 use crate::owner::EdgeOwner;
@@ -92,6 +94,21 @@ pub fn distributed_bfs_with(
     source: VertexId,
     transport: &TransportConfig,
 ) -> Vec<u32> {
+    distributed_bfs_traced(result, owner, n_c, source, transport).0
+}
+
+/// [`distributed_bfs_with`] that also returns the merged per-rank event
+/// timeline — level (epoch) boundaries with durations, stash-depth
+/// samples, and every transport fault event. The timeline is empty unless
+/// `kron_obs::events::set_enabled(true)` was on when the search started.
+pub fn distributed_bfs_traced(
+    result: &DistResult,
+    owner: &dyn EdgeOwner,
+    n_c: u64,
+    source: VertexId,
+    transport: &TransportConfig,
+) -> (Vec<u32>, Timeline) {
+    let _span = kron_obs::span::enter("dist/bfs");
     let ranks = result.per_rank.len();
     assert_eq!(ranks, owner.ranks(), "owner map must match the run");
     assert!(
@@ -115,6 +132,7 @@ pub fn distributed_bfs_with(
     let endpoints: Vec<Endpoint<FrontierMessage>> = Endpoint::mesh(transport, ranks);
 
     let mut distance_parts: Vec<Vec<(VertexId, u32)>> = Vec::with_capacity(ranks);
+    let mut recorders = Vec::with_capacity(ranks);
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(ranks);
         for ep in endpoints {
@@ -122,7 +140,9 @@ pub fn distributed_bfs_with(
             handles.push(scope.spawn(move || bfs_rank(ep, local_rows, owner, source)));
         }
         for handle in handles {
-            distance_parts.push(handle.join().expect("rank thread panicked"));
+            let (part, recorder) = handle.join().expect("rank thread panicked");
+            distance_parts.push(part);
+            recorders.push(recorder);
         }
     });
 
@@ -132,7 +152,7 @@ pub fn distributed_bfs_with(
             dist[v as usize] = d;
         }
     }
-    dist
+    (dist, Timeline::from_recorders(recorders))
 }
 
 /// Per-level receive state of one rank.
@@ -147,7 +167,7 @@ fn bfs_rank(
     local_rows: &[BTreeMap<VertexId, Vec<VertexId>>],
     owner: &dyn EdgeOwner,
     source: VertexId,
-) -> Vec<(VertexId, u32)> {
+) -> (Vec<(VertexId, u32)>, kron_obs::events::RankRecorder) {
     let rank = ep.rank();
     let ranks = ep.ranks();
     let mine = &local_rows[rank];
@@ -168,6 +188,10 @@ fn bfs_rank(
 
     let mut level = 0u32;
     loop {
+        // Epoch probe: level boundaries with wall durations. The timer is
+        // observational only — no protocol decision reads it.
+        let epoch_timer = ep.recorder().is_active().then(Instant::now);
+        ep.recorder().record(EventKind::EpochStart, NO_PEER, level as u64, 0);
         // Expand owned frontier, batching discoveries per destination.
         let mut outboxes: Vec<Vec<VertexId>> = vec![Vec::new(); ranks];
         for &v in &frontier {
@@ -241,6 +265,14 @@ fn bfs_rank(
             }
         }
 
+        // Sample the stash once per level (how far ahead peers ran) and
+        // close the epoch.
+        ep.recorder().record(EventKind::StashDepth, NO_PEER, stash.len() as u64, 0);
+        if let Some(t) = epoch_timer {
+            let ns = t.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+            ep.recorder().record(EventKind::EpochEnd, NO_PEER, level as u64, ns);
+        }
+
         let active_total: u64 = state.votes.iter().map(|v| v.unwrap_or(0)).sum();
         level += 1;
         if active_total == 0 {
@@ -250,7 +282,8 @@ fn bfs_rank(
     }
     // Release any parked duplicates so no held message outlives the mesh.
     ep.flush();
-    dist.into_iter().collect()
+    let recorder = ep.take_recorder();
+    (dist.into_iter().collect(), recorder)
 }
 
 /// Routes one received message: discard if stale, stash if early, apply

@@ -17,6 +17,8 @@ use std::time::Instant;
 
 use kron_core::KroneckerPair;
 use kron_graph::{Arc, EdgeList};
+use kron_obs::events::Timeline;
+use kron_obs::metrics::LocalRegistry;
 
 use crate::owner::{DelegateOwner, EdgeOwner, HashOwner, VertexBlockOwner};
 use crate::partition::{FactorPartition, PartitionScheme};
@@ -108,6 +110,9 @@ pub struct DistResult {
     pub per_rank: Vec<EdgeList>,
     /// Counters and timing.
     pub stats: GenStats,
+    /// Per-rank event timeline of the exchange — empty unless
+    /// `kron_obs::events::set_enabled(true)` was on when the run started.
+    pub timeline: Timeline,
 }
 
 impl DistResult {
@@ -224,6 +229,7 @@ enum Message {
 /// assert_eq!(result.stats.total_stored() as u128, pair.nnz_c());
 /// ```
 pub fn generate_distributed(pair: &KroneckerPair, config: &DistConfig) -> DistResult {
+    let _span = kron_obs::span::enter("dist/generate");
     assert!(config.ranks > 0, "need at least one rank");
     assert!(config.batch_size > 0, "batch size must be positive");
     let a_arcs: Vec<Arc> = pair.a().arcs().collect();
@@ -248,7 +254,7 @@ pub fn generate_distributed(pair: &KroneckerPair, config: &DistConfig) -> DistRe
         Endpoint::mesh(&config.transport, config.ranks);
 
     let started = Instant::now();
-    let mut per_rank: Vec<(RankStats, EdgeList)> = Vec::with_capacity(config.ranks);
+    let mut per_rank: Vec<RankOutput> = Vec::with_capacity(config.ranks);
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(config.ranks);
         for ep in endpoints {
@@ -266,11 +272,20 @@ pub fn generate_distributed(pair: &KroneckerPair, config: &DistConfig) -> DistRe
 
     let mut stats = GenStats { per_rank: Vec::with_capacity(config.ranks), elapsed_secs };
     let mut edges = Vec::with_capacity(config.ranks);
-    for (rank_stats, rank_edges) in per_rank {
-        stats.per_rank.push(rank_stats);
-        edges.push(rank_edges);
+    let mut recorders = Vec::with_capacity(config.ranks);
+    for out in per_rank {
+        stats.per_rank.push(out.stats);
+        edges.push(out.stored);
+        recorders.push(out.recorder);
     }
-    DistResult { per_rank: edges, stats }
+    // Mirror the run's aggregates into the global registry so an
+    // ObsReport covers the distributed phase alongside the kernels.
+    kron_obs::counter!("dist.generated").add(stats.total_generated());
+    kron_obs::counter!("dist.stored").add(stats.total_stored());
+    kron_obs::counter!("dist.retransmissions").add(stats.total_retransmissions());
+    kron_obs::counter!("dist.redeliveries_discarded")
+        .add(stats.total_redeliveries_discarded());
+    DistResult { per_rank: edges, stats, timeline: Timeline::from_recorders(recorders) }
 }
 
 /// Materializes the per-rank shards of `C = A ⊗ B` **directly from the
@@ -306,6 +321,13 @@ pub fn materialize_shards_direct(pair: &KroneckerPair, ranks: usize) -> Vec<Edge
         .collect()
 }
 
+/// What one rank thread hands back to the run driver.
+struct RankOutput {
+    stats: RankStats,
+    stored: EdgeList,
+    recorder: kron_obs::events::RankRecorder,
+}
+
 fn run_rank(
     ep: Endpoint<Packet<Message>>,
     partition: &FactorPartition,
@@ -313,10 +335,21 @@ fn run_rank(
     config: &DistConfig,
     n_b: u64,
     n_c: u64,
-) -> (RankStats, EdgeList) {
+) -> RankOutput {
     let rank = ep.rank();
     let mut link = ReliableEndpoint::new(ep);
-    let mut stats = RankStats::default();
+    // The rank's counters live in a LocalRegistry (index-handle adds in
+    // the per-arc loop); RankStats is snapshotted from it at the end.
+    let mut reg = LocalRegistry::new();
+    let c_generated = reg.counter(RankStats::GENERATED);
+    let c_sent_remote = reg.counter(RankStats::SENT_REMOTE);
+    let c_sent_local = reg.counter(RankStats::SENT_LOCAL);
+    let c_stored = reg.counter(RankStats::STORED);
+    let c_messages = reg.counter(RankStats::MESSAGES);
+    let c_factor_arcs = reg.counter(RankStats::FACTOR_ARCS);
+    let c_retransmissions = reg.counter(RankStats::RETRANSMISSIONS);
+    let c_redeliveries = reg.counter(RankStats::REDELIVERIES_DISCARDED);
+    let c_buffers_reused = reg.counter(RankStats::BATCH_BUFFERS_REUSED);
     let mut stored = EdgeList::new(n_c);
     let mut outboxes: Vec<Vec<Arc>> = vec![Vec::new(); config.ranks];
     // Recycled batch buffers: drained inbound `Vec`s are cleared and
@@ -328,31 +361,31 @@ fn run_rank(
 
     // Generation phase: multiply this rank's work cells.
     for cell in partition.cells_of(rank) {
-        stats.factor_arcs += (cell.a_arcs.len() + cell.b_arcs.len()) as u64;
+        reg.add(c_factor_arcs, (cell.a_arcs.len() + cell.b_arcs.len()) as u64);
         for &(i, j) in &cell.a_arcs {
             let row_base = i * n_b;
             let col_base = j * n_b;
             for &(k, l) in &cell.b_arcs {
                 let p = row_base + k;
                 let q = col_base + l;
-                stats.generated += 1;
+                reg.inc(c_generated);
                 if config.storage == StorageMode::CountOnly {
                     continue;
                 }
                 let dest = owner.owner(p, q);
                 if dest == rank {
-                    stats.sent_local += 1;
-                    stats.stored += 1;
+                    reg.inc(c_sent_local);
+                    reg.inc(c_stored);
                     stored.add_arc(p, q).expect("in range");
                 } else {
-                    stats.sent_remote += 1;
+                    reg.inc(c_sent_remote);
                     let outbox = &mut outboxes[dest];
                     outbox.push((p, q));
                     if outbox.len() >= config.batch_size {
                         let refill = spare.pop();
-                        stats.batch_buffers_reused += u64::from(refill.is_some());
+                        reg.add(c_buffers_reused, u64::from(refill.is_some()));
                         let batch = std::mem::replace(outbox, refill.unwrap_or_default());
-                        stats.messages += 1;
+                        reg.inc(c_messages);
                         link.send(dest, Message::Batch(batch));
                         if config.exchange == ExchangeMode::Interleaved {
                             // Drain whatever the reliable layer has
@@ -363,7 +396,7 @@ fn run_rank(
                                 match message {
                                     Message::Batch(mut batch) => {
                                         for &(p, q) in &batch {
-                                            stats.stored += 1;
+                                            reg.inc(c_stored);
                                             stored.add_arc(p, q).expect("in range");
                                         }
                                         batch.clear();
@@ -385,7 +418,7 @@ fn run_rank(
     // proves every earlier batch on that link was delivered too.
     for (dest, outbox) in outboxes.iter_mut().enumerate() {
         if !outbox.is_empty() {
-            stats.messages += 1;
+            reg.inc(c_messages);
             link.send(dest, Message::Batch(std::mem::take(outbox)));
         }
     }
@@ -403,7 +436,7 @@ fn run_rank(
         match link.poll() {
             Some((_, Message::Batch(batch))) => {
                 for (p, q) in batch {
-                    stats.stored += 1;
+                    reg.inc(c_stored);
                     stored.add_arc(p, q).expect("in range");
                 }
             }
@@ -413,9 +446,10 @@ fn run_rank(
     }
     // Late acks and held duplicates must still reach draining peers.
     link.shutdown();
-    stats.retransmissions = link.retransmissions;
-    stats.redeliveries_discarded = link.duplicates_discarded;
-    (stats, stored)
+    reg.set(c_retransmissions, link.retransmissions);
+    reg.set(c_redeliveries, link.duplicates_discarded);
+    let recorder = link.take_recorder_with_accounting();
+    RankOutput { stats: RankStats::from_registry(&reg), stored, recorder }
 }
 
 #[cfg(test)]

@@ -35,6 +35,8 @@ pub use partition::{FactorPartition, PartitionScheme};
 pub use reliability::{EpochTally, ReliableEndpoint};
 pub use stats::{GenStats, RankStats};
 pub use transport::{Endpoint, FaultConfig, TransportConfig, TransportStats};
-pub use bfs::{distributed_bfs, distributed_bfs_with};
-pub use triangle_count::{distributed_triangle_count, distributed_triangle_count_with};
+pub use bfs::{distributed_bfs, distributed_bfs_traced, distributed_bfs_with};
+pub use triangle_count::{
+    distributed_triangle_count, distributed_triangle_count_traced, distributed_triangle_count_with,
+};
 pub use validate::{validate_against_ground_truth, ValidationReport};

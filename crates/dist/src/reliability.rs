@@ -30,6 +30,8 @@
 
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
+use kron_obs::events::{EventKind, RankRecorder};
+
 use crate::transport::Endpoint;
 
 /// Wire format of the reliable layer.
@@ -79,6 +81,10 @@ pub struct ReliableEndpoint<T: Clone + Send> {
     pub retransmissions: u64,
     /// Redelivered payloads discarded by dedup.
     pub duplicates_discarded: u64,
+    /// Data packets pulled off the wire, per source (fresh + redelivered).
+    data_received_from: Vec<u64>,
+    /// Redeliveries discarded, per source.
+    duplicates_from: Vec<u64>,
 }
 
 impl<T: Clone + Send> ReliableEndpoint<T> {
@@ -96,6 +102,8 @@ impl<T: Clone + Send> ReliableEndpoint<T> {
             data_sent: 0,
             retransmissions: 0,
             duplicates_discarded: 0,
+            data_received_from: vec![0; ranks],
+            duplicates_from: vec![0; ranks],
         }
     }
 
@@ -112,6 +120,53 @@ impl<T: Clone + Send> ReliableEndpoint<T> {
     /// Transport-level fault counters.
     pub fn transport_stats(&self) -> crate::transport::TransportStats {
         self.ep.stats
+    }
+
+    /// The underlying transport's event recorder.
+    pub fn recorder(&mut self) -> &mut RankRecorder {
+        self.ep.recorder()
+    }
+
+    /// Records end-of-run per-link accounting events and hands the event
+    /// log back: one [`EventKind::LinkSent`] per destination (`a` = first
+    /// transmissions assigned on the link) and one
+    /// [`EventKind::LinkDelivered`] per source (`a` = payloads delivered
+    /// in order, `b` = redeliveries discarded). Together they let a
+    /// timeline consumer check per-link conservation: the sender's
+    /// sequence count must equal the receiver's in-order delivery cursor,
+    /// and every data packet the receiver pulled is either a fresh
+    /// delivery or a discarded redelivery. Call only at a clean protocol
+    /// exit (out-of-order buffers empty), which the method asserts while
+    /// recording.
+    pub fn take_recorder_with_accounting(&mut self) -> RankRecorder {
+        if self.ep.recorder().is_active() {
+            for dest in 0..self.next_seq.len() {
+                let sent = self.next_seq[dest];
+                self.ep.recorder().record(EventKind::LinkSent, dest as u32, sent, 0);
+            }
+            for src in 0..self.next_expected.len() {
+                let delivered = self.next_expected[src];
+                let dups = self.duplicates_from[src];
+                assert!(
+                    self.ooo[src].is_empty(),
+                    "link accounting requires a clean exit; {} payloads from rank {src} \
+                     still out of order",
+                    self.ooo[src].len()
+                );
+                assert_eq!(
+                    self.data_received_from[src],
+                    delivered + dups,
+                    "rank {} conservation violated on link from {src}: received {} != \
+                     delivered {delivered} + deduplicated {dups}",
+                    self.ep.rank(),
+                    self.data_received_from[src],
+                );
+                self.ep
+                    .recorder()
+                    .record(EventKind::LinkDelivered, src as u32, delivered, dups);
+            }
+        }
+        self.ep.take_recorder()
     }
 
     /// Sends `payload` to `dest` reliably (first transmission).
@@ -136,15 +191,28 @@ impl<T: Clone + Send> ReliableEndpoint<T> {
         if let Some(out) = self.ready.pop_front() {
             return Some(out);
         }
+        let mut processed_any = false;
         while let Some(packet) = self.ep.try_recv() {
             self.idle_polls = 0;
+            processed_any = true;
             match packet {
-                Packet::Data { from, seq, payload } => self.on_data(from, seq, payload),
+                Packet::Data { from, seq, payload } => {
+                    self.data_received_from[from] += 1;
+                    self.on_data(from, seq, payload);
+                }
                 Packet::Ack { from, upto } => {
                     let still_pending = self.unacked[from].split_off(&upto);
                     self.unacked[from] = still_pending;
                 }
             }
+        }
+        if processed_any {
+            // One inbox-depth sample per burst of arrivals (not per idle
+            // poll, which would swamp the log with zeros).
+            let depth = self.ready.len() as u64;
+            self.ep
+                .recorder()
+                .record(EventKind::InboxDepth, kron_obs::events::NO_PEER, depth, 0);
         }
         let out = self.ready.pop_front();
         if out.is_none() {
@@ -167,9 +235,12 @@ impl<T: Clone + Send> ReliableEndpoint<T> {
                 // single counter — nothing stored. Re-ack so the sender
                 // stops retransmitting (its ack may have been delayed).
                 self.duplicates_discarded += 1;
+                self.duplicates_from[from] += 1;
+                self.ep.recorder().record(EventKind::DedupDiscard, from as u32, seq, 0);
                 self.send_ack(from);
             }
             Ordering::Equal => {
+                self.ep.recorder().record(EventKind::Deliver, from as u32, seq, 0);
                 self.ready.push_back((from, payload));
                 self.next_expected[from] += 1;
                 // Release any contiguous run waiting behind the gap.
@@ -182,6 +253,8 @@ impl<T: Clone + Send> ReliableEndpoint<T> {
             Ordering::Greater => {
                 if self.ooo[from].insert(seq, payload).is_some() {
                     self.duplicates_discarded += 1;
+                    self.duplicates_from[from] += 1;
+                    self.ep.recorder().record(EventKind::DedupDiscard, from as u32, seq, 1);
                 }
             }
         }
@@ -205,6 +278,7 @@ impl<T: Clone + Send> ReliableEndpoint<T> {
                 .collect();
             for (seq, payload) in pending {
                 self.retransmissions += 1;
+                self.ep.recorder().record(EventKind::Retransmit, dest as u32, seq, 0);
                 self.ep
                     .send(dest, data_key(seq), Packet::Data { from, seq, payload });
             }

@@ -1,5 +1,12 @@
 //! Per-rank counters and aggregate load/storage metrics.
+//!
+//! Internally the generator's hot loop counts into a
+//! [`kron_obs::metrics::LocalRegistry`] (index-handle adds, always on);
+//! [`RankStats::from_registry`] snapshots the registry back into this
+//! struct at run end, so the public field/serde shape is unchanged while
+//! the counting itself rides the shared observability layer.
 
+use kron_obs::metrics::LocalRegistry;
 use serde::{Deserialize, Serialize};
 
 /// Counters collected by one simulated rank.
@@ -26,6 +33,43 @@ pub struct RankStats {
     /// freshly allocated — each one is a `batch_size`-capacity `Vec` the
     /// exchange did **not** allocate.
     pub batch_buffers_reused: u64,
+}
+
+impl RankStats {
+    /// Registry name of [`RankStats::generated`].
+    pub const GENERATED: &'static str = "dist.rank.generated";
+    /// Registry name of [`RankStats::sent_remote`].
+    pub const SENT_REMOTE: &'static str = "dist.rank.sent_remote";
+    /// Registry name of [`RankStats::sent_local`].
+    pub const SENT_LOCAL: &'static str = "dist.rank.sent_local";
+    /// Registry name of [`RankStats::stored`].
+    pub const STORED: &'static str = "dist.rank.stored";
+    /// Registry name of [`RankStats::messages`].
+    pub const MESSAGES: &'static str = "dist.rank.messages";
+    /// Registry name of [`RankStats::factor_arcs`].
+    pub const FACTOR_ARCS: &'static str = "dist.rank.factor_arcs";
+    /// Registry name of [`RankStats::retransmissions`].
+    pub const RETRANSMISSIONS: &'static str = "dist.rank.retransmissions";
+    /// Registry name of [`RankStats::redeliveries_discarded`].
+    pub const REDELIVERIES_DISCARDED: &'static str = "dist.rank.redeliveries_discarded";
+    /// Registry name of [`RankStats::batch_buffers_reused`].
+    pub const BATCH_BUFFERS_REUSED: &'static str = "dist.rank.batch_buffers_reused";
+
+    /// Snapshots a rank's [`LocalRegistry`] into the public struct
+    /// (counters the rank never touched read as 0).
+    pub fn from_registry(reg: &LocalRegistry) -> RankStats {
+        RankStats {
+            generated: reg.get(Self::GENERATED),
+            sent_remote: reg.get(Self::SENT_REMOTE),
+            sent_local: reg.get(Self::SENT_LOCAL),
+            stored: reg.get(Self::STORED),
+            messages: reg.get(Self::MESSAGES),
+            factor_arcs: reg.get(Self::FACTOR_ARCS),
+            retransmissions: reg.get(Self::RETRANSMISSIONS),
+            redeliveries_discarded: reg.get(Self::REDELIVERIES_DISCARDED),
+            batch_buffers_reused: reg.get(Self::BATCH_BUFFERS_REUSED),
+        }
+    }
 }
 
 /// Aggregated statistics over all ranks of one generation run.

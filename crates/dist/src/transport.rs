@@ -51,6 +51,7 @@
 use std::collections::HashMap;
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
+use kron_obs::events::{EventKind, RankRecorder};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -174,6 +175,10 @@ pub struct Endpoint<T> {
     shuffle: SmallRng,
     /// Outgoing-fault counters.
     pub stats: TransportStats,
+    /// Per-rank event log (inert unless `kron_obs::events::set_enabled`
+    /// was on when the mesh was built). Observation-only: recording never
+    /// feeds back into fault decisions or message ordering.
+    recorder: RankRecorder,
 }
 
 impl<T: Clone + Send> Endpoint<T> {
@@ -216,6 +221,7 @@ impl<T: Clone + Send> Endpoint<T> {
                     faults.map_or(0, |f| f.seed) ^ mix64(rank as u64),
                 ),
                 stats: TransportStats::default(),
+                recorder: RankRecorder::new(rank),
             })
             .collect()
     }
@@ -228,6 +234,18 @@ impl<T: Clone + Send> Endpoint<T> {
     /// Number of ranks in the mesh.
     pub fn ranks(&self) -> usize {
         self.links.len()
+    }
+
+    /// This rank's event recorder (for protocol layers to add epoch and
+    /// accounting events of their own).
+    pub fn recorder(&mut self) -> &mut RankRecorder {
+        &mut self.recorder
+    }
+
+    /// Takes the recorder out (leaving an inert one) so a finished rank
+    /// can hand its log back to the run driver.
+    pub fn take_recorder(&mut self) -> RankRecorder {
+        std::mem::take(&mut self.recorder)
     }
 
     /// Lossy-class send of the logical message `key` to `dest`. Retries
@@ -246,6 +264,8 @@ impl<T: Clone + Send> Endpoint<T> {
 
     fn transmit(&mut self, dest: usize, key: u64, msg: T, lossy: bool) {
         self.stats.sends += 1;
+        let kind = if lossy { EventKind::Send } else { EventKind::SendControl };
+        self.recorder.record(kind, dest as u32, key, 0);
         let src = self.rank;
         let link = &mut self.links[dest];
         let Some(f) = self.faults else {
@@ -269,6 +289,7 @@ impl<T: Clone + Send> Endpoint<T> {
             && decide(f.seed, src, dest, key, attempt, SALT_DROP) < f.drop_p
         {
             self.stats.dropped += 1;
+            self.recorder.record(EventKind::DropInjected, dest as u32, key, attempt);
             return;
         }
         let mut copies = 1u64;
@@ -277,6 +298,7 @@ impl<T: Clone + Send> Endpoint<T> {
                 * f.dup_max as f64) as u64;
             let extra = extra.min(f.dup_max as u64);
             self.stats.duplicated += extra;
+            self.recorder.record(EventKind::DupInjected, dest as u32, key, extra);
             copies += extra;
         }
         for copy in 0..copies {
@@ -291,6 +313,12 @@ impl<T: Clone + Send> Endpoint<T> {
                     let _ = link.tx.send(oldest);
                 }
                 link.held.push(msg.clone());
+                self.recorder.record(
+                    EventKind::Delayed,
+                    dest as u32,
+                    key,
+                    link.held.len() as u64,
+                );
             } else {
                 let _ = link.tx.send(msg.clone());
             }

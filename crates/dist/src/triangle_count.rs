@@ -28,8 +28,10 @@
 //! duplicated marker.
 
 use std::collections::BTreeMap;
+use std::time::Instant;
 
 use kron_graph::VertexId;
+use kron_obs::events::{EventKind, Timeline, NO_PEER};
 
 use crate::generator::DistResult;
 use crate::owner::EdgeOwner;
@@ -70,6 +72,19 @@ pub fn distributed_triangle_count_with(
     owner: &dyn EdgeOwner,
     transport: &TransportConfig,
 ) -> u64 {
+    distributed_triangle_count_traced(result, owner, transport).0
+}
+
+/// [`distributed_triangle_count_with`] that also returns the merged
+/// per-rank event timeline (push/count round boundaries, dedup discards,
+/// transport fault events). Empty unless
+/// `kron_obs::events::set_enabled(true)` was on when the count started.
+pub fn distributed_triangle_count_traced(
+    result: &DistResult,
+    owner: &dyn EdgeOwner,
+    transport: &TransportConfig,
+) -> (u64, Timeline) {
+    let _span = kron_obs::span::enter("dist/triangle_count");
     let ranks = result.per_rank.len();
     assert_eq!(ranks, owner.ranks(), "owner map must match the run");
     assert!(
@@ -103,6 +118,7 @@ pub fn distributed_triangle_count_with(
     let endpoints: Vec<Endpoint<RowMessage>> = Endpoint::mesh(transport, ranks);
 
     let mut total = 0u64;
+    let mut recorders = Vec::with_capacity(ranks);
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(ranks);
         for ep in endpoints {
@@ -110,20 +126,25 @@ pub fn distributed_triangle_count_with(
             handles.push(scope.spawn(move || count_on_rank(ep, local_rows, owner)));
         }
         for handle in handles {
-            total += handle.join().expect("rank thread panicked");
+            let (count, recorder) = handle.join().expect("rank thread panicked");
+            total += count;
+            recorders.push(recorder);
         }
     });
-    total
+    (total, Timeline::from_recorders(recorders))
 }
 
 fn count_on_rank(
     mut ep: Endpoint<RowMessage>,
     local_rows: &[BTreeMap<VertexId, Vec<VertexId>>],
     owner: &dyn EdgeOwner,
-) -> u64 {
+) -> (u64, kron_obs::events::RankRecorder) {
     let rank = ep.rank();
     let ranks = ep.ranks();
     let mine = &local_rows[rank];
+    // The single exchange epoch, timed end to end per rank.
+    let epoch_timer = ep.recorder().is_active().then(Instant::now);
+    ep.recorder().record(EventKind::EpochStart, NO_PEER, 0, 0);
 
     // Push phase: send each owned row to the owners of smaller neighbors,
     // tagging it with a per-link sequence number.
@@ -173,7 +194,10 @@ fn count_on_rank(
             }
             RowMessage::Row { from, seq, v, row: row_v } => {
                 if !tally.record_item(from, seq) {
-                    continue; // redelivered row — counting it twice would inflate the total
+                    // Redelivered row — counting it twice would inflate
+                    // the total.
+                    ep.recorder().record(EventKind::DedupDiscard, from as u32, seq, 0);
+                    continue;
                 }
                 for &u in row_v.iter().filter(|&&u| u < v) {
                     if let Some(row_u) = mine.get(&u) {
@@ -187,7 +211,12 @@ fn count_on_rank(
         }
     }
     ep.flush();
-    count
+    if let Some(t) = epoch_timer {
+        let ns = t.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+        ep.recorder().record(EventKind::EpochEnd, NO_PEER, 0, ns);
+    }
+    let recorder = ep.take_recorder();
+    (count, recorder)
 }
 
 /// `|{ w > threshold : w ∈ a ∩ b }|` for sorted slices.

@@ -5,18 +5,22 @@
 //! analytics) over a fault-injecting transport and asserts the results
 //! are **bit-identical** to the perfect-transport run. Fault schedules
 //! are pure functions of the seed, so every failure is replayable: each
-//! assertion message carries the full cell coordinates.
+//! assertion message carries the full cell coordinates, and — with event
+//! recording switched on for the whole suite — a failing cell dumps its
+//! merged per-rank event timeline to a temp file whose path lands in the
+//! panic message.
 //!
 //! `cargo test` covers a small default seed set; `scripts/chaos.sh`
 //! widens it via `KRON_CHAOS_SEEDS=<count>` for the full sweep.
 
 use kron_core::KroneckerPair;
 use kron_dist::{
-    distributed_bfs_with, distributed_triangle_count_with, generate_distributed, DistConfig,
+    distributed_bfs_traced, distributed_triangle_count_traced, generate_distributed, DistConfig,
     DistResult, ExchangeMode, FaultConfig, TransportConfig, VertexBlockOwner,
 };
 use kron_graph::generators::{cycle, erdos_renyi};
 use kron_graph::VertexId;
+use kron_obs::events::{EventKind, Timeline, NO_PEER};
 
 const DEFAULT_SEED_COUNT: u64 = 4;
 const RANK_COUNTS: [usize; 4] = [1, 2, 4, 8];
@@ -68,8 +72,62 @@ fn canonical_stores(result: &DistResult) -> Vec<Vec<(VertexId, VertexId)>> {
         .collect()
 }
 
+/// Asserts `got == want`; on mismatch, dumps the cell's per-rank event
+/// timeline under the OS temp dir and panics with the dump path so the
+/// failing schedule can be read line by line.
+#[track_caller]
+fn assert_cell_eq<T: PartialEq + std::fmt::Debug>(
+    got: &T,
+    want: &T,
+    timeline: &Timeline,
+    cell: &str,
+    what: &str,
+) {
+    if got != want {
+        let dump = match timeline.dump_to_temp(cell) {
+            Ok(path) => path.display().to_string(),
+            Err(e) => format!("<timeline dump failed: {e}>"),
+        };
+        panic!(
+            "{what} — {cell}\n  got:  {got:?}\n  want: {want:?}\n  \
+             per-rank event timeline: {dump}"
+        );
+    }
+}
+
+/// Per-link conservation from the merged timeline: every payload the
+/// sender handed the reliable layer (`LinkSent.a` = first transmissions
+/// on the link) was delivered in order exactly once on the receiving
+/// side (`LinkDelivered.a`), duplicates discarded, never stored.
+fn check_link_conservation(timeline: &Timeline, cell: &str) {
+    for log in &timeline.per_rank {
+        for e in &log.events {
+            if e.kind != EventKind::LinkSent || e.peer == NO_PEER {
+                continue;
+            }
+            let delivered = timeline
+                .per_rank
+                .iter()
+                .find(|l| l.rank == e.peer)
+                .and_then(|l| {
+                    l.events
+                        .iter()
+                        .find(|d| d.kind == EventKind::LinkDelivered && d.peer == log.rank)
+                })
+                .map(|d| d.a)
+                .unwrap_or(0);
+            assert_eq!(
+                e.a, delivered,
+                "link {} -> {} sent {} payloads but receiver delivered {} — {cell}",
+                log.rank, e.peer, e.a, delivered
+            );
+        }
+    }
+}
+
 #[test]
 fn chaos_matrix_generation_is_bit_identical() {
+    kron_obs::events::set_enabled(true);
     let pair = test_pair();
     let mut chaos_retransmissions = 0u64;
     let mut chaos_redeliveries = 0u64;
@@ -83,6 +141,13 @@ fn chaos_matrix_generation_is_bit_identical() {
                 pair.nnz_c(),
                 "perfect baseline sanity"
             );
+            // A perfect transport never drops or duplicates, so the
+            // reliable layer must stay silent — counters and event log
+            // agree on zero.
+            assert_eq!(baseline.stats.total_retransmissions(), 0, "perfect transport retransmitted");
+            assert_eq!(baseline.timeline.count_of(EventKind::Retransmit), 0);
+            assert_eq!(baseline.timeline.count_of(EventKind::DropInjected), 0);
+            check_link_conservation(&baseline.timeline, "perfect baseline");
             for seed in seeds() {
                 for (mix, faults) in mixes(seed) {
                     let cell = format!(
@@ -92,20 +157,43 @@ fn chaos_matrix_generation_is_bit_identical() {
                         &pair,
                         &config(ranks, mode, TransportConfig::Faulty(faults)),
                     );
-                    assert_eq!(
-                        u128::from(run.stats.total_stored()),
-                        pair.nnz_c(),
-                        "stored arc count drifted under faults — {cell}"
+                    assert_cell_eq(
+                        &u128::from(run.stats.total_stored()),
+                        &pair.nnz_c(),
+                        &run.timeline,
+                        &cell,
+                        "stored arc count drifted under faults",
                     );
-                    assert_eq!(
-                        canonical_stores(&run),
-                        expected,
-                        "per-rank edge stores differ from perfect run — {cell}"
+                    assert_cell_eq(
+                        &canonical_stores(&run),
+                        &expected,
+                        &run.timeline,
+                        &cell,
+                        "per-rank edge stores differ from perfect run",
                     );
-                    assert_eq!(
-                        run.union(pair.n_c()).arcs(),
-                        baseline.union(pair.n_c()).arcs(),
-                        "edge union differs from perfect run — {cell}"
+                    assert_cell_eq(
+                        &run.union(pair.n_c()).arcs().to_vec(),
+                        &baseline.union(pair.n_c()).arcs().to_vec(),
+                        &run.timeline,
+                        &cell,
+                        "edge union differs from perfect run",
+                    );
+                    check_link_conservation(&run.timeline, &cell);
+                    // Counters snapshot the same facts the event log
+                    // records — the two views must agree.
+                    assert_cell_eq(
+                        &run.stats.total_retransmissions(),
+                        &run.timeline.count_of(EventKind::Retransmit),
+                        &run.timeline,
+                        &cell,
+                        "retransmission counter disagrees with event log",
+                    );
+                    assert_cell_eq(
+                        &run.stats.total_redeliveries_discarded(),
+                        &run.timeline.count_of(EventKind::DedupDiscard),
+                        &run.timeline,
+                        &cell,
+                        "dedup counter disagrees with event log",
                     );
                     chaos_retransmissions += run.stats.total_retransmissions();
                     chaos_redeliveries += run.stats.total_redeliveries_discarded();
@@ -122,13 +210,14 @@ fn chaos_matrix_generation_is_bit_identical() {
 
 #[test]
 fn chaos_matrix_bfs_distances_are_bit_identical() {
+    kron_obs::events::set_enabled(true);
     let pair = test_pair();
     for ranks in RANK_COUNTS {
         let result =
             generate_distributed(&pair, &config(ranks, ExchangeMode::Phased, TransportConfig::Perfect));
         let owner = VertexBlockOwner::new(pair.n_c(), ranks);
         for source in [0u64, pair.n_c() / 2] {
-            let baseline = distributed_bfs_with(
+            let (baseline, _) = distributed_bfs_traced(
                 &result,
                 &owner,
                 pair.n_c(),
@@ -137,18 +226,24 @@ fn chaos_matrix_bfs_distances_are_bit_identical() {
             );
             for seed in seeds() {
                 for (mix, faults) in mixes(seed) {
-                    let dist = distributed_bfs_with(
+                    let cell = format!(
+                        "repro: bfs seed={seed} mix={mix} ranks={ranks} source={source}"
+                    );
+                    let (dist, timeline) = distributed_bfs_traced(
                         &result,
                         &owner,
                         pair.n_c(),
                         source,
                         &TransportConfig::Faulty(faults),
                     );
-                    assert_eq!(
-                        dist, baseline,
-                        "BFS distances differ from perfect run — repro: seed={seed} \
-                         mix={mix} ranks={ranks} source={source}"
+                    assert_cell_eq(
+                        &dist,
+                        &baseline,
+                        &timeline,
+                        &cell,
+                        "BFS distances differ from perfect run",
                     );
+                    check_link_conservation(&timeline, &cell);
                 }
             }
         }
@@ -157,26 +252,31 @@ fn chaos_matrix_bfs_distances_are_bit_identical() {
 
 #[test]
 fn chaos_matrix_triangle_counts_are_bit_identical() {
+    kron_obs::events::set_enabled(true);
     let pair = test_pair();
     for ranks in RANK_COUNTS {
         let result =
             generate_distributed(&pair, &config(ranks, ExchangeMode::Phased, TransportConfig::Perfect));
         let owner = VertexBlockOwner::new(pair.n_c(), ranks);
-        let baseline =
-            distributed_triangle_count_with(&result, &owner, &TransportConfig::Perfect);
+        let (baseline, _) =
+            distributed_triangle_count_traced(&result, &owner, &TransportConfig::Perfect);
         assert!(baseline > 0, "test graph must contain triangles");
         for seed in seeds() {
             for (mix, faults) in mixes(seed) {
-                let count = distributed_triangle_count_with(
+                let cell = format!("repro: triangles seed={seed} mix={mix} ranks={ranks}");
+                let (count, timeline) = distributed_triangle_count_traced(
                     &result,
                     &owner,
                     &TransportConfig::Faulty(faults),
                 );
-                assert_eq!(
-                    count, baseline,
-                    "triangle count differs from perfect run — repro: seed={seed} \
-                     mix={mix} ranks={ranks}"
+                assert_cell_eq(
+                    &count,
+                    &baseline,
+                    &timeline,
+                    &cell,
+                    "triangle count differs from perfect run",
                 );
+                check_link_conservation(&timeline, &cell);
             }
         }
     }

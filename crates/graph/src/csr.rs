@@ -28,6 +28,8 @@ pub struct CsrGraph {
 impl CsrGraph {
     /// Builds a CSR graph from an edge list (sorting and deduplicating arcs).
     pub fn from_edge_list(list: &EdgeList) -> Self {
+        let _span = kron_obs::span::enter("graph/csr_from_edge_list");
+        kron_obs::counter!("graph.csr_input_arcs").add(list.nnz() as u64);
         let n = list.n() as usize;
         let mut counts = vec![0usize; n + 1];
         for &(u, _) in list.arcs() {
@@ -90,6 +92,8 @@ impl CsrGraph {
         if t <= 1 {
             return Self::from_edge_list(list);
         }
+        let _span = kron_obs::span::enter("graph/csr_from_edge_list_threads");
+        kron_obs::counter!("graph.csr_input_arcs").add(list.nnz() as u64);
         let n = list.n() as usize;
         let arcs = list.arcs();
         let m = arcs.len();
@@ -201,6 +205,7 @@ impl CsrGraph {
     ///
     /// [`from_edge_list`]: CsrGraph::from_edge_list
     pub fn from_sorted_parts(n: u64, offsets: Vec<usize>, targets: Vec<VertexId>) -> Self {
+        kron_obs::counter!("graph.csr_sorted_part_arcs").add(targets.len() as u64);
         debug_assert_eq!(offsets.len(), n as usize + 1, "offsets must have n + 1 entries");
         debug_assert_eq!(offsets.first(), Some(&0));
         debug_assert_eq!(offsets.last(), Some(&targets.len()));

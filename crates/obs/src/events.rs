@@ -1,0 +1,309 @@
+//! The distributed per-rank event log.
+//!
+//! Each simulated rank owns a [`RankRecorder`] and appends fixed-size
+//! [`Event`] records as its protocol runs: transport-level fault
+//! injections, reliable-layer retransmissions and dedups, epoch (BFS
+//! level / exchange round) boundaries with durations, queue-depth
+//! samples, and end-of-run per-link accounting. Recording is append-only
+//! into rank-private memory — no cross-thread synchronisation — so probes
+//! cannot perturb the schedule they observe beyond their (tiny, constant)
+//! cost, and a disabled recorder is a branch on a `bool`.
+//!
+//! At run end the per-rank logs merge into a [`Timeline`]: ranks sorted
+//! by id, each rank's events in its own recording order. The merge is
+//! deterministic given the logs (no interleaving heuristics — per-rank
+//! order *is* the ground truth; cross-rank ordering of an asynchronous
+//! run is not a well-defined total order and the timeline does not invent
+//! one). Timestamps are monotonic nanoseconds since the recorder was
+//! created; they are observational (wall-clock-dependent), while the
+//! event *sequence* replays exactly with a seeded fault schedule.
+//!
+//! Event recording is toggled separately from spans/metrics
+//! ([`set_enabled`]) because the chaos suite wants timelines while
+//! leaving the cheap global toggle alone.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Instant;
+
+use serde::Serialize;
+
+/// Event-log switch, independent of the span/metric toggle.
+static EVENTS_ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Turns event recording on or off. Recorders capture the setting at
+/// construction, so toggle before building the mesh.
+pub fn set_enabled(on: bool) {
+    EVENTS_ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Whether newly created recorders will record.
+pub fn enabled() -> bool {
+    EVENTS_ENABLED.load(Ordering::Relaxed)
+}
+
+/// What happened. The two `u64` payload fields (`a`, `b`) are
+/// kind-specific and documented per variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum EventKind {
+    /// Data-plane send attempt; `a` = message key.
+    Send,
+    /// Control-plane send attempt; `a` = message key.
+    SendControl,
+    /// The adversary dropped a lossy attempt; `a` = key, `b` = attempt.
+    DropInjected,
+    /// The adversary injected duplicates; `a` = key, `b` = extra copies.
+    DupInjected,
+    /// A copy was parked in the delay buffer; `a` = key, `b` = buffer
+    /// depth after parking.
+    Delayed,
+    /// The reliable layer retransmitted an unacked payload; `a` = seq.
+    Retransmit,
+    /// The reliable layer discarded a redelivered payload; `a` = seq.
+    DedupDiscard,
+    /// Reliable in-order delivery became ready; `a` = delivered seq.
+    Deliver,
+    /// An epoch (BFS level, exchange phase, count round) began; `a` =
+    /// epoch number.
+    EpochStart,
+    /// The epoch ended; `a` = epoch number, `b` = duration in ns.
+    EpochEnd,
+    /// Inbox/ready-queue depth sample; `a` = depth.
+    InboxDepth,
+    /// Out-of-phase stash depth sample; `a` = depth.
+    StashDepth,
+    /// End-of-run sender-side link accounting; `a` = payloads sent on
+    /// the link (first transmissions).
+    LinkSent,
+    /// End-of-run receiver-side link accounting; `a` = payloads
+    /// delivered in order, `b` = redeliveries discarded.
+    LinkDelivered,
+}
+
+/// One record: what, when (monotonic ns since recorder creation), and
+/// which peer (`u32::MAX` when not link-scoped).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct Event {
+    /// Position in this rank's log (0-based, dense).
+    pub seq: u64,
+    /// Monotonic nanoseconds since the recorder was created.
+    pub t_ns: u64,
+    /// What happened.
+    pub kind: EventKind,
+    /// Peer rank, or `u32::MAX` for rank-local events.
+    pub peer: u32,
+    /// Kind-specific payload.
+    pub a: u64,
+    /// Kind-specific payload.
+    pub b: u64,
+}
+
+/// Marker for events that are not about a specific peer.
+pub const NO_PEER: u32 = u32::MAX;
+
+/// One rank's append-only event log.
+#[derive(Debug)]
+pub struct RankRecorder {
+    rank: u32,
+    enabled: bool,
+    origin: Instant,
+    events: Vec<Event>,
+}
+
+impl Default for RankRecorder {
+    /// An inert recorder (never records); `mem::take` target.
+    fn default() -> Self {
+        RankRecorder { rank: NO_PEER, enabled: false, origin: Instant::now(), events: Vec::new() }
+    }
+}
+
+impl RankRecorder {
+    /// Recorder for `rank`; records iff [`enabled`] at construction.
+    pub fn new(rank: usize) -> RankRecorder {
+        RankRecorder {
+            rank: rank as u32,
+            enabled: enabled(),
+            origin: Instant::now(),
+            events: Vec::new(),
+        }
+    }
+
+    /// Whether this recorder is capturing events.
+    #[inline]
+    pub fn is_active(&self) -> bool {
+        self.enabled
+    }
+
+    /// Appends an event (no-op when inactive).
+    #[inline]
+    pub fn record(&mut self, kind: EventKind, peer: u32, a: u64, b: u64) {
+        if !self.enabled {
+            return;
+        }
+        let t_ns = self.origin.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+        let seq = self.events.len() as u64;
+        self.events.push(Event { seq, t_ns, kind, peer, a, b });
+    }
+
+    /// Events recorded so far.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+/// One rank's section of a merged [`Timeline`].
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct RankLog {
+    /// The rank.
+    pub rank: u32,
+    /// Its events, in recording order.
+    pub events: Vec<Event>,
+}
+
+/// Deterministic merge of per-rank logs: ranks ascending, events in
+/// per-rank recording order.
+#[derive(Debug, Clone, PartialEq, Default, Serialize)]
+pub struct Timeline {
+    /// Per-rank logs, sorted by rank.
+    pub per_rank: Vec<RankLog>,
+}
+
+impl Timeline {
+    /// Builds the timeline from finished recorders.
+    pub fn from_recorders(recorders: Vec<RankRecorder>) -> Timeline {
+        let mut per_rank: Vec<RankLog> = recorders
+            .into_iter()
+            .filter(|r| r.enabled)
+            .map(|r| RankLog { rank: r.rank, events: r.events })
+            .collect();
+        per_rank.sort_by_key(|log| log.rank);
+        Timeline { per_rank }
+    }
+
+    /// Total events across ranks.
+    pub fn event_count(&self) -> usize {
+        self.per_rank.iter().map(|log| log.events.len()).sum()
+    }
+
+    /// Events of `kind` across all ranks.
+    pub fn count_of(&self, kind: EventKind) -> u64 {
+        self.per_rank
+            .iter()
+            .flat_map(|log| &log.events)
+            .filter(|e| e.kind == kind)
+            .count() as u64
+    }
+
+    /// Iterates `(rank, event)` over every record.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &Event)> + '_ {
+        self.per_rank
+            .iter()
+            .flat_map(|log| log.events.iter().map(move |e| (log.rank, e)))
+    }
+
+    /// Human-readable per-rank timeline (one block per rank, one line per
+    /// event, µs timestamps).
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        if self.per_rank.is_empty() {
+            out.push_str("(empty timeline — event recording was disabled)\n");
+            return out;
+        }
+        for log in &self.per_rank {
+            let _ = writeln!(out, "== rank {} ({} events) ==", log.rank, log.events.len());
+            for e in &log.events {
+                let peer = if e.peer == NO_PEER {
+                    "    -".to_string()
+                } else {
+                    format!("->{:3}", e.peer)
+                };
+                let _ = writeln!(
+                    out,
+                    "  [{:>12.3}us] {peer} {:?} a={} b={}",
+                    e.t_ns as f64 / 1_000.0,
+                    e.kind,
+                    e.a,
+                    e.b
+                );
+            }
+        }
+        out
+    }
+
+    /// Writes the rendered timeline (plus a JSON copy) under the OS temp
+    /// directory as `kron_timeline_<tag>.txt` / `.json`; returns the text
+    /// path. `tag` is sanitised to `[A-Za-z0-9._-]`.
+    pub fn dump_to_temp(&self, tag: &str) -> std::io::Result<PathBuf> {
+        let tag: String = tag
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() || ".-_".contains(c) { c } else { '_' })
+            .collect();
+        let base = std::env::temp_dir();
+        let txt = base.join(format!("kron_timeline_{tag}.txt"));
+        std::fs::write(&txt, self.render())?;
+        let json = serde_json::to_string_pretty(self).expect("timeline serializes");
+        std::fs::write(base.join(format!("kron_timeline_{tag}.json")), json)?;
+        Ok(txt)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_recorder_is_inert() {
+        let _serial = crate::test_serial();
+        set_enabled(false);
+        let mut r = RankRecorder::new(0);
+        r.record(EventKind::Send, 1, 7, 0);
+        assert!(r.is_empty());
+        assert_eq!(Timeline::from_recorders(vec![r]).event_count(), 0);
+    }
+
+    #[test]
+    fn merge_sorts_ranks_and_keeps_order() {
+        let _serial = crate::test_serial();
+        set_enabled(true);
+        let mut r1 = RankRecorder::new(1);
+        let mut r0 = RankRecorder::new(0);
+        r1.record(EventKind::Send, 0, 1, 0);
+        r1.record(EventKind::DropInjected, 0, 1, 0);
+        r0.record(EventKind::EpochStart, NO_PEER, 0, 0);
+        set_enabled(false);
+        let t = Timeline::from_recorders(vec![r1, r0]);
+        assert_eq!(t.per_rank.len(), 2);
+        assert_eq!(t.per_rank[0].rank, 0);
+        assert_eq!(t.per_rank[1].rank, 1);
+        assert_eq!(t.per_rank[1].events[0].kind, EventKind::Send);
+        assert_eq!(t.per_rank[1].events[1].seq, 1);
+        assert_eq!(t.count_of(EventKind::DropInjected), 1);
+        let text = t.render();
+        assert!(text.contains("== rank 0"));
+        assert!(text.contains("DropInjected"));
+    }
+
+    #[test]
+    fn dump_writes_text_and_json() {
+        let _serial = crate::test_serial();
+        set_enabled(true);
+        let mut r = RankRecorder::new(3);
+        r.record(EventKind::Retransmit, 0, 42, 0);
+        set_enabled(false);
+        let t = Timeline::from_recorders(vec![r]);
+        let path = t.dump_to_temp("unit test/дump").expect("dump");
+        let text = std::fs::read_to_string(&path).expect("read back");
+        assert!(text.contains("Retransmit"));
+        assert!(path.file_name().unwrap().to_str().unwrap().starts_with("kron_timeline_"));
+        crate::json_lint::validate(
+            &std::fs::read_to_string(path.with_extension("json")).expect("json copy"),
+        )
+        .expect("timeline JSON parses");
+    }
+}

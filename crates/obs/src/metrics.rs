@@ -1,0 +1,500 @@
+//! Metrics registry: counters, max-gauges, and log2-bucket histograms.
+//!
+//! Two registries with one merge discipline:
+//!
+//! * The **global sharded registry** — handles ([`Counter`], [`Gauge`],
+//!   [`Histogram`]) are interned once per site (the [`counter!`],
+//!   [`gauge!`], [`histogram!`] macros cache them in a `OnceLock`);
+//!   updates go to a thread-local shard as plain indexed arithmetic, and
+//!   shards fold into the global accumulator when a thread exits or on
+//!   [`flush_thread`]. Every merge operation is commutative — sum for
+//!   counters and histogram buckets, max for gauges — and snapshots sort
+//!   by name, so the merged result is identical under any thread
+//!   schedule. Disabled probes pay one atomic load and a branch.
+//!
+//! * The always-on [`LocalRegistry`] — a single-owner registry for code
+//!   that must produce its statistics regardless of the global toggle
+//!   (the per-rank `RankStats` of `kron-dist` are snapshotted from one at
+//!   run end). Updates are one indexed add, cheap enough for per-arc
+//!   hot loops.
+//!
+//! Histogram buckets are powers of two: value `v` lands in bucket
+//! `ceil(log2(v + 1))`, i.e. bucket 0 holds exactly `v = 0`, bucket `i`
+//! holds `2^(i-1) <= v < 2^i`.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::sync::{Mutex, OnceLock};
+
+use serde::Serialize;
+
+/// Number of log2 histogram buckets (`v = 0` plus one per bit of `u64`).
+pub const HIST_BUCKETS: usize = 65;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    Counter,
+    Gauge,
+    Histogram,
+}
+
+/// One shard/accumulator slot.
+#[derive(Debug, Clone, PartialEq)]
+enum Slot {
+    Counter(u64),
+    Gauge(u64),
+    Histogram(Box<[u64; HIST_BUCKETS]>),
+}
+
+impl Slot {
+    fn new(kind: Kind) -> Slot {
+        match kind {
+            Kind::Counter => Slot::Counter(0),
+            Kind::Gauge => Slot::Gauge(0),
+            Kind::Histogram => Slot::Histogram(Box::new([0; HIST_BUCKETS])),
+        }
+    }
+
+    /// Commutative fold of `other` into `self`.
+    fn merge(&mut self, other: &Slot) {
+        match (self, other) {
+            (Slot::Counter(a), Slot::Counter(b)) => *a += *b,
+            (Slot::Gauge(a), Slot::Gauge(b)) => *a = (*a).max(*b),
+            (Slot::Histogram(a), Slot::Histogram(b)) => {
+                for (x, y) in a.iter_mut().zip(b.iter()) {
+                    *x += *y;
+                }
+            }
+            _ => unreachable!("slot kinds fixed at registration"),
+        }
+    }
+}
+
+struct Intern {
+    names: Vec<(&'static str, Kind)>,
+    by_name: BTreeMap<&'static str, usize>,
+}
+
+fn intern() -> &'static Mutex<Intern> {
+    static INTERN: OnceLock<Mutex<Intern>> = OnceLock::new();
+    INTERN.get_or_init(|| Mutex::new(Intern { names: Vec::new(), by_name: BTreeMap::new() }))
+}
+
+/// Global accumulator: folded shards of exited/flushed threads.
+fn accumulator() -> &'static Mutex<Vec<Slot>> {
+    static ACC: OnceLock<Mutex<Vec<Slot>>> = OnceLock::new();
+    ACC.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+fn register(name: &'static str, kind: Kind) -> usize {
+    let mut intern = intern().lock().expect("metric intern poisoned");
+    if let Some(&id) = intern.by_name.get(name) {
+        assert_eq!(
+            intern.names[id].1, kind,
+            "metric {name:?} registered twice with different kinds"
+        );
+        return id;
+    }
+    let id = intern.names.len();
+    intern.names.push((name, kind));
+    intern.by_name.insert(name, id);
+    id
+}
+
+struct Shard {
+    slots: Vec<Option<Slot>>,
+}
+
+impl Shard {
+    fn slot(&mut self, id: usize, kind: Kind) -> &mut Slot {
+        if self.slots.len() <= id {
+            self.slots.resize(id + 1, None);
+        }
+        self.slots[id].get_or_insert_with(|| Slot::new(kind))
+    }
+
+    fn fold_into_global(&mut self) {
+        if self.slots.iter().all(Option::is_none) {
+            return;
+        }
+        let mut acc = accumulator().lock().expect("metric accumulator poisoned");
+        for (id, slot) in self.slots.iter_mut().enumerate() {
+            let Some(slot) = slot.take() else { continue };
+            if acc.len() <= id {
+                let kinds = intern().lock().expect("metric intern poisoned");
+                while acc.len() <= id {
+                    let kind = kinds.names[acc.len()].1;
+                    acc.push(Slot::new(kind));
+                }
+            }
+            acc[id].merge(&slot);
+        }
+        self.slots.clear();
+    }
+}
+
+impl Drop for Shard {
+    fn drop(&mut self) {
+        // Thread exit: publish everything this thread recorded.
+        self.fold_into_global();
+    }
+}
+
+thread_local! {
+    static SHARD: RefCell<Shard> = const { RefCell::new(Shard { slots: Vec::new() }) };
+}
+
+/// Monotonically increasing sum. `Copy`; intern once per site via
+/// [`counter!`].
+#[derive(Debug, Clone, Copy)]
+pub struct Counter(usize);
+
+impl Counter {
+    /// Interns (or looks up) the counter named `name`.
+    pub fn register(name: &'static str) -> Counter {
+        Counter(register(name, Kind::Counter))
+    }
+
+    /// Adds `v`; no-op (one atomic load) when observability is disabled.
+    #[inline]
+    pub fn add(self, v: u64) {
+        if !crate::enabled() {
+            return;
+        }
+        SHARD.with(|s| {
+            if let Slot::Counter(c) = s.borrow_mut().slot(self.0, Kind::Counter) {
+                *c += v;
+            }
+        });
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(self) {
+        self.add(1);
+    }
+}
+
+/// High-watermark gauge: merge takes the max across observations and
+/// threads (use for depths and peaks; max is the commutative reading).
+#[derive(Debug, Clone, Copy)]
+pub struct Gauge(usize);
+
+impl Gauge {
+    /// Interns (or looks up) the gauge named `name`.
+    pub fn register(name: &'static str) -> Gauge {
+        Gauge(register(name, Kind::Gauge))
+    }
+
+    /// Raises the watermark to at least `v`.
+    #[inline]
+    pub fn observe(self, v: u64) {
+        if !crate::enabled() {
+            return;
+        }
+        SHARD.with(|s| {
+            if let Slot::Gauge(g) = s.borrow_mut().slot(self.0, Kind::Gauge) {
+                *g = (*g).max(v);
+            }
+        });
+    }
+}
+
+/// Log2-bucket histogram of `u64` samples.
+#[derive(Debug, Clone, Copy)]
+pub struct Histogram(usize);
+
+/// Bucket index of sample `v`: 0 for 0, else one past the highest set bit.
+#[inline]
+pub fn bucket_of(v: u64) -> usize {
+    (64 - v.leading_zeros()) as usize
+}
+
+impl Histogram {
+    /// Interns (or looks up) the histogram named `name`.
+    pub fn register(name: &'static str) -> Histogram {
+        Histogram(register(name, Kind::Histogram))
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn observe(self, v: u64) {
+        if !crate::enabled() {
+            return;
+        }
+        SHARD.with(|s| {
+            if let Slot::Histogram(h) = s.borrow_mut().slot(self.0, Kind::Histogram) {
+                h[bucket_of(v)] += 1;
+            }
+        });
+    }
+}
+
+/// Interns a [`Counter`] once per call site and returns the `Copy` handle.
+#[macro_export]
+macro_rules! counter {
+    ($name:literal) => {{
+        static HANDLE: ::std::sync::OnceLock<$crate::metrics::Counter> =
+            ::std::sync::OnceLock::new();
+        *HANDLE.get_or_init(|| $crate::metrics::Counter::register($name))
+    }};
+}
+
+/// Interns a [`Gauge`] once per call site and returns the `Copy` handle.
+#[macro_export]
+macro_rules! gauge {
+    ($name:literal) => {{
+        static HANDLE: ::std::sync::OnceLock<$crate::metrics::Gauge> =
+            ::std::sync::OnceLock::new();
+        *HANDLE.get_or_init(|| $crate::metrics::Gauge::register($name))
+    }};
+}
+
+/// Interns a [`Histogram`] once per call site and returns the `Copy` handle.
+#[macro_export]
+macro_rules! histogram {
+    ($name:literal) => {{
+        static HANDLE: ::std::sync::OnceLock<$crate::metrics::Histogram> =
+            ::std::sync::OnceLock::new();
+        *HANDLE.get_or_init(|| $crate::metrics::Histogram::register($name))
+    }};
+}
+
+/// Folds the calling thread's shard into the global accumulator now
+/// (normally this happens when the thread exits).
+pub fn flush_thread() {
+    SHARD.with(|s| s.borrow_mut().fold_into_global());
+}
+
+/// One named counter or gauge value in a snapshot.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct NamedValue {
+    /// Metric name.
+    pub name: String,
+    /// Merged value (sum for counters, max for gauges).
+    pub value: u64,
+}
+
+/// One named histogram in a snapshot; only non-empty buckets are listed.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct NamedHistogram {
+    /// Metric name.
+    pub name: String,
+    /// Total samples.
+    pub count: u64,
+    /// `(bucket, count)` pairs; bucket `i` covers `2^(i-1) <= v < 2^i`
+    /// (bucket 0 is exactly `v = 0`).
+    pub buckets: Vec<(u32, u64)>,
+}
+
+/// Deterministic, name-sorted view of the merged global registry.
+#[derive(Debug, Clone, PartialEq, Default, Serialize)]
+pub struct MetricsSnapshot {
+    /// Counters, sorted by name.
+    pub counters: Vec<NamedValue>,
+    /// Max-gauges, sorted by name.
+    pub gauges: Vec<NamedValue>,
+    /// Histograms, sorted by name.
+    pub histograms: Vec<NamedHistogram>,
+}
+
+impl MetricsSnapshot {
+    /// Looks up a counter by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.iter().find(|c| c.name == name).map(|c| c.value)
+    }
+
+    /// Looks up a gauge by name.
+    pub fn gauge(&self, name: &str) -> Option<u64> {
+        self.gauges.iter().find(|g| g.name == name).map(|g| g.value)
+    }
+}
+
+/// Flushes the calling thread's shard and snapshots the merged registry,
+/// sorted by name. Worker threads that already exited are fully merged;
+/// call from the thread that owns the run (after joins) for a complete
+/// view.
+pub fn snapshot() -> MetricsSnapshot {
+    flush_thread();
+    let intern = intern().lock().expect("metric intern poisoned");
+    let acc = accumulator().lock().expect("metric accumulator poisoned");
+    let mut ordered: Vec<(usize, &'static str, Kind)> = intern
+        .names
+        .iter()
+        .enumerate()
+        .map(|(id, &(name, kind))| (id, name, kind))
+        .collect();
+    ordered.sort_by_key(|&(_, name, _)| name);
+    let mut snap = MetricsSnapshot::default();
+    for (id, name, kind) in ordered {
+        let Some(slot) = acc.get(id) else { continue };
+        match (kind, slot) {
+            (Kind::Counter, Slot::Counter(v)) => {
+                snap.counters.push(NamedValue { name: name.to_string(), value: *v });
+            }
+            (Kind::Gauge, Slot::Gauge(v)) => {
+                snap.gauges.push(NamedValue { name: name.to_string(), value: *v });
+            }
+            (Kind::Histogram, Slot::Histogram(h)) => {
+                let buckets: Vec<(u32, u64)> = h
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &c)| c > 0)
+                    .map(|(b, &c)| (b as u32, c))
+                    .collect();
+                let count = buckets.iter().map(|&(_, c)| c).sum();
+                snap.histograms.push(NamedHistogram {
+                    name: name.to_string(),
+                    count,
+                    buckets,
+                });
+            }
+            _ => unreachable!("slot kinds fixed at registration"),
+        }
+    }
+    snap
+}
+
+/// Clears the global accumulator and the calling thread's shard. Handles
+/// stay valid (interning survives; only values reset).
+pub fn reset() {
+    SHARD.with(|s| s.borrow_mut().slots.clear());
+    accumulator().lock().expect("metric accumulator poisoned").clear();
+}
+
+/// Single-owner registry for always-on statistics (no global toggle, no
+/// sharing): handles are vector indices, updates one indexed add — cheap
+/// enough for per-arc hot loops. `kron-dist` keeps one per rank and
+/// snapshots `RankStats` from it at run end.
+#[derive(Debug, Clone, Default)]
+pub struct LocalRegistry {
+    names: Vec<&'static str>,
+    values: Vec<u64>,
+}
+
+/// Handle into a [`LocalRegistry`].
+#[derive(Debug, Clone, Copy)]
+pub struct LocalCounter(usize);
+
+impl LocalRegistry {
+    /// Empty registry.
+    pub fn new() -> LocalRegistry {
+        LocalRegistry::default()
+    }
+
+    /// Registers (or finds) the counter named `name`.
+    pub fn counter(&mut self, name: &'static str) -> LocalCounter {
+        if let Some(id) = self.names.iter().position(|&n| n == name) {
+            return LocalCounter(id);
+        }
+        self.names.push(name);
+        self.values.push(0);
+        LocalCounter(self.names.len() - 1)
+    }
+
+    /// Adds `v` to the counter.
+    #[inline]
+    pub fn add(&mut self, c: LocalCounter, v: u64) {
+        self.values[c.0] += v;
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&mut self, c: LocalCounter) {
+        self.values[c.0] += 1;
+    }
+
+    /// Overwrites the counter (for values computed elsewhere and adopted
+    /// at run end, e.g. the reliable layer's retransmission total).
+    pub fn set(&mut self, c: LocalCounter, v: u64) {
+        self.values[c.0] = v;
+    }
+
+    /// Current value of the counter named `name` (0 if never registered).
+    pub fn get(&self, name: &str) -> u64 {
+        self.names
+            .iter()
+            .position(|&n| n == name)
+            .map_or(0, |id| self.values[id])
+    }
+
+    /// Name-sorted `(name, value)` view.
+    pub fn snapshot(&self) -> Vec<(&'static str, u64)> {
+        let mut out: Vec<(&'static str, u64)> =
+            self.names.iter().copied().zip(self.values.iter().copied()).collect();
+        out.sort_by_key(|&(name, _)| name);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_edges() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), 64);
+    }
+
+    #[test]
+    fn local_registry_accumulates_and_sorts() {
+        let mut reg = LocalRegistry::new();
+        let b = reg.counter("b.metric");
+        let a = reg.counter("a.metric");
+        let b2 = reg.counter("b.metric");
+        reg.add(b, 2);
+        reg.inc(a);
+        reg.add(b2, 3);
+        assert_eq!(reg.get("b.metric"), 5);
+        assert_eq!(reg.get("a.metric"), 1);
+        assert_eq!(reg.get("never"), 0);
+        assert_eq!(reg.snapshot(), vec![("a.metric", 1), ("b.metric", 5)]);
+    }
+
+    /// Global-registry behaviour shares the process-wide toggle and
+    /// accumulator with other tests, so everything runs in one body with
+    /// unique metric names.
+    #[test]
+    fn global_registry_merges_across_threads() {
+        let _serial = crate::test_serial();
+        crate::set_enabled(true);
+        let c = Counter::register("test.global.counter");
+        let g = Gauge::register("test.global.gauge");
+        let h = Histogram::register("test.global.hist");
+        let worker = std::thread::spawn(move || {
+            c.add(10);
+            g.observe(7);
+            h.observe(4);
+            h.observe(0);
+        });
+        worker.join().expect("worker");
+        c.add(5);
+        g.observe(3);
+        h.observe(5);
+        let snap = snapshot();
+        crate::set_enabled(false);
+        assert_eq!(snap.counter("test.global.counter"), Some(15));
+        assert_eq!(snap.gauge("test.global.gauge"), Some(7));
+        let hist = snap
+            .histograms
+            .iter()
+            .find(|h| h.name == "test.global.hist")
+            .expect("hist present");
+        assert_eq!(hist.count, 3);
+        assert!(hist.buckets.contains(&(0, 1)), "v=0 bucket");
+        assert_eq!(
+            hist.buckets.iter().find(|&&(b, _)| b == 3).map(|&(_, c)| c),
+            Some(2),
+            "4 and 5 share bucket 3"
+        );
+
+        // Disabled adds are dropped.
+        c.add(100);
+        assert_eq!(snapshot().counter("test.global.counter"), Some(15));
+    }
+}

@@ -1,0 +1,136 @@
+//! Hierarchical span timers.
+//!
+//! A span is an RAII guard over a named phase. Spans opened while another
+//! span is live on the same thread nest under it, and the recorded key is
+//! the `/`-joined path of the stack (`generate/csr_build`), so one table
+//! holds the whole phase hierarchy. The monotonic clock is
+//! `std::time::Instant`; nothing here reads wall-clock time.
+//!
+//! Recording happens on guard drop: the elapsed time folds into the
+//! global [`SpanStat`] table under the path key. The disabled path of
+//! [`enter`] is one atomic load and returns an inert guard.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+use std::time::Instant;
+
+use serde::Serialize;
+
+/// Aggregated timing of one span path.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct SpanStat {
+    /// `/`-joined phase path, e.g. `bench/generate/csr`.
+    pub path: String,
+    /// Completed activations.
+    pub count: u64,
+    /// Total time across activations, nanoseconds.
+    pub total_ns: u64,
+    /// Shortest activation, nanoseconds.
+    pub min_ns: u64,
+    /// Longest activation, nanoseconds.
+    pub max_ns: u64,
+}
+
+/// Global table: path → folded stat. Spans are phase-granular (a handful
+/// per run), so one mutex is not a contention point.
+static TABLE: Mutex<BTreeMap<String, (u64, u64, u64, u64)>> = Mutex::new(BTreeMap::new());
+
+thread_local! {
+    /// The calling thread's open-span stack (name, start).
+    static STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+}
+
+/// RAII guard of one span activation; records on drop.
+pub struct SpanGuard {
+    start: Option<Instant>,
+}
+
+/// Opens a span named `name` nested under the thread's current span, if
+/// any. When observability is disabled this is a single atomic load and
+/// the returned guard is inert.
+#[inline]
+pub fn enter(name: &'static str) -> SpanGuard {
+    if !crate::enabled() {
+        return SpanGuard { start: None };
+    }
+    STACK.with(|stack| stack.borrow_mut().push(name));
+    SpanGuard { start: Some(Instant::now()) }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(start) = self.start else { return };
+        let elapsed_ns = start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+        let path = STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            let path = stack.join("/");
+            stack.pop();
+            path
+        });
+        let mut table = TABLE.lock().expect("span table poisoned");
+        let entry = table.entry(path).or_insert((0, 0, u64::MAX, 0));
+        entry.0 += 1;
+        entry.1 += elapsed_ns;
+        entry.2 = entry.2.min(elapsed_ns);
+        entry.3 = entry.3.max(elapsed_ns);
+    }
+}
+
+/// All recorded spans, sorted by path (the BTreeMap order) — the
+/// deterministic snapshot the report embeds.
+pub fn snapshot() -> Vec<SpanStat> {
+    let table = TABLE.lock().expect("span table poisoned");
+    table
+        .iter()
+        .map(|(path, &(count, total_ns, min_ns, max_ns))| SpanStat {
+            path: path.clone(),
+            count,
+            total_ns,
+            min_ns,
+            max_ns,
+        })
+        .collect()
+}
+
+/// Clears the global span table.
+pub fn reset() {
+    TABLE.lock().expect("span table poisoned").clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The span tests share the global toggle and table, so they run as
+    /// one serial body.
+    #[test]
+    fn spans_nest_and_record() {
+        let _serial = crate::test_serial();
+        crate::set_enabled(true);
+        reset();
+        {
+            let _outer = enter("outer");
+            {
+                let _inner = enter("inner");
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+            let _again = enter("inner");
+        }
+        let snap = snapshot();
+        let paths: Vec<&str> = snap.iter().map(|s| s.path.as_str()).collect();
+        assert_eq!(paths, ["outer", "outer/inner"]);
+        let inner = &snap[1];
+        assert_eq!(inner.count, 2);
+        assert!(inner.total_ns >= 1_000_000, "sleep must be visible");
+        assert!(inner.min_ns <= inner.max_ns);
+
+        // Disabled: no recording, guards inert.
+        crate::set_enabled(false);
+        reset();
+        {
+            let _g = enter("ghost");
+        }
+        assert!(snapshot().is_empty());
+    }
+}

@@ -1,16 +1,22 @@
 #!/usr/bin/env bash
-# Structure-exploiting kernel benchmark (EXPERIMENTS.md, DESIGN.md §8).
+# Instrumented kernel benchmark (EXPERIMENTS.md, DESIGN.md §8–9).
 #
-# Builds the release bench binary and runs the extended smoke benchmark:
+# Builds the release bench binary (counting allocator on by default via
+# the `measure-alloc` feature) and runs the extended smoke benchmark:
 # generation + CSR build via direct Kronecker synthesis AND via the
 # legacy arc-materialization path, the compact-forward direct triangle
 # kernel, and the class-collapsed closeness batch. Each phase reports
-# wall time at 1 thread and at machine parallelism, a speedup, and an
-# analytic peak-intermediate-allocation estimate; outputs are asserted
-# identical across paths and thread counts before timings are trusted.
+# wall time at 1 thread stripped AND instrumented (so the observability
+# overhead is itself measured), wall time at machine parallelism, the
+# analytic peak-intermediate-allocation estimate side by side with the
+# measured allocation profile, and the embedded span/metrics snapshot;
+# outputs are asserted identical across paths, thread counts, and
+# obs-on/obs-off before timings are trusted.
 #
-# Writes BENCH_PR4.json and, when BENCH_PR1.json is present, prints the
-# per-phase speedup versus that baseline and embeds it in the report.
+# Writes BENCH_PR5.json (stamped with schema_version and lint-checked on
+# emission) and, when BENCH_PR4.json is present and readable, prints the
+# per-phase speedup versus that baseline and embeds it in the report. A
+# missing or unrecognizable baseline prints a note and is skipped.
 #
 # Usage: scripts/bench.sh [--scale S] [--out PATH] [--baseline PATH]
 
@@ -19,5 +25,5 @@ cd "$(dirname "$0")/.."
 
 cargo build --release --offline -p kron-bench
 
-echo "== bench_smoke: synthesis vs arc path, compact-forward triangles, collapsed closeness =="
+echo "== bench_smoke: stripped vs instrumented, measured vs analytic allocation =="
 ./target/release/bench_smoke "$@"

@@ -1,0 +1,270 @@
+//! Observability must never change an answer.
+//!
+//! The kron-obs contract (DESIGN.md §9) is that probes — spans, metric
+//! counters, the distributed event log, and the counting allocator — are
+//! strictly *observational*: enabling any of them may cost time but must
+//! leave every computed result bit-identical. This suite pins that down
+//! for each instrumented layer (CSR synthesis, triangle vectors,
+//! closeness batches, distributed generation / BFS / triangle count
+//! under both perfect and chaotic transports), and then checks the
+//! *conservation invariants* the metrics themselves must satisfy: a
+//! perfect transport never retransmits, and under faults every payload a
+//! sender handed the reliable layer is delivered in order exactly once,
+//! with duplicates discarded rather than stored.
+//!
+//! The obs toggles are process globals, so every test here serialises on
+//! one mutex and restores the disabled state before releasing it.
+
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+use kron_analytics::triangles::vertex_triangles_threads;
+use kron_core::closeness::closeness_batch_threads;
+use kron_core::distance::DistanceOracle;
+use kron_core::generate::materialize_threads;
+use kron_core::KroneckerPair;
+use kron_dist::{
+    distributed_bfs_with, distributed_triangle_count_with, generate_distributed, DistConfig,
+    ExchangeMode, FaultConfig, TransportConfig, VertexBlockOwner,
+};
+use kron_graph::generators::{cycle, erdos_renyi};
+use kron_graph::VertexId;
+use kron_obs::events::EventKind;
+
+/// Serialises tests that flip the process-global obs toggles.
+fn obs_lock() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Restores the all-off default when a test exits (also on panic, so a
+/// failure doesn't leak enabled probes into the next test).
+struct ObsOffOnDrop;
+impl Drop for ObsOffOnDrop {
+    fn drop(&mut self) {
+        kron_obs::set_enabled(false);
+        kron_obs::events::set_enabled(false);
+    }
+}
+
+fn test_pair() -> KroneckerPair {
+    KroneckerPair::with_full_self_loops(erdos_renyi(6, 0.5, 77), cycle(5)).unwrap()
+}
+
+fn dist_config(ranks: usize, transport: TransportConfig) -> DistConfig {
+    let mut cfg = DistConfig::new(ranks);
+    cfg.exchange = ExchangeMode::Interleaved;
+    cfg.transport = transport;
+    cfg
+}
+
+/// Everything the instrumented layers compute, as bit-comparable data.
+/// Closeness values are captured as raw `f64` bits so "close enough"
+/// can never pass for "identical".
+#[derive(PartialEq, Debug)]
+struct Fingerprint {
+    csr_offsets: Vec<usize>,
+    csr_targets: Vec<VertexId>,
+    triangle_vector: Vec<u64>,
+    closeness_bits: Vec<u64>,
+    bfs_distances: Vec<u32>,
+    dist_stores: Vec<Vec<(VertexId, VertexId)>>,
+    dist_triangles: u64,
+}
+
+fn fingerprint(pair: &KroneckerPair) -> Fingerprint {
+    let csr = materialize_threads(pair, Some(1));
+    let triangles = vertex_triangles_threads(&csr, Some(1));
+    let oracle = DistanceOracle::new(pair).expect("oracle");
+    let vertices: Vec<VertexId> = (0..pair.n_c()).collect();
+    let closeness = closeness_batch_threads(&oracle, &vertices, Some(1)).expect("in range");
+
+    let ranks = 4;
+    let faults = FaultConfig::chaos(0xDE7E_12B1);
+    let result = generate_distributed(pair, &dist_config(ranks, TransportConfig::Faulty(faults)));
+    let owner = VertexBlockOwner::new(pair.n_c(), ranks);
+    let bfs = distributed_bfs_with(
+        &result,
+        &owner,
+        pair.n_c(),
+        0,
+        &TransportConfig::Faulty(FaultConfig::chaos(0xDE7E_12B2)),
+    );
+    let tri = distributed_triangle_count_with(
+        &result,
+        &owner,
+        &TransportConfig::Faulty(FaultConfig::chaos(0xDE7E_12B3)),
+    );
+    Fingerprint {
+        csr_offsets: csr.offsets().to_vec(),
+        csr_targets: csr.targets().to_vec(),
+        triangle_vector: triangles.per_vertex,
+        closeness_bits: closeness.iter().map(|c| c.to_bits()).collect(),
+        bfs_distances: bfs,
+        dist_stores: result
+            .per_rank
+            .iter()
+            .map(|edges| {
+                let mut arcs = edges.arcs().to_vec();
+                arcs.sort_unstable();
+                arcs
+            })
+            .collect(),
+        dist_triangles: tri,
+    }
+}
+
+#[test]
+fn results_are_bit_identical_with_obs_on_and_off() {
+    let _serial = obs_lock();
+    let _restore = ObsOffOnDrop;
+    let pair = test_pair();
+
+    kron_obs::set_enabled(false);
+    kron_obs::events::set_enabled(false);
+    let off = fingerprint(&pair);
+
+    kron_obs::set_enabled(true);
+    kron_obs::events::set_enabled(true);
+    let on = fingerprint(&pair);
+
+    // Spans only, events only — the toggles are independent.
+    kron_obs::events::set_enabled(false);
+    let spans_only = fingerprint(&pair);
+    kron_obs::set_enabled(false);
+    kron_obs::events::set_enabled(true);
+    let events_only = fingerprint(&pair);
+
+    assert_eq!(off, on, "enabling spans+metrics+events changed a result");
+    assert_eq!(off, spans_only, "enabling spans+metrics changed a result");
+    assert_eq!(off, events_only, "enabling the event log changed a result");
+}
+
+#[test]
+fn perfect_transport_never_retransmits() {
+    let _serial = obs_lock();
+    let _restore = ObsOffOnDrop;
+    kron_obs::events::set_enabled(true);
+    let pair = test_pair();
+    for ranks in [2, 4] {
+        let run = generate_distributed(&pair, &dist_config(ranks, TransportConfig::Perfect));
+        assert_eq!(run.stats.total_retransmissions(), 0, "ranks={ranks}");
+        assert_eq!(run.stats.total_redeliveries_discarded(), 0, "ranks={ranks}");
+        assert_eq!(run.timeline.count_of(EventKind::Retransmit), 0, "ranks={ranks}");
+        assert_eq!(run.timeline.count_of(EventKind::DropInjected), 0, "ranks={ranks}");
+        assert_eq!(run.timeline.count_of(EventKind::DupInjected), 0, "ranks={ranks}");
+        assert_eq!(run.timeline.count_of(EventKind::DedupDiscard), 0, "ranks={ranks}");
+    }
+}
+
+#[test]
+fn faulty_links_conserve_payloads() {
+    let _serial = obs_lock();
+    let _restore = ObsOffOnDrop;
+    kron_obs::events::set_enabled(true);
+    let pair = test_pair();
+    let run = generate_distributed(
+        &pair,
+        &dist_config(4, TransportConfig::Faulty(FaultConfig::chaos(0xBA1A_4CE5))),
+    );
+    let timeline = &run.timeline;
+    assert_eq!(timeline.per_rank.len(), 4, "every rank contributes a log");
+
+    // Sender-side LinkSent.a (payloads handed to the link) must equal the
+    // matching receiver's LinkDelivered.a (payloads delivered in order) —
+    // drops were retransmitted until acked, duplicates were discarded.
+    let mut links_checked = 0;
+    for log in &timeline.per_rank {
+        for e in &log.events {
+            if e.kind != EventKind::LinkSent {
+                continue;
+            }
+            let delivered = timeline
+                .per_rank
+                .iter()
+                .find(|l| l.rank == e.peer)
+                .and_then(|l| {
+                    l.events
+                        .iter()
+                        .find(|d| d.kind == EventKind::LinkDelivered && d.peer == log.rank)
+                })
+                .expect("receiver recorded link accounting");
+            assert_eq!(
+                e.a, delivered.a,
+                "link {} -> {}: sent {} != delivered {}",
+                log.rank, e.peer, e.a, delivered.a
+            );
+            links_checked += 1;
+        }
+    }
+    assert!(links_checked >= 4 * 3, "all ordered rank pairs accounted");
+
+    // The dedup/retransmit counters and the event log are two views of
+    // the same run and must agree; the chaos mix must actually have bit.
+    let retrans = timeline.count_of(EventKind::Retransmit);
+    let dedups = timeline.count_of(EventKind::DedupDiscard);
+    assert_eq!(run.stats.total_retransmissions(), retrans);
+    assert_eq!(run.stats.total_redeliveries_discarded(), dedups);
+    assert!(retrans > 0, "chaos schedule never dropped a payload");
+    assert!(dedups > 0, "chaos schedule never duplicated a payload");
+    // And per receiver, LinkDelivered.b (duplicates on that link) sums to
+    // the global dedup count.
+    let link_dups: u64 = timeline
+        .iter()
+        .filter(|(_, e)| e.kind == EventKind::LinkDelivered)
+        .map(|(_, e)| e.b)
+        .sum();
+    assert_eq!(link_dups, dedups, "per-link duplicate accounting drifted");
+}
+
+#[test]
+fn metrics_counters_match_ground_truth() {
+    let _serial = obs_lock();
+    let _restore = ObsOffOnDrop;
+    kron_obs::reset();
+    kron_obs::set_enabled(true);
+    let pair = test_pair();
+    let csr = materialize_threads(&pair, Some(1));
+    let _ = vertex_triangles_threads(&csr, Some(1));
+    kron_obs::set_enabled(false);
+
+    let report = kron_obs::report::ObsReport::capture();
+    let counter = |name: &str| {
+        report
+            .metrics
+            .counters
+            .iter()
+            .find(|c| c.name == name)
+            .map(|c| c.value)
+            .unwrap_or_else(|| panic!("counter {name} missing from snapshot"))
+    };
+    assert_eq!(u128::from(counter("core.synthesized_arcs")), pair.nnz_c());
+    assert!(
+        report.spans.iter().any(|s| s.path.ends_with("synthesize_csr")),
+        "synthesis span missing: {:?}",
+        report.spans.iter().map(|s| &s.path).collect::<Vec<_>>()
+    );
+    assert!(
+        report.spans.iter().any(|s| s.path.ends_with("vertex_triangles")),
+        "triangle span missing"
+    );
+}
+
+#[test]
+fn disabled_obs_records_nothing() {
+    let _serial = obs_lock();
+    let _restore = ObsOffOnDrop;
+    kron_obs::reset();
+    kron_obs::set_enabled(false);
+    kron_obs::events::set_enabled(false);
+    let pair = test_pair();
+    let csr = materialize_threads(&pair, Some(1));
+    let _ = vertex_triangles_threads(&csr, Some(1));
+    let run = generate_distributed(&pair, &dist_config(2, TransportConfig::Perfect));
+    assert!(run.timeline.per_rank.is_empty(), "disabled run produced a timeline");
+
+    let report = kron_obs::report::ObsReport::capture();
+    assert!(report.spans.is_empty(), "disabled run recorded spans");
+    assert!(report.metrics.counters.is_empty(), "disabled run recorded counters");
+}

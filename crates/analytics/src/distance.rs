@@ -10,7 +10,7 @@
 
 use std::collections::VecDeque;
 
-use kron_graph::{CsrGraph, VertexId};
+use kron_graph::{Arena, CsrGraph, VertexId};
 use serde::{Deserialize, Serialize};
 
 /// Sentinel for unreachable pairs.
@@ -55,6 +55,91 @@ pub fn bfs_hops(g: &CsrGraph, source: VertexId) -> Vec<u32> {
         UNREACHABLE
     };
     hops
+}
+
+/// Batched multi-source BFS distances over `u64` frontier bitsets: row
+/// `i` equals `bfs_distances(g, sources[i])` bit-for-bit, but up to 64
+/// sources advance per sweep.
+///
+/// The state is one word per vertex and per 64-source group — bit `s` of
+/// `frontier[v]` means "source `s` reached `v` this level". Each level
+/// pushes every active vertex's word into its out-neighbors
+/// (`next[w] |= frontier[v]`), masks off vertices each source has already
+/// visited, and stamps the level into the distance rows of the newly set
+/// bits. Levels are synchronous, so the distances are the canonical BFS
+/// distances regardless of push order; the word-parallel sweep touches
+/// each adjacency list once per *level*, not once per *source* — the win
+/// that makes factor-wide oracle construction cheap. Frontier/visited
+/// words are recycled through the process [`Arena`].
+pub fn multi_source_bfs_distances(g: &CsrGraph, sources: &[VertexId]) -> Vec<Vec<u32>> {
+    let _span = kron_obs::span::enter("analytics/multi_source_bfs");
+    let n = g.n() as usize;
+    let mut rows: Vec<Vec<u32>> = sources.iter().map(|_| vec![UNREACHABLE; n]).collect();
+    let arena = Arena::global();
+    let mut sweeps = 0u64;
+    let mut word_pushes = 0u64;
+    for (chunk_at, chunk) in sources.chunks(64).enumerate() {
+        let rows = &mut rows[chunk_at * 64..];
+        let mut visited = arena.take_words(n);
+        let mut frontier = arena.take_words(n);
+        let mut next = arena.take_words(n);
+        for (s, &src) in chunk.iter().enumerate() {
+            frontier[src as usize] |= 1u64 << s;
+            visited[src as usize] |= 1u64 << s;
+            rows[s][src as usize] = 0;
+        }
+        let mut depth = 0u32;
+        let mut active = true;
+        while active {
+            sweeps += 1;
+            depth += 1;
+            active = false;
+            for v in 0..n {
+                let f = frontier[v];
+                if f == 0 {
+                    continue;
+                }
+                word_pushes += g.neighbors(v as VertexId).len() as u64;
+                for &w in g.neighbors(v as VertexId) {
+                    next[w as usize] |= f;
+                }
+            }
+            for v in 0..n {
+                let fresh = next[v] & !visited[v];
+                next[v] = 0;
+                frontier[v] = fresh;
+                if fresh != 0 {
+                    active = true;
+                    visited[v] |= fresh;
+                    let mut y = fresh;
+                    while y != 0 {
+                        rows[y.trailing_zeros() as usize][v] = depth;
+                        y &= y - 1;
+                    }
+                }
+            }
+        }
+    }
+    kron_obs::counter!("bfs.bitset_sweeps").add(sweeps);
+    kron_obs::counter!("bfs.bitset_word_pushes").add(word_pushes);
+    rows
+}
+
+/// Batched Def. 9 hop rows: row `i` equals `bfs_hops(g, sources[i])`
+/// bit-for-bit (the diagonal conventions applied on top of
+/// [`multi_source_bfs_distances`]).
+pub fn multi_source_bfs_hops(g: &CsrGraph, sources: &[VertexId]) -> Vec<Vec<u32>> {
+    let mut rows = multi_source_bfs_distances(g, sources);
+    for (row, &src) in rows.iter_mut().zip(sources) {
+        row[src as usize] = if g.has_self_loop(src) {
+            1
+        } else if g.degree(src) > 0 {
+            2
+        } else {
+            UNREACHABLE
+        };
+    }
+    rows
 }
 
 /// Full Def. 9 hop-count matrix (row `i` = `hops(i, ·)`). Quadratic memory;
@@ -383,6 +468,48 @@ mod tests {
         let disconnected = CsrGraph::from_arcs(3, vec![(0, 1), (1, 0)]).unwrap();
         let bounds = eccentricity_bounds_via_pivots(&disconnected, 2);
         assert_eq!(bounds.len(), 3);
+    }
+
+    #[test]
+    fn multi_source_matches_scalar_bfs() {
+        use kron_graph::generators::{barabasi_albert, erdos_renyi};
+        for g in [
+            path(7),
+            cycle(9).with_full_self_loops(),
+            star(6),
+            clique(5).with_full_self_loops(),
+            erdos_renyi(40, 0.1, 3),
+            barabasi_albert(70, 2, 4),
+            CsrGraph::from_arcs(3, vec![(0, 1), (1, 0)]).unwrap(),
+            CsrGraph::from_arcs(5, vec![(0, 1), (1, 2), (3, 4)]).unwrap(), // directed
+        ] {
+            let sources: Vec<VertexId> = (0..g.n()).collect();
+            let dist_rows = multi_source_bfs_distances(&g, &sources);
+            let hop_rows = multi_source_bfs_hops(&g, &sources);
+            for (i, &src) in sources.iter().enumerate() {
+                assert_eq!(dist_rows[i], bfs_distances(&g, src), "distances from {src}");
+                assert_eq!(hop_rows[i], bfs_hops(&g, src), "hops from {src}");
+            }
+        }
+    }
+
+    #[test]
+    fn multi_source_crosses_word_boundaries() {
+        // > 64 sources forces multiple word groups; duplicates are legal.
+        let g = cycle(70).with_full_self_loops();
+        let sources: Vec<VertexId> = (0..70).chain([0, 0, 13]).collect();
+        let rows = multi_source_bfs_hops(&g, &sources);
+        assert_eq!(rows.len(), 73);
+        for (i, &src) in sources.iter().enumerate() {
+            assert_eq!(rows[i], bfs_hops(&g, src));
+        }
+    }
+
+    #[test]
+    fn multi_source_empty_and_single() {
+        let g = path(4);
+        assert!(multi_source_bfs_distances(&g, &[]).is_empty());
+        assert_eq!(multi_source_bfs_distances(&g, &[2]), vec![bfs_distances(&g, 2)]);
     }
 
     #[test]

@@ -4,20 +4,21 @@
 //! routines here operate on the loop-free core of the input graph: a self
 //! loop never participates in a triangle.
 //!
-//! Two kernels live here. [`enumerate_triangles`] visits each triangle
-//! `{u, v, w}` with `u < v < w` exactly once in identity order — the
-//! contract the probabilistic-rejection experiment (§IV-C) depends on —
-//! using per-row forward lists instead of per-edge binary searches. The
-//! *counting* entry points ([`vertex_triangles`], [`global_triangles`]
-//! and their `_threads` variants) use the degree-ordered vertex-marking
-//! kernel of Chiba–Nishizeki (the paper's reference [22]): vertices are
-//! ranked ascending by degree, edges oriented low → high rank, the
-//! anchor's forward adjacency (`O(√m)` entries) is marked in a bitmap,
-//! and each oriented edge is closed by a branch-free probe scan of its
-//! head's forward list. Counts are exact, so both kernels and all thread
-//! counts agree bit-for-bit.
+//! Two kinds of kernel live here. [`enumerate_triangles`] visits each
+//! triangle `{u, v, w}` with `u < v < w` exactly once in identity order —
+//! the contract the probabilistic-rejection experiment (§IV-C) depends
+//! on — using per-row forward lists instead of per-edge binary searches.
+//! The *counting* entry points ([`vertex_triangles`], [`global_triangles`]
+//! and their `_threads` variants) run the degree-ordered compact-forward
+//! scheme of Chiba–Nishizeki (the paper's reference [22]) in one of two
+//! tiers selected by [`TriangleKernel`]: the PR 4 vertex-marking probe
+//! scan, or the PR 6 word-parallel tier that packs dense forward lists
+//! into rank-space `u64` bitmaps and closes edges with AND +
+//! `count_ones()`. Counts are exact integers, so every kernel tier and
+//! thread count agrees bit-for-bit; all scratch is recycled through the
+//! process [`Arena`].
 
-use kron_graph::{parallel, CsrGraph, VertexId};
+use kron_graph::{parallel, Arena, CsrGraph, VertexId};
 use serde::{Deserialize, Serialize};
 
 /// Vertex triangle counts plus the global total.
@@ -84,42 +85,194 @@ fn intersect_count(left: &[VertexId], right: &[VertexId], a: VertexId, b: Vertex
     count
 }
 
+/// Selects the triangle-counting kernel tier.
+///
+/// All three tiers count the identical triangle set with exact integer
+/// arithmetic, so their outputs are bit-for-bit equal; they differ only
+/// in how an oriented edge `ra → rb` is *closed*:
+///
+/// * [`Marking`](TriangleKernel::Marking) — the PR 4 Chiba–Nishizeki
+///   kernel: the anchor's forward list is marked in a one-bit-per-vertex
+///   bitmap and `F(rb)` is probe-scanned element by element.
+/// * [`Bitmap`](TriangleKernel::Bitmap) — the word-parallel tier: every
+///   forward list is packed into a windowed `u64` bitmap in rank space
+///   and the edge is closed by AND + `count_ones()` over the anchor's
+///   touched words. Memory is `O(Σ window)` words; forced packing of
+///   every row is meant for validation, not production.
+/// * [`Auto`](TriangleKernel::Auto) — the density/degree heuristic:
+///   only dense forward lists are packed, and each anchor chooses per
+///   edge whichever close is cheaper (`|anchor words|` vs `|F(rb)|`).
+///   Kronecker products have wildly skewed degree classes, so neither
+///   pure tier wins everywhere — sparse anchors keep the probe scan,
+///   dense anchors go word-parallel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TriangleKernel {
+    /// Heuristic per-anchor selection between the two tiers (default).
+    #[default]
+    Auto,
+    /// Force the element-wise marking kernel everywhere.
+    Marking,
+    /// Force the packed-bitmap popcount kernel everywhere.
+    Bitmap,
+}
+
+/// Forward lists shorter than this are never packed under
+/// [`TriangleKernel::Auto`]: for tiny rows the probe scan touches fewer
+/// cachelines than any packed window and the classic kernel wins.
+const PACK_MIN_FORWARD: usize = 16;
+
 /// Degree-ordered forward adjacency — the compact structure of
-/// Chiba–Nishizeki. Vertices are ranked ascending by `(degree, id)`;
-/// every undirected non-loop edge is oriented from its lower-ranked to
-/// its higher-ranked endpoint; forward lists live in rank space. Ranks
-/// are stored as `u32` (a materialized graph beyond `u32::MAX` vertices
-/// cannot exist in memory), halving the kernel's streamed bytes.
+/// Chiba–Nishizeki. Vertices are ranked ascending by `(degree, id)` (the
+/// cached [`CsrGraph::degree_rank_order`] permutation); every undirected
+/// non-loop edge is oriented from its lower-ranked to its higher-ranked
+/// endpoint; forward lists live in rank space. Ranks are stored as `u32`
+/// (a materialized graph beyond `u32::MAX` vertices cannot exist in
+/// memory), halving the kernel's streamed bytes.
 ///
 /// The payoff is the classic `O(m^{3/2})` bound: each forward list has at
 /// most `O(√m)` entries, so closing an oriented edge is cheap even at hub
 /// vertices — unlike the identity-order enumeration, where a hub's full
 /// neighbor list is walked once per incident edge.
-struct Forward {
-    /// `order[r]` = vertex holding rank `r` (ascending `(degree, id)`).
-    order: Vec<VertexId>,
+struct Forward<'g> {
+    /// `order[r]` = vertex holding rank `r` (ascending `(degree, id)`),
+    /// borrowed from the graph's cached degree-rank permutation.
+    order: &'g [VertexId],
     /// Rank-space CSR offsets of the forward lists.
     offsets: Vec<usize>,
     /// Forward neighbors as ranks.
     targets: Vec<u32>,
+    /// Length of the longest forward list (scratch-buffer sizing).
+    max_forward: usize,
 }
 
-impl Forward {
-    fn build(g: &CsrGraph) -> Self {
+/// One packed forward row: bits of `F(r)` over the word window
+/// `[base, base + len)` of the rank-space bitmap.
+#[derive(Clone, Copy)]
+struct PackedMeta {
+    /// Index of the window's first word in [`PackedRows::words`].
+    start: u32,
+    /// First rank-space word index covered by the window.
+    base: u32,
+    /// Window length in words.
+    len: u32,
+}
+
+/// Windowed rank-space bitmaps of the packed forward lists.
+///
+/// Only the word span actually touched by each packed row is stored
+/// (`[min rank / 64, max rank / 64]`), so skewed Kronecker degree
+/// distributions don't pay `n/64` words per row.
+struct PackedRows {
+    /// `slot[r]` = index into `meta`, or `NO_SLOT` when `r` is unpacked.
+    slot: Vec<u32>,
+    meta: Vec<PackedMeta>,
+    words: Vec<u64>,
+}
+
+const NO_SLOT: u32 = u32::MAX;
+
+impl PackedRows {
+    /// Packs forward lists for the word-parallel close. Under `dense_only`
+    /// (the [`TriangleKernel::Auto`] tier) a row is packed only when the
+    /// AND is the proven-cheaper close: the list must be non-trivial
+    /// (≥ [`PACK_MIN_FORWARD`] entries) *and* denser than one bit per
+    /// window word (`window words < |F(r)|`), so every packed row costs
+    /// fewer word-ANDs than probe elements. With `dense_only` off
+    /// ([`TriangleKernel::Bitmap`]) every non-empty row is packed.
+    fn build(f: &Forward<'_>, dense_only: bool) -> Self {
+        let n = f.order.len();
+        let mut slot = vec![NO_SLOT; n];
+        let mut meta = Vec::new();
+        let mut words = Vec::new();
+        for r in 0..n {
+            let fr = f.forward(r);
+            if fr.is_empty() || (dense_only && fr.len() < PACK_MIN_FORWARD) {
+                continue;
+            }
+            let (mut lo, mut hi) = (u32::MAX, 0u32);
+            for &w in fr {
+                lo = lo.min(w >> 6);
+                hi = hi.max(w >> 6);
+            }
+            if dense_only && (hi - lo + 1) as usize >= fr.len() {
+                continue;
+            }
+            let base = lo;
+            let len = hi - lo + 1;
+            let start = words.len();
+            words.resize(start + len as usize, 0u64);
+            for &w in fr {
+                words[start + ((w >> 6) - base) as usize] |= 1u64 << (w & 63);
+            }
+            slot[r] = meta.len() as u32;
+            meta.push(PackedMeta { start: start as u32, base, len });
+        }
+        PackedRows { slot, meta, words }
+    }
+
+    fn none(n: usize) -> Self {
+        PackedRows { slot: vec![NO_SLOT; n], meta: Vec::new(), words: Vec::new() }
+    }
+
+    /// Bytes held by the packed windows (observability).
+    fn bytes(&self) -> u64 {
+        8 * self.words.len() as u64
+    }
+}
+
+/// Per-call kernel telemetry, accumulated locally in the hot loop and
+/// published to `kron-obs` counters once per invocation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct KernelStats {
+    /// Anchors that closed ≥ 1 edge on the word-parallel path.
+    anchors_bitmap: u64,
+    /// Anchors that closed every edge on the probe-scan path.
+    anchors_marking: u64,
+    /// `u64` words ANDed + popcounted on the bitmap path.
+    words_probed: u64,
+    /// Elements probe-scanned on the marking path.
+    elements_probed: u64,
+}
+
+impl KernelStats {
+    fn merge(&mut self, other: KernelStats) {
+        self.anchors_bitmap += other.anchors_bitmap;
+        self.anchors_marking += other.anchors_marking;
+        self.words_probed += other.words_probed;
+        self.elements_probed += other.elements_probed;
+    }
+
+    fn publish(&self) {
+        kron_obs::counter!("triangles.anchors_bitmap").add(self.anchors_bitmap);
+        kron_obs::counter!("triangles.anchors_marking").add(self.anchors_marking);
+        kron_obs::counter!("triangles.words_probed").add(self.words_probed);
+        kron_obs::counter!("triangles.elements_probed").add(self.elements_probed);
+    }
+}
+
+/// The assembled two-tier counting kernel: compact forward structure,
+/// packed rows for the dense tail, and the per-anchor path choice.
+struct Kernel<'g> {
+    f: Forward<'g>,
+    packed: PackedRows,
+}
+
+impl<'g> Forward<'g> {
+    fn build(g: &'g CsrGraph) -> Self {
         let n = g.n() as usize;
         assert!(
             g.n() <= u32::MAX as u64,
             "triangle kernel rank space exceeds u32 ({} vertices)",
             g.n()
         );
-        let mut order: Vec<VertexId> = (0..g.n()).collect();
-        order.sort_unstable_by_key(|&v| (g.degree(v), v));
+        let order = g.degree_rank_order();
         let mut rank = vec![0u32; n];
         for (r, &v) in order.iter().enumerate() {
             rank[v as usize] = r as u32;
         }
         let mut offsets = vec![0usize; n + 1];
         let mut targets = Vec::with_capacity(g.nnz() / 2);
+        let mut max_forward = 0usize;
         for (r, &v) in order.iter().enumerate() {
             targets.extend(
                 g.neighbors(v)
@@ -127,9 +280,10 @@ impl Forward {
                     .map(|&w| rank[w as usize])
                     .filter(|&rw| rw > r as u32),
             );
+            max_forward = max_forward.max(targets.len() - offsets[r]);
             offsets[r + 1] = targets.len();
         }
-        Forward { order, offsets, targets }
+        Forward { order, offsets, targets, max_forward }
     }
 
     /// Forward list of rank `r`.
@@ -138,49 +292,10 @@ impl Forward {
         &self.targets[self.offsets[r]..self.offsets[r + 1]]
     }
 
-    /// Counts every triangle whose lowest-ranked corner lies in `anchors`
-    /// into rank-space participation counts. Per anchor `ra`, `F(ra)` is
-    /// marked in the rank-indexed `bitmap` (one bit per vertex, caller-
-    /// provided and zeroed); then for each oriented edge `ra → rb`, every
-    /// `w ∈ F(rb)` with its bit set closes the triangle `ra < rb < rw`
-    /// (`rw > rb` holds by orientation, membership in `F(ra)` by the
-    /// bitmap). The inner scan is branch-free — each probe adds the 0/1
-    /// bit to the third corner's count and to the edge's match total —
-    /// which is what makes the kernel fast at the high match densities
-    /// Kronecker products produce. The bitmap is cleared word-wise before
-    /// returning, so it can be reused across calls. Returns the number of
-    /// triangles anchored in the range.
-    fn count_in(
-        &self,
-        anchors: std::ops::Range<usize>,
-        per_rank: &mut [u64],
-        bitmap: &mut [u64],
-    ) -> u64 {
-        debug_assert!(bitmap.len() >= self.order.len().div_ceil(64));
-        debug_assert!(bitmap.iter().all(|&w| w == 0));
-        let mut global = 0u64;
-        for ra in anchors {
-            let fa = self.forward(ra);
-            for &w in fa {
-                bitmap[(w >> 6) as usize] |= 1u64 << (w & 63);
-            }
-            for &rb in fa {
-                let fb = self.forward(rb as usize);
-                let mut matches = 0u64;
-                for &w in fb {
-                    let bit = (bitmap[(w >> 6) as usize] >> (w & 63)) & 1;
-                    per_rank[w as usize] += bit;
-                    matches += bit;
-                }
-                per_rank[ra] += matches;
-                per_rank[rb as usize] += matches;
-                global += matches;
-            }
-            for &w in fa {
-                bitmap[(w >> 6) as usize] = 0;
-            }
-        }
-        global
+    /// Forward-list length of rank `r`.
+    #[inline]
+    fn forward_len(&self, r: usize) -> usize {
+        self.offsets[r + 1] - self.offsets[r]
     }
 
     /// Permutes rank-space counts back to vertex space.
@@ -203,7 +318,7 @@ impl Forward {
             let fa = self.forward(ra);
             let mut work = 2 * fa.len();
             for &rb in fa {
-                work += self.offsets[rb as usize + 1] - self.offsets[rb as usize];
+                work += self.forward_len(rb as usize);
             }
             prefix[ra + 1] = prefix[ra] + work;
         }
@@ -211,88 +326,272 @@ impl Forward {
     }
 }
 
-/// Triangle participation at every vertex (Def. 5) and the global count.
-///
-/// Expects an undirected graph; self loops are ignored per the definition.
-/// Counts with the degree-ordered compact-forward kernel ([`Forward`]);
-/// each triangle is found exactly once, so the counts equal the
-/// enumeration-based ones.
-///
-/// ```
-/// use kron_analytics::triangles::vertex_triangles;
-/// use kron_graph::generators::clique;
-///
-/// let t = vertex_triangles(&clique(4));
-/// assert_eq!(t.per_vertex, vec![3, 3, 3, 3]);
-/// assert_eq!(t.global, 4);
-/// ```
+/// Per-worker scratch drawn from the process [`Arena`]: the anchor
+/// bitmap, its touched-word list, and the probe-scan match buffer. All
+/// zeroed/emptied on take, returned to the pool on drop.
+struct Scratch<'a> {
+    bitmap: kron_graph::arena::ArenaBuf<'a, u64>,
+    touched: kron_graph::arena::ArenaBuf<'a, u32>,
+    matches_buf: kron_graph::arena::ArenaBuf<'a, u32>,
+}
+
+impl<'a> Scratch<'a> {
+    fn take(arena: &'a Arena, n: usize, max_forward: usize) -> Self {
+        Scratch {
+            bitmap: arena.take_words(n.div_ceil(64)),
+            touched: arena.take_ints(max_forward),
+            matches_buf: arena.take_ints(max_forward),
+        }
+    }
+}
+
+impl<'g> Kernel<'g> {
+    fn build(g: &'g CsrGraph, kernel: TriangleKernel) -> Self {
+        let f = Forward::build(g);
+        let n = f.order.len();
+        let packed = match kernel {
+            TriangleKernel::Marking => PackedRows::none(n),
+            TriangleKernel::Bitmap => PackedRows::build(&f, false),
+            TriangleKernel::Auto => PackedRows::build(&f, true),
+        };
+        kron_obs::counter!("triangles.packed_rows").add(packed.meta.len() as u64);
+        kron_obs::counter!("triangles.packed_bytes").add(packed.bytes());
+        Kernel { f, packed }
+    }
+
+    /// Counts every triangle whose lowest-ranked corner lies in `anchors`
+    /// into rank-space participation counts. Per anchor `ra`, `F(ra)` is
+    /// marked in the rank-indexed bitmap (recording which words were
+    /// touched); each oriented edge `ra → rb` is then closed on one of
+    /// two paths producing the identical match set:
+    ///
+    /// * **probe scan** — walk `F(rb)`, compacting matched ranks into a
+    ///   small buffer branch-free (`buf[matches] = w; matches += bit`),
+    ///   then credit the per-rank counts from the buffer. Only matches
+    ///   (≈25% of probes on Kronecker products) pay a scattered write.
+    /// * **word-parallel** — stream `rb`'s packed window against the same
+    ///   span of the anchor bitmap, branch-free: `count_ones()` of each
+    ///   AND yields the match total and bit iteration credits the third
+    ///   corners.
+    ///
+    /// The path choice was made at pack time (see [`PackedRows::build`]):
+    /// a row is packed exactly when its window holds fewer words than the
+    /// list holds elements, so the word-parallel close is never more
+    /// expensive than the probe scan it replaces. Counts are exact
+    /// integers, so every path mix produces bit-identical results. The bitmap is
+    /// cleared word-wise via the touched list before returning, so it can
+    /// be reused across anchors and calls. Returns triangles anchored in
+    /// the range.
+    fn count_in(
+        &self,
+        anchors: std::ops::Range<usize>,
+        per_rank: &mut [u64],
+        scratch: &mut Scratch<'_>,
+        stats: &mut KernelStats,
+    ) -> u64 {
+        let bitmap = &mut *scratch.bitmap;
+        let touched = scratch.touched.as_vec_mut();
+        let buf = &mut *scratch.matches_buf;
+        debug_assert!(bitmap.len() >= self.f.order.len().div_ceil(64));
+        debug_assert!(bitmap.iter().all(|&w| w == 0));
+        let mut global = 0u64;
+        for ra in anchors {
+            let fa = self.f.forward(ra);
+            if fa.is_empty() {
+                continue;
+            }
+            touched.clear();
+            for &w in fa {
+                let wi = w >> 6;
+                if bitmap[wi as usize] == 0 {
+                    touched.push(wi);
+                }
+                bitmap[wi as usize] |= 1u64 << (w & 63);
+            }
+            let mut bitmap_edges = 0u64;
+            for &rb in fa {
+                let rb = rb as usize;
+                let flen = self.f.forward_len(rb);
+                if flen == 0 {
+                    continue;
+                }
+                let slot = self.packed.slot[rb];
+                let mut matches = 0u64;
+                if slot != NO_SLOT {
+                    bitmap_edges += 1;
+                    let m = self.packed.meta[slot as usize];
+                    let base = m.base as usize;
+                    let wlen = m.len as usize;
+                    let window =
+                        &self.packed.words[m.start as usize..m.start as usize + wlen];
+                    let anchor = &bitmap[base..base + wlen];
+                    stats.words_probed += wlen as u64;
+                    for (off, (&aword, &fword)) in
+                        anchor.iter().zip(window).enumerate()
+                    {
+                        let x = aword & fword;
+                        if x != 0 {
+                            matches += x.count_ones() as u64;
+                            let mut y = x;
+                            while y != 0 {
+                                let w =
+                                    ((base + off) << 6) + y.trailing_zeros() as usize;
+                                per_rank[w] += 1;
+                                y &= y - 1;
+                            }
+                        }
+                    }
+                } else {
+                    let fb = self.f.forward(rb);
+                    stats.elements_probed += fb.len() as u64;
+                    for &w in fb {
+                        let bit = (bitmap[(w >> 6) as usize] >> (w & 63)) & 1;
+                        buf[matches as usize] = w;
+                        matches += bit;
+                    }
+                    for &w in &buf[..matches as usize] {
+                        per_rank[w as usize] += 1;
+                    }
+                }
+                per_rank[ra] += matches;
+                per_rank[rb] += matches;
+                global += matches;
+            }
+            if bitmap_edges > 0 {
+                stats.anchors_bitmap += 1;
+            } else {
+                stats.anchors_marking += 1;
+            }
+            for &wi in touched.iter() {
+                bitmap[wi as usize] = 0;
+            }
+        }
+        global
+    }
+}
+
+/// Per-vertex triangle participation `t_A` (Def. 5) plus the global
+/// total, via the default [`TriangleKernel::Auto`] tier.
 pub fn vertex_triangles(g: &CsrGraph) -> TriangleCounts {
+    vertex_triangles_with(g, TriangleKernel::Auto)
+}
+
+/// [`vertex_triangles`] with an explicit kernel tier. All tiers produce
+/// bit-identical counts (pinned by the equivalence suite); the knob
+/// exists for validation and benchmarking.
+pub fn vertex_triangles_with(g: &CsrGraph, kernel: TriangleKernel) -> TriangleCounts {
     let _span = kron_obs::span::enter("analytics/vertex_triangles");
     let n = g.n() as usize;
-    let f = Forward::build(g);
-    let mut per_rank = vec![0u64; n];
-    let mut bitmap = vec![0u64; n.div_ceil(64)];
-    let global = f.count_in(0..n, &mut per_rank, &mut bitmap);
-    TriangleCounts { per_vertex: f.to_vertex_space(&per_rank), global }
+    let k = Kernel::build(g, kernel);
+    let arena = Arena::global();
+    let mut per_rank = arena.take_words(n);
+    let mut scratch = Scratch::take(arena, n, k.f.max_forward);
+    let mut stats = KernelStats::default();
+    let global = k.count_in(0..n, &mut per_rank, &mut scratch, &mut stats);
+    stats.publish();
+    TriangleCounts { per_vertex: k.f.to_vertex_space(&per_rank), global }
 }
 
 /// Global triangle count `τ_A`.
 pub fn global_triangles(g: &CsrGraph) -> u64 {
+    global_triangles_with(g, TriangleKernel::Auto)
+}
+
+/// [`global_triangles`] with an explicit kernel tier.
+pub fn global_triangles_with(g: &CsrGraph, kernel: TriangleKernel) -> u64 {
     let _span = kron_obs::span::enter("analytics/global_triangles");
     let n = g.n() as usize;
-    let f = Forward::build(g);
-    let mut per_rank = vec![0u64; n];
-    let mut bitmap = vec![0u64; n.div_ceil(64)];
-    f.count_in(0..n, &mut per_rank, &mut bitmap)
+    let k = Kernel::build(g, kernel);
+    let arena = Arena::global();
+    let mut per_rank = arena.take_words(n);
+    let mut scratch = Scratch::take(arena, n, k.f.max_forward);
+    let mut stats = KernelStats::default();
+    let global = k.count_in(0..n, &mut per_rank, &mut scratch, &mut stats);
+    stats.publish();
+    global
 }
 
 /// Parallel [`vertex_triangles`] (`None` = machine parallelism).
 ///
 /// The compact-forward anchor (rank) space is split across workers by
-/// forward-arc weight; each worker counts into a private per-vertex
-/// vector and the vectors are summed in worker order. Counts are exact
-/// integers, so the result is identical to the sequential one.
+/// forward-arc weight; each worker counts into a private per-rank
+/// vector (all scratch arena-recycled) and the vectors are summed in
+/// worker order. Counts are exact integers, so the result is identical
+/// to the sequential one for every thread count and kernel tier.
 pub fn vertex_triangles_threads(g: &CsrGraph, threads: Option<usize>) -> TriangleCounts {
+    vertex_triangles_threads_with(g, threads, TriangleKernel::Auto)
+}
+
+/// [`vertex_triangles_threads`] with an explicit kernel tier.
+pub fn vertex_triangles_threads_with(
+    g: &CsrGraph,
+    threads: Option<usize>,
+    kernel: TriangleKernel,
+) -> TriangleCounts {
     let t = parallel::num_threads(threads);
     if t <= 1 {
-        return vertex_triangles(g);
+        return vertex_triangles_with(g, kernel);
     }
     let _span = kron_obs::span::enter("analytics/vertex_triangles_threads");
     let n = g.n() as usize;
-    let f = Forward::build(g);
-    let parts = parallel::map_ranges(f.anchor_ranges(t), |_, anchors| {
-        let mut per_rank = vec![0u64; n];
-        let mut bitmap = vec![0u64; n.div_ceil(64)];
-        let count = f.count_in(anchors, &mut per_rank, &mut bitmap);
-        (per_rank, count)
+    let k = Kernel::build(g, kernel);
+    let arena = Arena::global();
+    let parts = parallel::map_ranges(k.f.anchor_ranges(t), |_, anchors| {
+        let mut per_rank = arena.take_words(n);
+        let mut scratch = Scratch::take(arena, n, k.f.max_forward);
+        let mut stats = KernelStats::default();
+        let count = k.count_in(anchors, &mut per_rank, &mut scratch, &mut stats);
+        (per_rank, count, stats)
     });
     let mut per_rank = vec![0u64; n];
     let mut global = 0u64;
-    for (part, count) in parts {
-        for (acc, x) in per_rank.iter_mut().zip(part) {
+    let mut stats = KernelStats::default();
+    for (part, count, part_stats) in parts {
+        for (acc, &x) in per_rank.iter_mut().zip(part.iter()) {
             *acc += x;
         }
         global += count;
+        stats.merge(part_stats);
     }
-    TriangleCounts { per_vertex: f.to_vertex_space(&per_rank), global }
+    stats.publish();
+    TriangleCounts { per_vertex: k.f.to_vertex_space(&per_rank), global }
 }
 
 /// Parallel [`global_triangles`] (`None` = machine parallelism).
 pub fn global_triangles_threads(g: &CsrGraph, threads: Option<usize>) -> u64 {
+    global_triangles_threads_with(g, threads, TriangleKernel::Auto)
+}
+
+/// [`global_triangles_threads`] with an explicit kernel tier.
+pub fn global_triangles_threads_with(
+    g: &CsrGraph,
+    threads: Option<usize>,
+    kernel: TriangleKernel,
+) -> u64 {
     let t = parallel::num_threads(threads);
     if t <= 1 {
-        return global_triangles(g);
+        return global_triangles_with(g, kernel);
     }
     let _span = kron_obs::span::enter("analytics/global_triangles_threads");
     let n = g.n() as usize;
-    let f = Forward::build(g);
-    parallel::map_ranges(f.anchor_ranges(t), |_, anchors| {
-        let mut per_rank = vec![0u64; n];
-        let mut bitmap = vec![0u64; n.div_ceil(64)];
-        f.count_in(anchors, &mut per_rank, &mut bitmap)
+    let k = Kernel::build(g, kernel);
+    let arena = Arena::global();
+    let mut stats = KernelStats::default();
+    let global = parallel::map_ranges(k.f.anchor_ranges(t), |_, anchors| {
+        let mut per_rank = arena.take_words(n);
+        let mut scratch = Scratch::take(arena, n, k.f.max_forward);
+        let mut stats = KernelStats::default();
+        let count = k.count_in(anchors, &mut per_rank, &mut scratch, &mut stats);
+        (count, stats)
     })
     .into_iter()
-    .sum()
+    .map(|(count, part_stats)| {
+        stats.merge(part_stats);
+        count
+    })
+    .sum();
+    stats.publish();
+    global
 }
 
 /// Triangle participation at every edge (Def. 6):

@@ -1,0 +1,162 @@
+//! Equivalence suite for the PR 6 bitmap kernel tier.
+//!
+//! Every kernel tier is an *optimization*, never a semantic change: the
+//! word-parallel bitmap triangle kernel must produce bit-identical
+//! counts to the marking kernel (and both to the enumeration oracle),
+//! and the multi-source bitset BFS must reproduce the scalar BFS rows
+//! element for element. This suite pins that across random graphs, the
+//! deterministic generator zoo the chaos suite draws from, both
+//! self-loop modes, and thread counts {1, 2, 3, 8} (oversubscribing the
+//! host is deliberate).
+
+use proptest::prelude::*;
+
+use kron_analytics::distance::{
+    bfs_distances, bfs_hops, multi_source_bfs_distances, multi_source_bfs_hops,
+};
+use kron_analytics::triangles::{
+    enumerate_triangles, global_triangles_threads_with, global_triangles_with,
+    vertex_triangles_threads_with, vertex_triangles_with, TriangleCounts, TriangleKernel,
+};
+use kron_graph::generators::{barabasi_albert, clique, cycle, erdos_renyi, path, rmat, star, RmatConfig};
+use kron_graph::{CsrGraph, EdgeList, VertexId};
+
+const THREADS: [usize; 4] = [1, 2, 3, 8];
+const KERNELS: [TriangleKernel; 3] =
+    [TriangleKernel::Auto, TriangleKernel::Marking, TriangleKernel::Bitmap];
+
+/// Builds an undirected loop-free graph from a raw arc bag.
+fn undirected(n: u64, raw: Vec<(u64, u64)>) -> CsrGraph {
+    let mut list = EdgeList::from_arcs(n, raw).expect("arcs in range by strategy");
+    list.symmetrize();
+    list.remove_self_loops();
+    CsrGraph::from_edge_list(&list)
+}
+
+fn raw_arcs(n: u64, max_arcs: usize) -> impl Strategy<Value = Vec<(u64, u64)>> {
+    proptest::collection::vec((0..n, 0..n), 0..max_arcs)
+}
+
+/// Reference triangle counts via the order-pinned enumeration kernel.
+fn enumerated(g: &CsrGraph) -> TriangleCounts {
+    let mut per_vertex = vec![0u64; g.n() as usize];
+    let mut global = 0u64;
+    enumerate_triangles(g, |u, v, w| {
+        per_vertex[u as usize] += 1;
+        per_vertex[v as usize] += 1;
+        per_vertex[w as usize] += 1;
+        global += 1;
+    });
+    TriangleCounts { per_vertex, global }
+}
+
+/// Asserts all three kernel tiers, sequential and threaded, agree with
+/// the enumeration reference exactly.
+fn assert_triangle_tiers_agree(g: &CsrGraph, label: &str) {
+    let reference = enumerated(g);
+    for kernel in KERNELS {
+        let counts = vertex_triangles_with(g, kernel);
+        assert_eq!(counts, reference, "{label}: {kernel:?} sequential");
+        assert_eq!(
+            global_triangles_with(g, kernel),
+            reference.global,
+            "{label}: {kernel:?} global"
+        );
+        for t in THREADS {
+            assert_eq!(
+                vertex_triangles_threads_with(g, Some(t), kernel),
+                reference,
+                "{label}: {kernel:?} threads={t}"
+            );
+            assert_eq!(
+                global_triangles_threads_with(g, Some(t), kernel),
+                reference.global,
+                "{label}: {kernel:?} global threads={t}"
+            );
+        }
+    }
+}
+
+/// Asserts the bitset BFS reproduces every scalar BFS row exactly.
+fn assert_bfs_rows_agree(g: &CsrGraph, label: &str) {
+    let sources: Vec<VertexId> = (0..g.n()).collect();
+    let dist_rows = multi_source_bfs_distances(g, &sources);
+    let hop_rows = multi_source_bfs_hops(g, &sources);
+    for (i, &src) in sources.iter().enumerate() {
+        assert_eq!(dist_rows[i], bfs_distances(g, src), "{label}: distances from {src}");
+        assert_eq!(hop_rows[i], bfs_hops(g, src), "{label}: hops from {src}");
+    }
+}
+
+/// The deterministic generator zoo (the families the chaos suite draws
+/// its factors from, plus skewed R-MAT), in both self-loop modes.
+fn zoo() -> Vec<(String, CsrGraph)> {
+    let mut out = Vec::new();
+    let base: Vec<(&str, CsrGraph)> = vec![
+        ("path(9)", path(9)),
+        ("cycle(8)", cycle(8)),
+        ("star(9)", star(9)),
+        ("clique(7)", clique(7)),
+        ("erdos_renyi(24,0.2)", erdos_renyi(24, 0.2, 77)),
+        ("erdos_renyi(40,0.5)", erdos_renyi(40, 0.5, 5)),
+        ("barabasi_albert(60,3)", barabasi_albert(60, 3, 9)),
+        ("rmat(scale 6)", rmat(&RmatConfig::graph500(6, 12))),
+        ("empty(5)", CsrGraph::from_arcs(5, vec![]).unwrap()),
+    ];
+    for (name, g) in base {
+        out.push((format!("{name} loop-free"), g.clone()));
+        out.push((format!("{name} full loops"), g.with_full_self_loops()));
+    }
+    out
+}
+
+#[test]
+fn triangle_tiers_agree_on_zoo() {
+    for (label, g) in zoo() {
+        assert_triangle_tiers_agree(&g, &label);
+    }
+}
+
+#[test]
+fn bitset_bfs_agrees_on_zoo() {
+    for (label, g) in zoo() {
+        assert_bfs_rows_agree(&g, &label);
+    }
+}
+
+#[test]
+fn bitset_bfs_agrees_on_directed_graphs() {
+    // The bitset BFS pushes along out-arcs, exactly like the scalar BFS;
+    // directed inputs (which the triangle kernels never see) must agree
+    // too — the distance oracle relies on this for directed factors.
+    let dag = CsrGraph::from_arcs(6, vec![(0, 1), (0, 2), (1, 3), (2, 3), (3, 4)]).unwrap();
+    let dir_cycle =
+        CsrGraph::from_arcs(5, (0..5).map(|v| (v, (v + 1) % 5)).collect::<Vec<_>>()).unwrap();
+    assert_bfs_rows_agree(&dag, "dag");
+    assert_bfs_rows_agree(&dir_cycle, "directed cycle");
+    assert_bfs_rows_agree(&dir_cycle.with_full_self_loops(), "directed cycle + loops");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// All triangle kernel tiers agree with enumeration on random
+    /// undirected graphs, with and without full self loops.
+    #[test]
+    fn triangle_tiers_agree_on_random(raw in raw_arcs(18, 120)) {
+        let g = undirected(18, raw);
+        assert_triangle_tiers_agree(&g, "random");
+        assert_triangle_tiers_agree(&g.with_full_self_loops(), "random + loops");
+    }
+
+    /// The bitset BFS agrees with scalar BFS on random graphs — raw
+    /// (possibly directed, possibly self-looped) and symmetrized.
+    #[test]
+    fn bitset_bfs_agrees_on_random(raw in raw_arcs(30, 150)) {
+        let raw_graph = CsrGraph::from_arcs(30, raw.clone()).unwrap();
+        assert_bfs_rows_agree(&raw_graph, "raw directed");
+        let sym = undirected(30, raw);
+        assert_bfs_rows_agree(&sym, "symmetrized");
+        assert_bfs_rows_agree(&sym.with_full_self_loops(), "symmetrized + loops");
+    }
+}

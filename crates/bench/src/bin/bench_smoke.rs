@@ -17,16 +17,33 @@
 //!   `measure-alloc` counting allocator (peak/net bytes, allocation
 //!   count) so the estimates can be audited against reality.
 //!
+//! Timing methodology (PR 6): the stripped, instrumented, and
+//! max-threads configurations are **interleaved** — one repetition of
+//! each per round, five rounds — and the **median** per configuration is
+//! reported. The earlier sequential best-of-3 compared a cold stripped
+//! run against a warm instrumented one, which produced impossible
+//! negative probe overheads (−30% in `BENCH_PR5.json`); interleaving
+//! gives every configuration the same warm-state distribution and the
+//! median rejects the remaining outliers.
+//!
 //! The report embeds the full [`kron_obs::report::ObsReport`] (span tree
 //! + metrics snapshot), is stamped with
-//! [`kron_obs::report::SCHEMA_VERSION`], is written to `BENCH_PR5.json`,
+//! [`kron_obs::report::SCHEMA_VERSION`], is written to `BENCH_PR6.json`,
 //! and is re-read and linted through `kron_obs::json_lint` before the
 //! process exits. When a baseline file is present (default
-//! `BENCH_PR4.json`), a per-phase comparison is embedded and printed;
+//! `BENCH_PR5.json`), a per-phase comparison is embedded and printed;
 //! a missing, newer-schema, or unrecognizable baseline degrades to a
 //! "no baseline" note instead of an error.
 //!
-//! Usage: `bench_smoke [--scale S] [--out PATH] [--baseline PATH]`
+//! **Regression gate**: with `--gate-pct P`, any phase whose stripped
+//! time regresses more than `P`% against the baseline fails the run —
+//! the report is still written (with the gate verdict embedded) but the
+//! process exits nonzero. `--compare CURRENT` skips the benchmark
+//! entirely and evaluates the gate between two existing report files
+//! (the self-test mode `scripts/bench.sh` uses to prove the gate trips).
+//!
+//! Usage: `bench_smoke [--scale S] [--out PATH] [--baseline PATH]
+//!                     [--gate-pct P] [--compare REPORT]`
 
 use std::time::Instant;
 
@@ -68,6 +85,55 @@ struct BaselineDelta {
     secs_threads_1: f64,
     /// baseline / current — >1 means this PR is faster.
     speedup_vs_baseline: f64,
+    /// current / baseline − 1, in percent — >0 means this PR is slower.
+    regression_pct: f64,
+}
+
+/// Verdict of the stripped-time regression gate, embedded in the report.
+#[derive(Serialize)]
+struct GateResult {
+    /// Maximum tolerated `regression_pct` per phase.
+    threshold_pct: f64,
+    /// Phases whose regression exceeded the threshold.
+    failures: Vec<String>,
+    passed: bool,
+}
+
+/// Evaluates the gate: every phase present in both reports must not have
+/// regressed its stripped time by more than `threshold_pct` percent.
+fn evaluate_gate(deltas: &[BaselineDelta], threshold_pct: f64) -> GateResult {
+    let failures: Vec<String> = deltas
+        .iter()
+        .filter(|d| d.regression_pct > threshold_pct)
+        .map(|d| {
+            format!(
+                "{}: {:.4}s -> {:.4}s ({:+.2}% > {:+.2}%)",
+                d.name,
+                d.baseline_secs_threads_1,
+                d.secs_threads_1,
+                d.regression_pct,
+                threshold_pct
+            )
+        })
+        .collect();
+    GateResult { threshold_pct, passed: failures.is_empty(), failures }
+}
+
+/// Builds per-phase deltas from parsed `(name, secs_threads_1)` lists.
+fn deltas_between(baseline: &[(String, f64)], current: &[(String, f64)]) -> Vec<BaselineDelta> {
+    baseline
+        .iter()
+        .filter_map(|(name, base_secs)| {
+            let (_, now) = current.iter().find(|(n, _)| n == name)?;
+            Some(BaselineDelta {
+                name: name.clone(),
+                baseline_secs_threads_1: *base_secs,
+                secs_threads_1: *now,
+                speedup_vs_baseline: base_secs / now.max(1e-12),
+                regression_pct: (now / base_secs.max(1e-12) - 1.0) * 100.0,
+            })
+        })
+        .collect()
 }
 
 #[derive(Serialize)]
@@ -84,6 +150,9 @@ struct SmokeReport {
     baseline_file: Option<String>,
     baseline_note: Option<String>,
     vs_baseline: Vec<BaselineDelta>,
+    /// Regression-gate verdict (`None` when run without `--gate-pct` or
+    /// when no baseline was usable).
+    gate: Option<GateResult>,
     obs: ObsReport,
 }
 
@@ -93,49 +162,77 @@ fn time<T>(f: impl FnOnce() -> T) -> (T, f64) {
     (out, start.elapsed().as_secs_f64())
 }
 
-/// Repetitions per timed configuration; the minimum is reported. One-shot
-/// timings here are dominated by first-touch page faults on the multi-MB
-/// outputs (the first configuration to allocate a fresh block pays for
-/// it), which would masquerade as probe overhead.
-const REPS: usize = 3;
+/// Interleaved repetition rounds per phase; the median is reported.
+const REPS: usize = 5;
 
-/// Runs `f` `REPS` times, returns the last output and the fastest time.
-fn best_of<T>(f: impl Fn() -> T) -> (T, f64) {
-    let mut best = f64::INFINITY;
-    let mut out = None;
-    for _ in 0..REPS {
-        let (v, secs) = time(&f);
-        best = best.min(secs);
-        out = Some(v);
-    }
-    (out.expect("REPS > 0"), best)
+/// Median of a small timing sample (odd `REPS` → the true middle).
+fn median(samples: &mut [f64]) -> f64 {
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
 }
 
-/// Runs one phase three ways: 1 thread stripped (obs off), 1 thread
-/// instrumented + allocation-measured, and `tmax` threads instrumented;
-/// asserts all outputs identical before any timing is trusted.
+/// Runs one phase three ways — 1 thread stripped (obs off), 1 thread
+/// instrumented + allocation-measured, `tmax` threads instrumented —
+/// **interleaved** over [`REPS`] rounds (stripped, instrumented, parallel,
+/// repeat), reporting the per-configuration median. Interleaving gives
+/// all three configurations the same warm-state distribution, so the
+/// overhead ratio compares like with like; sequential best-of-N timed a
+/// cold stripped run against a warm instrumented one and reported
+/// negative probe overhead. Every round's outputs are asserted identical
+/// before any timing is trusted.
 fn phase<T: PartialEq>(
     name: &str,
     tmax: usize,
     intermediate_bytes: u64,
     run: impl Fn(usize) -> T,
 ) -> (Phase, T) {
-    kron_obs::set_enabled(false);
-    let (seq, secs_stripped) = best_of(|| run(1));
-    kron_obs::set_enabled(true);
-    // The warm (last) rep's profile is reported — the first instrumented
-    // rep also pays one-time name-interning allocations.
-    let alloc_slot = std::cell::Cell::new(Measure::default());
-    let (instr, secs_instr) = best_of(|| {
-        let (v, m) = kron_obs::alloc::measure(|| run(1));
-        alloc_slot.set(m);
-        v
-    });
-    let measured_alloc = alloc_slot.get();
-    assert!(instr == seq, "{name}: instrumented output differs from stripped");
-    drop(instr);
-    let (par, secs_max) = best_of(|| run(tmax));
-    assert!(par == seq, "{name}: parallel output differs from sequential");
+    let mut stripped = [0f64; REPS];
+    let mut instrumented = [0f64; REPS];
+    let mut parallel = [0f64; REPS];
+    let mut measured_alloc = Measure::default();
+    let mut seq: Option<T> = None;
+    for rep in 0..REPS {
+        // Each run's output is compared and dropped *before* the next
+        // configuration is timed, so every run starts from the same
+        // allocator state: the retained reference output alive, plus the
+        // hole just freed by the previous run. Letting outputs pile up to
+        // the end of the round hands some configurations a warm
+        // just-freed block and forces others to fault in fresh pages —
+        // a 2× asymmetry on the multi-MB phases of this box.
+        kron_obs::set_enabled(false);
+        let (out, secs) = time(|| run(1));
+        stripped[rep] = secs;
+        match &seq {
+            None => seq = Some(out),
+            Some(reference) => {
+                assert!(out == *reference, "{name}: stripped output changed across reps");
+                drop(out);
+            }
+        }
+        let reference = seq.as_ref().expect("set in round 0");
+
+        kron_obs::set_enabled(true);
+        let (out, secs) = time(|| kron_obs::alloc::measure(|| run(1)));
+        instrumented[rep] = secs;
+        assert!(out.0 == *reference, "{name}: instrumented output differs from stripped");
+        // The warmest (last) round's profile is reported — the first
+        // instrumented round also pays one-time name-interning allocations.
+        measured_alloc = out.1;
+        drop(out);
+
+        let (out, secs) = time(|| run(tmax));
+        parallel[rep] = secs;
+        assert!(out == *reference, "{name}: parallel output differs from sequential");
+        drop(out);
+    }
+    if std::env::var_os("BENCH_SMOKE_DEBUG_REPS").is_some() {
+        eprintln!("bench_smoke: {name}: raw reps stripped={stripped:?}");
+        eprintln!("bench_smoke: {name}: raw reps instrumented={instrumented:?}");
+        eprintln!("bench_smoke: {name}: raw reps parallel={parallel:?}");
+    }
+    let secs_stripped = median(&mut stripped);
+    let secs_instr = median(&mut instrumented);
+    let secs_max = median(&mut parallel);
     let phase = Phase {
         name: name.to_string(),
         secs_threads_1: secs_stripped,
@@ -146,7 +243,7 @@ fn phase<T: PartialEq>(
         peak_intermediate_bytes: intermediate_bytes,
         measured_alloc,
     };
-    (phase, seq)
+    (phase, seq.expect("REPS > 0"))
 }
 
 /// Extracts `(name, secs_threads_1)` pairs from a previous report without
@@ -170,7 +267,11 @@ fn parse_baseline(text: &str) -> Result<Vec<(String, f64)>, String> {
             current = Some(rest.trim().trim_matches('"').to_string());
         } else if let Some(rest) = line.strip_prefix("\"secs_threads_1\":") {
             if let (Some(name), Ok(secs)) = (current.take(), rest.trim().parse::<f64>()) {
-                out.push((name, secs));
+                // Keep only the first occurrence per phase: a report's own
+                // `vs_baseline` section repeats names with older timings.
+                if !out.iter().any(|(n, _): &(String, f64)| *n == name) {
+                    out.push((name, secs));
+                }
             }
         }
     }
@@ -196,8 +297,43 @@ fn main() {
             .cloned()
     };
     let scale: u32 = get("--scale").map_or(7, |s| s.parse().expect("numeric --scale"));
-    let out_path = get("--out").unwrap_or_else(|| "BENCH_PR5.json".to_string());
-    let baseline_path = get("--baseline").unwrap_or_else(|| "BENCH_PR4.json".to_string());
+    let out_path = get("--out").unwrap_or_else(|| "BENCH_PR6.json".to_string());
+    let baseline_path = get("--baseline").unwrap_or_else(|| "BENCH_PR5.json".to_string());
+    let gate_pct: Option<f64> =
+        get("--gate-pct").map(|s| s.parse().expect("numeric --gate-pct"));
+
+    // Compare-only mode: no benchmark, just gate one existing report
+    // against the baseline (the bench.sh gate self-test).
+    if let Some(current_path) = get("--compare") {
+        let threshold = gate_pct.unwrap_or(15.0);
+        let load = |path: &str| -> Vec<(String, f64)> {
+            let text = std::fs::read_to_string(path)
+                .unwrap_or_else(|e| panic!("bench_smoke --compare: {path}: {e}"));
+            parse_baseline(&text)
+                .unwrap_or_else(|r| panic!("bench_smoke --compare: {path}: {r}"))
+        };
+        let deltas = deltas_between(&load(&baseline_path), &load(&current_path));
+        assert!(
+            !deltas.is_empty(),
+            "bench_smoke --compare: no common phases between {baseline_path} and {current_path}"
+        );
+        let gate = evaluate_gate(&deltas, threshold);
+        for d in &deltas {
+            eprintln!(
+                "bench_smoke: {}: {:.4}s -> {:.4}s ({:+.2}%)",
+                d.name, d.baseline_secs_threads_1, d.secs_threads_1, d.regression_pct
+            );
+        }
+        if gate.passed {
+            eprintln!("bench_smoke: gate PASS (threshold {threshold}%)");
+        } else {
+            for f in &gate.failures {
+                eprintln!("bench_smoke: gate FAIL: {f}");
+            }
+            std::process::exit(1);
+        }
+        return;
+    }
     let tmax = parallel::num_threads(None);
     kron_obs::reset();
 
@@ -277,17 +413,9 @@ fn main() {
         Ok(text) => match parse_baseline(&text) {
             Ok(pairs) => {
                 baseline_file = Some(baseline_path.clone());
-                for (name, base_secs) in pairs {
-                    let Some(now) = phases.iter().find(|p| p.name == name) else {
-                        continue;
-                    };
-                    vs_baseline.push(BaselineDelta {
-                        name,
-                        baseline_secs_threads_1: base_secs,
-                        secs_threads_1: now.secs_threads_1,
-                        speedup_vs_baseline: base_secs / now.secs_threads_1.max(1e-12),
-                    });
-                }
+                let current: Vec<(String, f64)> =
+                    phases.iter().map(|p| (p.name.clone(), p.secs_threads_1)).collect();
+                vs_baseline = deltas_between(&pairs, &current);
             }
             Err(reason) => {
                 let note = format!("no baseline: {baseline_path}: {reason}");
@@ -303,10 +431,22 @@ fn main() {
     }
     for d in &vs_baseline {
         eprintln!(
-            "bench_smoke: {}: {:.4}s -> {:.4}s ({:.2}x vs baseline)",
-            d.name, d.baseline_secs_threads_1, d.secs_threads_1, d.speedup_vs_baseline
+            "bench_smoke: {}: {:.4}s -> {:.4}s ({:.2}x vs baseline, {:+.2}%)",
+            d.name,
+            d.baseline_secs_threads_1,
+            d.secs_threads_1,
+            d.speedup_vs_baseline,
+            d.regression_pct
         );
     }
+    // Gate verdict: embedded in the report either way; a failing gate
+    // still writes the report, then exits nonzero.
+    let gate = match gate_pct {
+        Some(threshold) if !vs_baseline.is_empty() => {
+            Some(evaluate_gate(&vs_baseline, threshold))
+        }
+        _ => None,
+    };
 
     let obs = ObsReport::capture();
     eprint!("{}", obs.summary());
@@ -321,6 +461,7 @@ fn main() {
         baseline_file,
         baseline_note,
         vs_baseline,
+        gate,
         obs,
     };
     let json = serde_json::to_string_pretty(&report).expect("serializable");
@@ -330,4 +471,14 @@ fn main() {
     kron_obs::json_lint::validate(&written).expect("emitted report is valid JSON");
     println!("{json}");
     eprintln!("bench_smoke: wrote {out_path} (schema_version {SCHEMA_VERSION}, lint-clean)");
+    if let Some(gate) = &report.gate {
+        if gate.passed {
+            eprintln!("bench_smoke: gate PASS (threshold {}%)", gate.threshold_pct);
+        } else {
+            for f in &gate.failures {
+                eprintln!("bench_smoke: gate FAIL: {f}");
+            }
+            std::process::exit(1);
+        }
+    }
 }

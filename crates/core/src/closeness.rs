@@ -18,7 +18,7 @@
 //! sort; bucketing by hop value removes the log factor.
 
 use kron_analytics::distance::UNREACHABLE;
-use kron_graph::{parallel, VertexId};
+use kron_graph::{parallel, Arena, VertexId};
 
 use crate::distance::DistanceOracle;
 
@@ -94,45 +94,25 @@ pub fn closeness_from_cumulative(cum_a: &[u64], cum_b: &[u64]) -> f64 {
     sum
 }
 
-/// Resolves the hop-table class of one factor vertex, lazily: the row's
-/// cumulative table is built at most once per factor vertex and
-/// deduplicated against every table seen so far, so vertices with
-/// identical hop profiles share one class id.
-fn hop_class(
-    row: &[u32],
-    slot: &mut Option<u32>,
-    ids: &mut std::collections::BTreeMap<Vec<u64>, u32>,
-    tables: &mut Vec<Vec<u64>>,
-) -> u32 {
-    if let Some(x) = *slot {
-        return x;
-    }
-    let cum = cumulative_hop_counts(row);
-    let id = match ids.get(&cum) {
-        Some(&x) => x,
-        None => {
-            let x = tables.len() as u32;
-            ids.insert(cum.clone(), x);
-            tables.push(cum);
-            x
-        }
-    };
-    *slot = Some(id);
-    id
-}
+/// Above this many distinct table-class pairs the batch memo falls back
+/// from the dense arena grid (8 bytes per cell) to a sparse map.
+const GRID_CAP: usize = 1 << 20;
 
 /// Closeness for a batch of `r` sample vertices, fast path.
 ///
-/// Class-collapsed: product vertices are grouped by the pair of factor
-/// hop-table classes `(class_A(i), class_B(k))`, and
+/// Class-collapsed: the oracle already deduplicated every factor hop row
+/// into a cumulative table class ([`DistanceOracle::table_class_a`]), so
+/// each sample vertex is two table lookups, and
 /// [`closeness_from_cumulative`] runs **once per distinct class pair** in
-/// the batch; every other vertex of the pair receives the same computed
+/// the batch. Every other vertex of the pair receives the same computed
 /// `f64`, which makes the collapsed batch bit-identical to mapping
-/// [`closeness_fast`] over the batch (same arithmetic, same inputs). Cost
-/// drops from `O(r (n_A + n_B + h*))` to
-/// `O(rows (n + h log) + pairs · h* + r)` — on products of regular or
-/// highly symmetric factors (few distinct hop profiles) the per-vertex
-/// term is a table lookup.
+/// [`closeness_fast`] over the batch — the deduplicated tables are
+/// value-equal to the per-vertex ones, and the combining arithmetic is
+/// the same pure function. Cost drops from `O(r (n_A + n_B + h*))` to
+/// `O(pairs · h* + r)`; the pair memo is a dense `f64`-bits grid drawn
+/// from the process [`Arena`] (with a seen-bitmap, so a computed 0.0 is
+/// distinguishable from an empty cell), falling back to a sparse map
+/// only past [`GRID_CAP`] cells.
 pub fn closeness_batch(
     oracle: &DistanceOracle<'_>,
     vertices: &[VertexId],
@@ -140,33 +120,43 @@ pub fn closeness_batch(
     let _span = kron_obs::span::enter("core/closeness_batch");
     kron_obs::counter!("core.closeness_sources").add(vertices.len() as u64);
     let pair = oracle.pair();
-    let mut slot_a: Vec<Option<u32>> = vec![None; pair.a().n() as usize];
-    let mut slot_b: Vec<Option<u32>> = vec![None; pair.b().n() as usize];
-    let mut ids_a = std::collections::BTreeMap::new();
-    let mut ids_b = std::collections::BTreeMap::new();
-    let mut tables_a: Vec<Vec<u64>> = Vec::new();
-    let mut tables_b: Vec<Vec<u64>> = Vec::new();
-    let mut memo: std::collections::BTreeMap<(u32, u32), f64> = std::collections::BTreeMap::new();
+    let tables_a = oracle.closeness_tables_a();
+    let tables_b = oracle.closeness_tables_b();
+    let cells = tables_a.len() * tables_b.len();
     let mut out = Vec::with_capacity(vertices.len());
-    for &p in vertices {
-        pair.check_vertex(p)?;
-        let (i, k) = pair.split(p);
-        let xa = hop_class(
-            oracle.hops_a_row(i),
-            &mut slot_a[i as usize],
-            &mut ids_a,
-            &mut tables_a,
-        );
-        let xb = hop_class(
-            oracle.hops_b_row(k),
-            &mut slot_b[k as usize],
-            &mut ids_b,
-            &mut tables_b,
-        );
-        let value = *memo.entry((xa, xb)).or_insert_with(|| {
-            closeness_from_cumulative(&tables_a[xa as usize], &tables_b[xb as usize])
-        });
-        out.push(value);
+    if cells <= GRID_CAP {
+        let arena = Arena::global();
+        let mut grid = arena.take_words(cells);
+        let mut seen = arena.take_words(cells.div_ceil(64));
+        let mut combined = 0u64;
+        for &p in vertices {
+            pair.check_vertex(p)?;
+            let (i, k) = pair.split(p);
+            let xa = oracle.table_class_a(i) as usize;
+            let xb = oracle.table_class_b(k) as usize;
+            let cell = xa * tables_b.len() + xb;
+            if seen[cell >> 6] & (1 << (cell & 63)) == 0 {
+                seen[cell >> 6] |= 1 << (cell & 63);
+                combined += 1;
+                grid[cell] =
+                    closeness_from_cumulative(&tables_a[xa], &tables_b[xb]).to_bits();
+            }
+            out.push(f64::from_bits(grid[cell]));
+        }
+        kron_obs::counter!("core.closeness_pairs_combined").add(combined);
+    } else {
+        let mut memo: std::collections::BTreeMap<(u32, u32), f64> =
+            std::collections::BTreeMap::new();
+        for &p in vertices {
+            pair.check_vertex(p)?;
+            let (i, k) = pair.split(p);
+            let (xa, xb) = (oracle.table_class_a(i), oracle.table_class_b(k));
+            let value = *memo.entry((xa, xb)).or_insert_with(|| {
+                closeness_from_cumulative(&tables_a[xa as usize], &tables_b[xb as usize])
+            });
+            out.push(value);
+        }
+        kron_obs::counter!("core.closeness_pairs_combined").add(memo.len() as u64);
     }
     Ok(out)
 }

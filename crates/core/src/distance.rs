@@ -13,10 +13,12 @@
 //! `max ≤ hops_C ≤ max + 1` and `max ≤ diam(C) ≤ max + 1`, which is the
 //! paper's diameter-control mechanism (§V-C).
 
-use kron_analytics::distance::{bfs_hops, UNREACHABLE};
+use kron_analytics::distance::{multi_source_bfs_hops, UNREACHABLE};
 use kron_analytics::Histogram;
-use kron_graph::VertexId;
+use kron_graph::{CsrGraph, VertexId};
 
+use crate::classes::ClassMap;
+use crate::closeness::cumulative_hop_counts;
 use crate::pair::{KronError, KroneckerPair};
 
 /// Combines per-vertex factor eccentricities into the product's
@@ -55,17 +57,96 @@ impl HopBounds {
     }
 }
 
+/// Precomputed distance structure of one factor: Def. 9 hop rows stored
+/// once per *adjacency class*, plus per-vertex eccentricities and the
+/// deduplicated cumulative closeness tables.
+///
+/// For an **undirected** factor, vertices with identical (sorted) CSR
+/// neighbor rows are adjacency twins, and their full Def. 9 hop rows are
+/// identical pointwise: off the diagonal `hops(u, x) = 1 + min_{w ∈ N(u)}
+/// dist(w, x)` depends only on the neighbor set, and at the diagonal the
+/// twins agree too — adjacent twins both carry self loops (`v ∈ N(u) =
+/// N(v)` forces `v ∈ N(v)`), giving 1 = their mutual distance, while
+/// non-adjacent twins are loop-free with a shared neighbor, giving 2 on
+/// both sides. So one BFS per class suffices. Directed factors get
+/// singleton classes (the argument needs symmetry; a counterexample:
+/// `N⁺(u) = N⁺(v) = {a}`, `N⁺(a) = {u}` makes rows differ), but still
+/// ride the 64-sources-per-sweep bitset BFS.
+struct FactorDistances {
+    /// Adjacency-class id of every vertex.
+    class_of: Vec<u32>,
+    /// One Def. 9 hop row per class (from the class representative).
+    rows: Vec<Vec<u32>>,
+    /// Per-vertex eccentricity (the row max, expanded back to vertices).
+    ecc: Vec<u32>,
+    /// Closeness-table class of each *row* class: rows with value-equal
+    /// cumulative hop tables share one table.
+    table_of: Vec<u32>,
+    /// Deduplicated cumulative hop-count tables.
+    tables: Vec<Vec<u64>>,
+}
+
+impl FactorDistances {
+    fn build(g: &CsrGraph) -> Self {
+        let n = g.n() as usize;
+        let class_of: Vec<u32> = if g.is_undirected() {
+            ClassMap::build((0..g.n()).map(|v| g.neighbors(v).to_vec())).class_of
+        } else {
+            (0..n as u32).collect()
+        };
+        // Representative = first vertex of each class (first-seen order).
+        let classes = class_of.iter().copied().max().map_or(0, |m| m as usize + 1);
+        let mut reps = vec![VertexId::MAX; classes];
+        for (v, &c) in class_of.iter().enumerate() {
+            if reps[c as usize] == VertexId::MAX {
+                reps[c as usize] = v as VertexId;
+            }
+        }
+        kron_obs::counter!("distance.bfs_sources_swept").add(classes as u64);
+        kron_obs::counter!("distance.bfs_sources_collapsed").add((n - classes) as u64);
+        let rows = multi_source_bfs_hops(g, &reps);
+        let row_ecc: Vec<u32> = rows
+            .iter()
+            .map(|row| row.iter().copied().max().unwrap_or(UNREACHABLE))
+            .collect();
+        let ecc = class_of.iter().map(|&c| row_ecc[c as usize]).collect();
+        let mut table_of = Vec::with_capacity(rows.len());
+        let mut ids: std::collections::BTreeMap<Vec<u64>, u32> = std::collections::BTreeMap::new();
+        let mut tables: Vec<Vec<u64>> = Vec::new();
+        for row in &rows {
+            let cum = cumulative_hop_counts(row);
+            let id = match ids.get(&cum) {
+                Some(&x) => x,
+                None => {
+                    let x = tables.len() as u32;
+                    ids.insert(cum.clone(), x);
+                    tables.push(cum);
+                    x
+                }
+            };
+            table_of.push(id);
+        }
+        FactorDistances { class_of, rows, ecc, table_of, tables }
+    }
+
+    #[inline]
+    fn row(&self, v: VertexId) -> &[u32] {
+        &self.rows[self.class_of[v as usize] as usize]
+    }
+}
+
 /// Precomputed factor hop-count matrices and eccentricities.
 ///
-/// Storage is `O(n_A² + n_B²)` — factor-sized, i.e. `O(n_C)` overall is
-/// never touched. This is the "sublinear amount of memory" of the paper's
-/// contribution (d).
+/// Storage is `O(n_A² + n_B²)` worst case (factor-sized, i.e. `O(n_C)`
+/// overall is never touched — the "sublinear amount of memory" of the
+/// paper's contribution (d)), and one hop row per *adjacency class* in
+/// practice: undirected twins share a row, and construction sweeps 64
+/// class representatives per bitset-BFS pass instead of one BFS per
+/// vertex (see [`FactorDistances`]).
 pub struct DistanceOracle<'a> {
     pair: &'a KroneckerPair,
-    hops_a: Vec<Vec<u32>>,
-    hops_b: Vec<Vec<u32>>,
-    ecc_a: Vec<u32>,
-    ecc_b: Vec<u32>,
+    a: FactorDistances,
+    b: FactorDistances,
 }
 
 impl<'a> DistanceOracle<'a> {
@@ -93,18 +174,12 @@ impl<'a> DistanceOracle<'a> {
     }
 
     fn build(pair: &'a KroneckerPair) -> Self {
-        let a = pair.a();
-        let b = pair.b();
-        let hops_a: Vec<Vec<u32>> = (0..a.n()).map(|v| bfs_hops(a, v)).collect();
-        let hops_b: Vec<Vec<u32>> = (0..b.n()).map(|v| bfs_hops(b, v)).collect();
-        let ecc = |rows: &[Vec<u32>]| -> Vec<u32> {
-            rows.iter()
-                .map(|row| row.iter().copied().max().unwrap_or(UNREACHABLE))
-                .collect()
-        };
-        let ecc_a = ecc(&hops_a);
-        let ecc_b = ecc(&hops_b);
-        DistanceOracle { pair, hops_a, hops_b, ecc_a, ecc_b }
+        let _span = kron_obs::span::enter("core/distance_oracle_build");
+        DistanceOracle {
+            pair,
+            a: FactorDistances::build(pair.a()),
+            b: FactorDistances::build(pair.b()),
+        }
     }
 
     /// The pair this oracle answers for.
@@ -114,12 +189,36 @@ impl<'a> DistanceOracle<'a> {
 
     /// Hop count row of factor `A` from vertex `i`.
     pub fn hops_a_row(&self, i: VertexId) -> &[u32] {
-        &self.hops_a[i as usize]
+        self.a.row(i)
     }
 
     /// Hop count row of factor `B` from vertex `k`.
     pub fn hops_b_row(&self, k: VertexId) -> &[u32] {
-        &self.hops_b[k as usize]
+        self.b.row(k)
+    }
+
+    /// Closeness-table class of factor-`A` vertex `i`: vertices with the
+    /// same id share one entry of [`Self::closeness_tables_a`], and the
+    /// table holds exactly `cumulative_hop_counts(hops_a_row(i))`.
+    pub fn table_class_a(&self, i: VertexId) -> u32 {
+        self.a.table_of[self.a.class_of[i as usize] as usize]
+    }
+
+    /// Closeness-table class of factor-`B` vertex `k`.
+    pub fn table_class_b(&self, k: VertexId) -> u32 {
+        self.b.table_of[self.b.class_of[k as usize] as usize]
+    }
+
+    /// Deduplicated cumulative hop tables of factor `A`, indexed by
+    /// [`Self::table_class_a`].
+    pub fn closeness_tables_a(&self) -> &[Vec<u64>] {
+        &self.a.tables
+    }
+
+    /// Deduplicated cumulative hop tables of factor `B`, indexed by
+    /// [`Self::table_class_b`].
+    pub fn closeness_tables_b(&self) -> &[Vec<u64>] {
+        &self.b.tables
     }
 
     /// Exact product hop count `hops_C(p, q)` (Thm. 3).
@@ -128,8 +227,8 @@ impl<'a> DistanceOracle<'a> {
         self.pair.check_vertex(q)?;
         let (i, k) = self.pair.split(p);
         let (j, l) = self.pair.split(q);
-        let ha = self.hops_a[i as usize][j as usize];
-        let hb = self.hops_b[k as usize][l as usize];
+        let ha = self.a.row(i)[j as usize];
+        let hb = self.b.row(k)[l as usize];
         if ha == UNREACHABLE || hb == UNREACHABLE {
             return Ok(UNREACHABLE);
         }
@@ -142,8 +241,8 @@ impl<'a> DistanceOracle<'a> {
         self.pair.check_vertex(q)?;
         let (i, k) = self.pair.split(p);
         let (j, l) = self.pair.split(q);
-        let ha = self.hops_a[i as usize][j as usize];
-        let hb = self.hops_b[k as usize][l as usize];
+        let ha = self.a.row(i)[j as usize];
+        let hb = self.b.row(k)[l as usize];
         if ha == UNREACHABLE || hb == UNREACHABLE {
             return Ok(HopBounds { lower: UNREACHABLE, upper: UNREACHABLE });
         }
@@ -155,7 +254,7 @@ impl<'a> DistanceOracle<'a> {
     pub fn eccentricity_of(&self, p: VertexId) -> crate::Result<u32> {
         self.pair.check_vertex(p)?;
         let (i, k) = self.pair.split(p);
-        let (ea, eb) = (self.ecc_a[i as usize], self.ecc_b[k as usize]);
+        let (ea, eb) = (self.a.ecc[i as usize], self.b.ecc[k as usize]);
         if ea == UNREACHABLE || eb == UNREACHABLE {
             return Ok(UNREACHABLE);
         }
@@ -164,8 +263,8 @@ impl<'a> DistanceOracle<'a> {
 
     /// Exact diameter `diam(C) = max(diam(A), diam(B))` (Cor. 3).
     pub fn diameter(&self) -> u32 {
-        let da = self.ecc_a.iter().copied().max().unwrap_or(0);
-        let db = self.ecc_b.iter().copied().max().unwrap_or(0);
+        let da = self.a.ecc.iter().copied().max().unwrap_or(0);
+        let db = self.b.ecc.iter().copied().max().unwrap_or(0);
         if da == UNREACHABLE || db == UNREACHABLE {
             return UNREACHABLE;
         }
@@ -189,17 +288,17 @@ impl<'a> DistanceOracle<'a> {
     /// vertices with eccentricity `≤ e`. This regenerates Fig. 1's `C`
     /// histogram without materializing `C`.
     pub fn eccentricity_histogram(&self) -> Histogram {
-        eccentricity_histogram_from_factors(&self.ecc_a, &self.ecc_b)
+        eccentricity_histogram_from_factors(&self.a.ecc, &self.b.ecc)
     }
 
     /// Per-vertex factor eccentricities (`ε_A`).
     pub fn ecc_a(&self) -> &[u32] {
-        &self.ecc_a
+        &self.a.ecc
     }
 
     /// Per-vertex factor eccentricities (`ε_B`).
     pub fn ecc_b(&self) -> &[u32] {
-        &self.ecc_b
+        &self.b.ecc
     }
 }
 

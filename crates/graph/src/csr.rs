@@ -4,6 +4,8 @@
 //! analytics: O(1) degree lookup, sorted neighbor slices, and
 //! binary-search `has_arc`.
 
+use std::sync::OnceLock;
+
 use crate::edge_list::EdgeList;
 use crate::parallel;
 use crate::{Arc, GraphError, Result, VertexId};
@@ -23,6 +25,41 @@ pub struct CsrGraph {
     n: u64,
     offsets: Vec<usize>,
     targets: Vec<VertexId>,
+    cache: CsrCache,
+}
+
+/// Lazily computed per-graph derived data. The graph is immutable, so the
+/// cache is fill-once (`OnceLock`); it is deliberately invisible to
+/// equality, cloning, and debug output — two graphs with the same
+/// adjacency are the same graph whether or not their caches are warm.
+#[derive(Default)]
+struct CsrCache {
+    /// Vertices sorted ascending by `(degree, id)` — the degree-rank
+    /// permutation the triangle kernels orient edges by.
+    degree_rank: OnceLock<Vec<VertexId>>,
+    max_degree: OnceLock<u64>,
+}
+
+impl Clone for CsrCache {
+    fn clone(&self) -> Self {
+        // A clone starts cold; recomputing is cheaper than deep-copying
+        // and keeps `clone` allocation-proportional to the adjacency.
+        CsrCache::default()
+    }
+}
+
+impl PartialEq for CsrCache {
+    fn eq(&self, _: &Self) -> bool {
+        true
+    }
+}
+
+impl Eq for CsrCache {}
+
+impl std::fmt::Debug for CsrCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("CsrCache")
+    }
 }
 
 impl CsrGraph {
@@ -69,7 +106,7 @@ impl CsrGraph {
             offsets[u + 1] = write;
         }
         targets.truncate(write);
-        CsrGraph { n: n as u64, offsets, targets }
+        CsrGraph { n: n as u64, offsets, targets, cache: CsrCache::default() }
     }
 
     /// Builds directly from raw arcs.
@@ -183,7 +220,7 @@ impl CsrGraph {
         }
         debug_assert!(m == 0 || v == n);
         let targets = parallel::concat_ordered(parts.into_iter().map(|(_, rows)| rows).collect());
-        CsrGraph { n: n as u64, offsets, targets }
+        CsrGraph { n: n as u64, offsets, targets, cache: CsrCache::default() }
     }
 
     /// Parallel [`CsrGraph::from_arcs`] (`None` = machine parallelism).
@@ -220,7 +257,7 @@ impl CsrGraph {
                 debug_assert!(last < n, "row {v} has out-of-range target {last}");
             }
         }
-        CsrGraph { n, offsets, targets }
+        CsrGraph { n, offsets, targets, cache: CsrCache::default() }
     }
 
     /// Row offsets (`n + 1` entries); `offsets[v]..offsets[v + 1]` indexes
@@ -354,9 +391,29 @@ impl CsrGraph {
         CsrGraph::from_edge_list(&list)
     }
 
-    /// Maximum degree, or 0 for an empty graph.
+    /// Maximum degree, or 0 for an empty graph. Computed once and cached;
+    /// the graph is immutable, so the value can never go stale.
     pub fn max_degree(&self) -> u64 {
-        (0..self.n).map(|v| self.degree(v)).max().unwrap_or(0)
+        *self
+            .cache
+            .max_degree
+            .get_or_init(|| (0..self.n).map(|v| self.degree(v)).max().unwrap_or(0))
+    }
+
+    /// The degree-rank permutation: vertices sorted ascending by
+    /// `(degree, id)`, so `order[r]` is the vertex holding rank `r`.
+    ///
+    /// This is the ordering the Chiba–Nishizeki triangle kernels orient
+    /// edges by and the bitmap tier packs neighbor bitmaps in. Computed
+    /// once per graph and cached — repeated kernel invocations (and the
+    /// path-selection heuristic) stop paying the `O(n log n)` sort per
+    /// call.
+    pub fn degree_rank_order(&self) -> &[VertexId] {
+        self.cache.degree_rank.get_or_init(|| {
+            let mut order: Vec<VertexId> = (0..self.n).collect();
+            order.sort_unstable_by_key(|&v| (self.degree(v), v));
+            order
+        })
     }
 }
 
@@ -527,6 +584,25 @@ mod tests {
         assert!(!g.is_loop_free());
         assert!(g.with_full_self_loops().has_full_self_loops());
         assert!(g.without_self_loops().is_loop_free());
+    }
+
+    #[test]
+    fn degree_rank_order_is_cached_and_stable() {
+        let g = CsrGraph::from_arcs(
+            4,
+            vec![(0, 1), (1, 0), (1, 2), (2, 1), (1, 3), (3, 1), (2, 3), (3, 2)],
+        )
+        .unwrap();
+        // Degrees: [1, 3, 2, 2]; ties break by id.
+        assert_eq!(g.degree_rank_order(), &[0, 2, 3, 1]);
+        // Second call returns the same cached slice.
+        let first = g.degree_rank_order().as_ptr();
+        assert_eq!(g.degree_rank_order().as_ptr(), first);
+        assert_eq!(g.max_degree(), 3);
+        assert_eq!(g.max_degree(), 3);
+        // Clones compare equal regardless of cache warmth.
+        let cold = g.clone();
+        assert_eq!(cold, g);
     }
 
     #[test]

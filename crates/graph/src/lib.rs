@@ -18,6 +18,7 @@
 //! * The degree of `v` is its adjacency-row sum: each incident edge
 //!   contributes 1, including a self loop (matching the paper's `d = A·1`).
 
+pub mod arena;
 pub mod connectivity;
 pub mod csr;
 pub mod degree;
@@ -28,6 +29,7 @@ pub mod ops;
 pub mod parallel;
 pub mod union_find;
 
+pub use arena::Arena;
 pub use csr::CsrGraph;
 pub use edge_list::EdgeList;
 

@@ -1,29 +1,70 @@
 #!/usr/bin/env bash
-# Instrumented kernel benchmark (EXPERIMENTS.md, DESIGN.md §8–9).
+# Instrumented kernel benchmark + enforced regression gate
+# (EXPERIMENTS.md, DESIGN.md §8–10).
 #
 # Builds the release bench binary (counting allocator on by default via
 # the `measure-alloc` feature) and runs the extended smoke benchmark:
 # generation + CSR build via direct Kronecker synthesis AND via the
-# legacy arc-materialization path, the compact-forward direct triangle
-# kernel, and the class-collapsed closeness batch. Each phase reports
-# wall time at 1 thread stripped AND instrumented (so the observability
-# overhead is itself measured), wall time at machine parallelism, the
-# analytic peak-intermediate-allocation estimate side by side with the
-# measured allocation profile, and the embedded span/metrics snapshot;
-# outputs are asserted identical across paths, thread counts, and
+# legacy arc-materialization path, the two-tier (marking / word-parallel
+# bitmap) triangle kernel, and the class-collapsed closeness batch over
+# the oracle's deduplicated tables. Timings are interleaved median-of-5
+# per configuration (stripped / instrumented / max-threads); outputs are
+# asserted identical across paths, thread counts, kernel tiers, and
 # obs-on/obs-off before timings are trusted.
 #
-# Writes BENCH_PR5.json (stamped with schema_version and lint-checked on
-# emission) and, when BENCH_PR4.json is present and readable, prints the
-# per-phase speedup versus that baseline and embeds it in the report. A
-# missing or unrecognizable baseline prints a note and is skipped.
+# Writes BENCH_PR6.json (stamped with schema_version and lint-checked on
+# emission). When the baseline (default BENCH_PR5.json) is present, the
+# per-phase comparison is embedded in the report and **gated**: any
+# stripped phase more than GATE_PCT (default 15) percent slower than the
+# baseline fails the run with a nonzero exit. Before exiting, the gate
+# itself is self-tested: a fabricated baseline with impossibly fast
+# timings must make the comparator exit nonzero, so a silently broken
+# gate cannot pass.
 #
 # Usage: scripts/bench.sh [--scale S] [--out PATH] [--baseline PATH]
+#                         [--gate-pct P]
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+GATE_PCT=15
+
 cargo build --release --offline -p kron-bench
 
-echo "== bench_smoke: stripped vs instrumented, measured vs analytic allocation =="
-./target/release/bench_smoke "$@"
+echo "== bench_smoke: interleaved median-of-5, gated at ${GATE_PCT}% =="
+./target/release/bench_smoke --gate-pct "${GATE_PCT}" "$@"
+
+OUT=BENCH_PR6.json
+for ((i = 1; i <= $#; i++)); do
+  [[ "${!i}" == "--out" ]] && j=$((i + 1)) && OUT="${!j}"
+done
+
+if [[ -f "${OUT}" ]]; then
+  echo "== bench gate self-test: injected regression must fail =="
+  FAKE="$(mktemp /tmp/bench_gate_selftest_XXXX.json)"
+  trap 'rm -f "${FAKE}"' EXIT
+  # A fabricated baseline in which every phase ran in 1 µs: against any
+  # real report this is a >15% regression everywhere, so the comparator
+  # MUST exit nonzero. If it passes, the gate is broken — fail loudly.
+  cat > "${FAKE}" <<EOF
+{
+  "schema_version": 2,
+  "phases": [
+    {
+      "name": "generate_and_csr_build",
+      "secs_threads_1": 0.000001
+    },
+    {
+      "name": "triangle_vector_direct",
+      "secs_threads_1": 0.000001
+    }
+  ]
+}
+EOF
+  if ./target/release/bench_smoke --compare "${OUT}" --baseline "${FAKE}" \
+      --gate-pct "${GATE_PCT}" >/dev/null 2>&1; then
+    echo "bench.sh: FATAL: gate self-test passed an injected regression" >&2
+    exit 1
+  fi
+  echo "bench.sh: gate self-test OK (injected regression was rejected)"
+fi

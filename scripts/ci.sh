@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Single pre-PR entry point: chains every check the repo knows about.
+#
+#   1. tier-1:   cargo build --release --offline && cargo test -q --offline
+#                (plus the full --workspace test pass, which the root
+#                package's own test target does not cover)
+#   2. chaos:    scripts/chaos.sh — fault-injected distributed conformance
+#   3. obs:      scripts/obs.sh — observability determinism + allocator
+#   4. bench:    scripts/bench.sh — instrumented benchmark with the >15%
+#                stripped-phase regression gate and its self-test
+#
+# Any failing stage aborts the run with that stage's exit code. Run this
+# before every PR; it is the enforced superset of the tier-1 contract in
+# ROADMAP.md.
+#
+# Usage: scripts/ci.sh
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==== ci: tier-1 build ===="
+cargo build --release --offline
+
+echo "==== ci: tier-1 tests ===="
+cargo test -q --offline
+
+echo "==== ci: workspace tests ===="
+cargo test -q --offline --workspace
+
+echo "==== ci: chaos suite ===="
+scripts/chaos.sh
+
+echo "==== ci: observability suite ===="
+scripts/obs.sh
+
+echo "==== ci: bench + regression gate ===="
+scripts/bench.sh
+
+echo "==== ci: all stages passed ===="

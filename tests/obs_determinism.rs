@@ -17,7 +17,7 @@
 
 use std::sync::{Mutex, MutexGuard, OnceLock};
 
-use kron_analytics::triangles::vertex_triangles_threads;
+use kron_analytics::triangles::{vertex_triangles_threads, vertex_triangles_threads_with, TriangleKernel};
 use kron_core::closeness::closeness_batch_threads;
 use kron_core::distance::DistanceOracle;
 use kron_core::generate::materialize_threads;
@@ -139,6 +139,90 @@ fn results_are_bit_identical_with_obs_on_and_off() {
     assert_eq!(off, on, "enabling spans+metrics+events changed a result");
     assert_eq!(off, spans_only, "enabling spans+metrics changed a result");
     assert_eq!(off, events_only, "enabling the event log changed a result");
+}
+
+#[test]
+fn kernel_tiers_bit_identical_under_all_toggles() {
+    // The PR 6 kernel tiers (marking / bitmap / auto) and the obs toggles
+    // are independent axes; every combination must produce the same
+    // triangle vector, and the arena-recycled scratch must never leak
+    // state between configurations (each run would see it as a different
+    // answer if it did).
+    let _serial = obs_lock();
+    let _restore = ObsOffOnDrop;
+    let pair = test_pair();
+    let csr = materialize_threads(&pair, Some(1));
+    kron_obs::set_enabled(false);
+    let reference = vertex_triangles_threads(&csr, Some(1));
+    for kernel in [TriangleKernel::Auto, TriangleKernel::Marking, TriangleKernel::Bitmap] {
+        for obs_on in [false, true] {
+            for events_on in [false, true] {
+                kron_obs::set_enabled(obs_on);
+                kron_obs::events::set_enabled(events_on);
+                for threads in [1usize, 2, 3, 8] {
+                    let got = vertex_triangles_threads_with(&csr, Some(threads), kernel);
+                    assert_eq!(
+                        got, reference,
+                        "{kernel:?} obs={obs_on} events={events_on} threads={threads}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn kernel_tier_counters_account_for_every_anchor() {
+    // With obs on, the tier counters must partition the anchors: every
+    // anchor is counted exactly once as bitmap-path or marking-path, the
+    // forced tiers land entirely on their own side, and the arena
+    // records its takes.
+    let _serial = obs_lock();
+    let _restore = ObsOffOnDrop;
+    let pair = test_pair();
+    let csr = materialize_threads(&pair, Some(1));
+    let counter = |report: &kron_obs::report::ObsReport, name: &str| -> u64 {
+        report
+            .metrics
+            .counters
+            .iter()
+            .find(|c| c.name == name)
+            .map(|c| c.value)
+            .unwrap_or(0)
+    };
+    let run = |kernel: TriangleKernel| -> kron_obs::report::ObsReport {
+        kron_obs::reset();
+        kron_obs::set_enabled(true);
+        let _ = vertex_triangles_threads_with(&csr, Some(1), kernel);
+        kron_obs::set_enabled(false);
+        kron_obs::report::ObsReport::capture()
+    };
+
+    let marking = run(TriangleKernel::Marking);
+    assert_eq!(counter(&marking, "triangles.anchors_bitmap"), 0, "forced marking");
+    let marked_anchors = counter(&marking, "triangles.anchors_marking");
+    assert!(marked_anchors > 0, "marking tier saw no anchors");
+
+    let bitmap = run(TriangleKernel::Bitmap);
+    assert_eq!(
+        counter(&bitmap, "triangles.anchors_bitmap")
+            + counter(&bitmap, "triangles.anchors_marking"),
+        marked_anchors,
+        "tiers disagree on the anchor population"
+    );
+    assert!(counter(&bitmap, "triangles.packed_rows") > 0, "forced bitmap packed nothing");
+    assert!(counter(&bitmap, "triangles.words_probed") > 0, "forced bitmap probed no words");
+
+    let auto = run(TriangleKernel::Auto);
+    assert_eq!(
+        counter(&auto, "triangles.anchors_bitmap") + counter(&auto, "triangles.anchors_marking"),
+        marked_anchors,
+        "auto tier loses anchors"
+    );
+    assert!(
+        counter(&auto, "arena.take_hits") + counter(&auto, "arena.take_misses") > 0,
+        "kernel scratch bypassed the arena"
+    );
 }
 
 #[test]

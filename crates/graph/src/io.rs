@@ -124,10 +124,23 @@ pub fn decode_binary(mut data: &[u8]) -> Result<EdgeList> {
         return Err(bad(&format!("unsupported version {version}")));
     }
     let n = data.get_u64_le();
-    let count = data.get_u64_le() as usize;
-    if data.remaining() < count * 16 {
+    let count = data.get_u64_le();
+    // Validate the declared count against the bytes actually present
+    // *before* any allocation, with overflow-checked arithmetic: a
+    // forged `count = u64::MAX` must cost one comparison, not an OOM
+    // (and `count * 16` must not wrap into a small number on the way).
+    let need = count
+        .checked_mul(16)
+        .ok_or_else(|| bad("arc count overflows byte length"))?;
+    if (data.remaining() as u64) < need {
         return Err(bad("binary edge list truncated (arcs)"));
     }
+    if data.remaining() as u64 != need {
+        return Err(bad("trailing bytes after arc list"));
+    }
+    // `count ≤ remaining/16` now, so this capacity is bounded by the
+    // input's own size.
+    let count = count as usize;
     let mut arcs = Vec::with_capacity(count);
     for _ in 0..count {
         let u = data.get_u64_le();
@@ -228,6 +241,32 @@ mod tests {
         broken = bytes.to_vec();
         broken.truncate(bytes.len() - 1);
         assert!(decode_binary(&broken).is_err());
+    }
+
+    #[test]
+    fn binary_rejects_adversarial_counts_without_allocating() {
+        // Header declaring u64::MAX arcs over an empty body: must fail
+        // on the length check, not die reserving 2^64·16 bytes.
+        let mut forged = Vec::new();
+        forged.extend_from_slice(MAGIC);
+        forged.extend_from_slice(&VERSION.to_le_bytes());
+        forged.extend_from_slice(&4u64.to_le_bytes()); // n
+        forged.extend_from_slice(&u64::MAX.to_le_bytes()); // count
+        assert!(decode_binary(&forged).is_err());
+
+        // A count chosen so `count * 16` wraps to a small value: the
+        // overflow check must catch it before the comparison lies.
+        let wrap_count = (u64::MAX / 16) + 1; // *16 wraps to 0
+        forged.truncate(16);
+        forged.extend_from_slice(&wrap_count.to_le_bytes());
+        assert!(decode_binary(&forged).is_err());
+    }
+
+    #[test]
+    fn binary_rejects_trailing_bytes() {
+        let mut bytes = encode_binary(&sample()).to_vec();
+        bytes.push(0);
+        assert!(decode_binary(&bytes).is_err());
     }
 
     #[test]

@@ -1,0 +1,257 @@
+//! `kron-load` — seeded zipfian load harness with bit-exact validation.
+//!
+//! Two modes:
+//!
+//! * `kron-load --addr HOST:PORT [--scale S --seed-a A --seed-b B
+//!   --root R] [--clients C --frames F --window W --batch Q --zipf-s Z
+//!   --seed X] [--shutdown]` — drives an already-running `kron-serve`
+//!   (the factor parameters must match the server's, or validation
+//!   fails on the first response). Prints one stats line; exits nonzero
+//!   if any response mismatched. `--shutdown` sends a Shutdown frame
+//!   after the run.
+//!
+//! * `kron-load --self [--scale S ...] [--out BENCH_PR7.json]` — hosts
+//!   the server in-process (1 worker, loopback) and runs the three
+//!   standard phases, writing a gate-compatible report:
+//!
+//!   | phase                   | shape                                  |
+//!   |-------------------------|----------------------------------------|
+//!   | `serve_closed_loop_mixed` | window 1, batch 1 — true per-query RTT |
+//!   | `serve_pipelined_mixed`   | window 8, batch 16 — peak throughput   |
+//!   | `serve_neighbors_hot`     | zipf 1.2, neighbors only — cache phase |
+//!
+//!   Each phase record carries `name` + `secs_threads_1` (wall seconds
+//!   for its fixed query count) on their own lines, so `bench_smoke
+//!   --compare --baseline BENCH_PR7.json` gates serve regressions with
+//!   the same >15% machinery as the kernel benches.
+
+use std::io::Write as _;
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+
+use kron_obs::report::{ObsReport, SCHEMA_VERSION};
+use kron_serve::engine::QueryEngine;
+use kron_serve::load::{run_load, LoadConfig, LoadStats};
+use kron_serve::protocol::{self, Request, Response};
+use kron_serve::server::{self, ServerConfig};
+use serde::Serialize;
+
+fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter().position(|a| a == flag).map(|i| {
+        args.get(i + 1)
+            .unwrap_or_else(|| panic!("{flag} needs a value"))
+            .clone()
+    })
+}
+
+fn parsed<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> T
+where
+    T::Err: std::fmt::Debug,
+{
+    arg_value(args, flag)
+        .map(|v| v.parse().unwrap_or_else(|e| panic!("{flag}: {e:?}")))
+        .unwrap_or(default)
+}
+
+/// One phase record in `BENCH_PR7.json`. `secs_threads_1` is the field
+/// `bench_smoke`'s baseline parser extracts for the regression gate.
+#[derive(Serialize)]
+struct ServePhase {
+    name: String,
+    secs_threads_1: f64,
+    qps: f64,
+    p50_us: f64,
+    p95_us: f64,
+    p99_us: f64,
+    queries: u64,
+    frames: u64,
+    mismatched_frames: u64,
+    cache_hit_rate: f64,
+}
+
+#[derive(Serialize)]
+struct ServeReport {
+    schema_version: u32,
+    tool: &'static str,
+    factor_scale: u32,
+    seed_a: u64,
+    seed_b: u64,
+    workers: usize,
+    cache_capacity: usize,
+    phases: Vec<ServePhase>,
+    obs: ObsReport,
+}
+
+fn print_stats(label: &str, s: &LoadStats, hit_rate: f64) {
+    eprintln!(
+        "kron-load: {label}: {} queries in {:.3}s = {:.0} q/s; RTT p50 {:.0}us p95 {:.0}us p99 {:.0}us; \
+         {}/{} frames validated, {} mismatched; cache hit rate {:.1}%",
+        s.queries, s.secs, s.qps, s.p50_us, s.p95_us, s.p99_us,
+        s.validated_frames, s.frames, s.mismatched_frames, hit_rate * 100.0,
+    );
+}
+
+/// Sends a Shutdown frame and waits for the acknowledgement.
+fn send_shutdown(addr: SocketAddr) {
+    let mut stream = TcpStream::connect(addr).expect("connect for shutdown");
+    stream.set_nodelay(true).expect("nodelay");
+    let mut buf = Vec::new();
+    protocol::encode_request(u64::MAX, &Request::Shutdown, &mut buf);
+    stream.write_all(&buf).expect("send shutdown frame");
+    let mut payload = Vec::new();
+    assert!(
+        protocol::read_frame(&mut stream, &mut payload).expect("read shutdown ack"),
+        "server closed before acknowledging shutdown"
+    );
+    let (_, resp) = protocol::decode_response(&payload).expect("decode shutdown ack");
+    assert_eq!(resp, Response::ShuttingDown);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale: u32 = parsed(&args, "--scale", 7);
+    let seed_a: u64 = parsed(&args, "--seed-a", 12);
+    let seed_b: u64 = parsed(&args, "--seed-b", 13);
+    let root: u64 = parsed(&args, "--root", 0);
+    let seed: u64 = parsed(&args, "--seed", 0xC0FFEE);
+
+    if args.iter().any(|a| a == "--self") {
+        return self_mode(&args, scale, seed_a, seed_b, root, seed);
+    }
+
+    let addr: SocketAddr = arg_value(&args, "--addr")
+        .expect("kron-load needs --addr HOST:PORT or --self")
+        .parse()
+        .expect("valid socket address");
+    let cfg = LoadConfig {
+        clients: parsed(&args, "--clients", 2),
+        frames_per_client: parsed(&args, "--frames", 1000),
+        window: parsed(&args, "--window", 1),
+        batch: parsed(&args, "--batch", 1),
+        zipf_s: parsed(&args, "--zipf-s", 1.0),
+        seed,
+        weights: [1, 1, 1, 1, 1, 1],
+    };
+    kron_obs::set_enabled(true);
+    let engine = QueryEngine::bench_with_root(scale, seed_a, seed_b, root);
+    let stats = run_load(&engine, addr, &cfg);
+    print_stats("run", &stats, 0.0);
+    if args.iter().any(|a| a == "--shutdown") {
+        send_shutdown(addr);
+        eprintln!("kron-load: server acknowledged shutdown");
+    }
+    if stats.mismatched_frames > 0 {
+        eprintln!("kron-load: FAIL: {} mismatched responses", stats.mismatched_frames);
+        std::process::exit(1);
+    }
+}
+
+fn self_mode(args: &[String], scale: u32, seed_a: u64, seed_b: u64, root: u64, seed: u64) {
+    let out_path = arg_value(args, "--out").unwrap_or_else(|| "BENCH_PR7.json".to_string());
+    let workers: usize = parsed(args, "--workers", 1);
+    let cache_capacity: usize = parsed(args, "--cache-capacity", 4096);
+
+    kron_obs::set_enabled(true);
+    kron_obs::reset();
+    eprintln!("kron-load: building scale-{scale} engine (seeds {seed_a}/{seed_b}, root {root})");
+    let engine = Arc::new(QueryEngine::bench_with_root(scale, seed_a, seed_b, root));
+    let n_c = engine.n_c();
+    let handle = server::spawn(
+        Arc::clone(&engine),
+        ServerConfig {
+            workers,
+            cache_capacity,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind loopback");
+    let addr = handle.addr();
+    eprintln!("kron-load: self-hosted server on {addr} (n_c={n_c}, {workers} worker)");
+
+    // (name, clients, frames/client, window, batch, zipf_s, weights)
+    let shapes: [(&str, usize, usize, usize, usize, f64, [u32; 6]); 3] = [
+        ("serve_closed_loop_mixed", 4, 2500, 1, 1, 1.0, [1, 1, 1, 1, 1, 1]),
+        ("serve_pipelined_mixed", 2, 1000, 8, 16, 1.0, [1, 1, 1, 1, 1, 1]),
+        ("serve_neighbors_hot", 2, 750, 4, 8, 1.2, [1, 0, 0, 0, 0, 0]),
+    ];
+    // Median-of-3 per phase: serve timings are wall-clock over a fixed
+    // query count on a shared box, so a single run is too noisy for the
+    // 15% regression gate. Every rep still validates every response.
+    const REPS: usize = 3;
+    let mut phases = Vec::new();
+    let mut total_mismatches = 0;
+    for (name, clients, frames, window, batch, zipf_s, weights) in shapes {
+        let mut runs = Vec::with_capacity(REPS);
+        for _ in 0..REPS {
+            let before = handle.cache_stats();
+            let stats = run_load(
+                &engine,
+                addr,
+                &LoadConfig {
+                    clients,
+                    frames_per_client: frames,
+                    window,
+                    batch,
+                    zipf_s,
+                    seed,
+                    weights,
+                },
+            );
+            let after = handle.cache_stats();
+            let lookups = (after.hits + after.misses) - (before.hits + before.misses);
+            let hit_rate = if lookups == 0 {
+                0.0
+            } else {
+                (after.hits - before.hits) as f64 / lookups as f64
+            };
+            total_mismatches += stats.mismatched_frames;
+            runs.push((stats, hit_rate));
+        }
+        runs.sort_by(|a, b| a.0.secs.total_cmp(&b.0.secs));
+        let (stats, hit_rate) = runs.swap_remove(REPS / 2);
+        print_stats(name, &stats, hit_rate);
+        phases.push(ServePhase {
+            name: name.to_string(),
+            secs_threads_1: stats.secs,
+            qps: stats.qps,
+            p50_us: stats.p50_us,
+            p95_us: stats.p95_us,
+            p99_us: stats.p99_us,
+            queries: stats.queries,
+            frames: stats.frames,
+            mismatched_frames: stats.mismatched_frames,
+            cache_hit_rate: hit_rate,
+        });
+    }
+
+    send_shutdown(addr);
+    handle.wait_shutdown_requested();
+    let shutdown = handle.shutdown();
+    eprintln!(
+        "kron-load: server drained ({} workers, {} readers joined)",
+        shutdown.workers_joined, shutdown.readers_joined
+    );
+
+    kron_obs::metrics::flush_thread();
+    let report = ServeReport {
+        schema_version: SCHEMA_VERSION,
+        tool: "kron-load --self",
+        factor_scale: scale,
+        seed_a,
+        seed_b,
+        workers,
+        cache_capacity,
+        phases,
+        obs: ObsReport::capture(),
+    };
+    let json = serde_json::to_string_pretty(&report).expect("serializable");
+    std::fs::write(&out_path, &json).expect("write report");
+    let written = std::fs::read_to_string(&out_path).expect("reread report");
+    kron_obs::json_lint::validate(&written).expect("emitted report is valid JSON");
+    eprintln!("kron-load: wrote {out_path} (schema_version {SCHEMA_VERSION}, lint-clean)");
+
+    if total_mismatches > 0 {
+        eprintln!("kron-load: FAIL: {total_mismatches} mismatched responses");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,35 @@
+//! kron-serve: a virtual-graph query server that answers per-vertex
+//! questions about the Kronecker product `C = A ⊗ B` from the factors
+//! alone — `C` is never materialized.
+//!
+//! The paper's central trade — generate a graph whose properties are
+//! *known* instead of measured — becomes an online service here: a
+//! scale-`2s` product with billions of arcs is "hosted" by a process
+//! whose resident state is two factor CSRs plus factor-sized oracle
+//! tables, and every query (`Neighbors`, `Degree`, `TriangleCount`,
+//! `Closeness`, `CommunityId`, `HopsFromRoot`) is answered in O(deg) or
+//! O(1) from the closed forms.
+//!
+//! Module map:
+//!
+//! * [`protocol`] — the length-prefixed binary wire format and its
+//!   hardened (never panics, never over-allocates) decoders.
+//! * [`engine`] — [`engine::QueryEngine`]: factor CSRs + precomputed
+//!   class tables; answers every query kind without touching `C`.
+//! * [`queue`] — the bounded blocking MPMC queue between connection
+//!   readers and the worker pool.
+//! * [`cache`] — the bounded, seeded-eviction neighbor-row cache.
+//! * [`server`] — accept loop, readers, workers, graceful shutdown.
+//! * [`load`] — the seeded zipfian load generator with bit-for-bit
+//!   response validation against the independent `kron_core` oracles.
+//!
+//! Binaries: `kron-serve` (the server) and `kron-load` (the load
+//! harness; its `--self` mode hosts the server in-process and writes
+//! the `BENCH_PR7.json` phases consumed by `scripts/bench.sh`).
+
+pub mod cache;
+pub mod engine;
+pub mod load;
+pub mod protocol;
+pub mod queue;
+pub mod server;

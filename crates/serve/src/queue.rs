@@ -1,0 +1,152 @@
+//! Bounded blocking MPMC queue: the seam between connection readers and
+//! the worker pool.
+//!
+//! Readers `push` (blocking when full — that is the backpressure that
+//! decouples connection count from worker parallelism: a flood of
+//! pipelined frames parks the reader threads instead of growing an
+//! unbounded buffer), workers `pop` (blocking when empty). `close`
+//! drains gracefully: queued items are still popped, and only an empty
+//! closed queue reports `None` — which is exactly the "all in-flight
+//! replies flushed" shutdown guarantee.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+struct Inner<T> {
+    buf: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded blocking MPMC queue (see module docs).
+pub struct BoundedQueue<T> {
+    inner: Mutex<Inner<T>>,
+    cap: usize,
+    not_empty: Condvar,
+    not_full: Condvar,
+}
+
+impl<T> BoundedQueue<T> {
+    /// A queue holding at most `cap` items (`cap ≥ 1`).
+    pub fn new(cap: usize) -> BoundedQueue<T> {
+        assert!(cap >= 1, "queue capacity must be positive");
+        BoundedQueue {
+            inner: Mutex::new(Inner { buf: VecDeque::with_capacity(cap), closed: false }),
+            cap,
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        }
+    }
+
+    /// Enqueues `item`, blocking while the queue is full. Returns the
+    /// item back if the queue was closed before it could be enqueued.
+    pub fn push(&self, item: T) -> Result<(), T> {
+        let mut inner = self.inner.lock().expect("queue poisoned");
+        loop {
+            if inner.closed {
+                return Err(item);
+            }
+            if inner.buf.len() < self.cap {
+                inner.buf.push_back(item);
+                kron_obs::gauge!("serve.queue_depth_max").observe(inner.buf.len() as u64);
+                self.not_empty.notify_one();
+                return Ok(());
+            }
+            inner = self.not_full.wait(inner).expect("queue poisoned");
+        }
+    }
+
+    /// Dequeues one item, blocking while empty. `None` only once the
+    /// queue is closed **and** drained.
+    pub fn pop(&self) -> Option<T> {
+        let mut inner = self.inner.lock().expect("queue poisoned");
+        loop {
+            if let Some(item) = inner.buf.pop_front() {
+                self.not_full.notify_one();
+                return Some(item);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.not_empty.wait(inner).expect("queue poisoned");
+        }
+    }
+
+    /// Closes the queue: pushes start failing, pops drain then end.
+    pub fn close(&self) {
+        self.inner.lock().expect("queue poisoned").closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    /// Items currently queued.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("queue poisoned").buf.len()
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_within_capacity() {
+        let q = BoundedQueue::new(4);
+        for i in 0..4 {
+            q.push(i).unwrap();
+        }
+        assert_eq!(q.len(), 4);
+        for i in 0..4 {
+            assert_eq!(q.pop(), Some(i));
+        }
+    }
+
+    #[test]
+    fn close_drains_then_ends() {
+        let q = BoundedQueue::new(4);
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        q.close();
+        assert_eq!(q.push(3), Err(3));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn full_queue_blocks_until_popped() {
+        let q = Arc::new(BoundedQueue::new(1));
+        q.push(0u32).unwrap();
+        let q2 = Arc::clone(&q);
+        let pusher = std::thread::spawn(move || q2.push(1).is_ok());
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert_eq!(q.len(), 1, "second push must be parked, not queued");
+        assert_eq!(q.pop(), Some(0));
+        assert!(pusher.join().unwrap());
+        assert_eq!(q.pop(), Some(1));
+    }
+
+    #[test]
+    fn close_unblocks_parked_pusher_and_popper() {
+        let q = Arc::new(BoundedQueue::new(1));
+        q.push(7u32).unwrap();
+        let q2 = Arc::clone(&q);
+        let pusher = std::thread::spawn(move || q2.push(8));
+        let q3 = Arc::new(BoundedQueue::<u32>::new(1));
+        let q3c = Arc::clone(&q3);
+        let popper = std::thread::spawn(move || q3c.pop());
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.close();
+        q3.close();
+        assert_eq!(pusher.join().unwrap(), Err(8));
+        assert_eq!(popper.join().unwrap(), None);
+        // The pre-close item still drains.
+        assert_eq!(q.pop(), Some(7));
+        assert_eq!(q.pop(), None);
+    }
+}

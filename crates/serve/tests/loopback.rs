@@ -1,0 +1,221 @@
+//! End-to-end loopback tests: concurrent clients over real TCP against
+//! a small engine, bit-identical validation against the `kron_core`
+//! oracles, malformed-frame resilience, and graceful shutdown.
+
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::Arc;
+
+use kron_core::KroneckerPair;
+use kron_graph::generators::{cycle, erdos_renyi};
+use kron_serve::engine::QueryEngine;
+use kron_serve::load::{run_load, LoadConfig};
+use kron_serve::protocol::{self, Query, QueryKind, Reply, Request, Response, Value};
+use kron_serve::server::{self, ServerConfig};
+
+fn small_engine() -> Arc<QueryEngine> {
+    let pair = KroneckerPair::with_full_self_loops(erdos_renyi(9, 0.4, 3), cycle(7)).unwrap();
+    Arc::new(QueryEngine::from_pair(pair, 5).unwrap())
+}
+
+fn spawn_small(workers: usize) -> (Arc<QueryEngine>, server::ServerHandle) {
+    let engine = small_engine();
+    let handle = server::spawn(
+        Arc::clone(&engine),
+        ServerConfig { workers, cache_capacity: 32, ..ServerConfig::default() },
+    )
+    .expect("bind loopback");
+    (engine, handle)
+}
+
+fn connect(handle: &server::ServerHandle) -> TcpStream {
+    let s = TcpStream::connect(handle.addr()).expect("connect");
+    s.set_nodelay(true).expect("nodelay");
+    s
+}
+
+fn roundtrip(stream: &mut TcpStream, id: u64, req: &Request) -> (u64, Response) {
+    let mut buf = Vec::new();
+    protocol::encode_request(id, req, &mut buf);
+    stream.write_all(&buf).expect("send");
+    let mut payload = Vec::new();
+    assert!(protocol::read_frame(stream, &mut payload).expect("read"), "unexpected EOF");
+    protocol::decode_response(&payload).expect("decode")
+}
+
+#[test]
+fn concurrent_mixed_clients_validate_bit_identical() {
+    let (engine, handle) = spawn_small(2);
+    // Four concurrent clients, every query kind, pipelined batches; the
+    // harness recomputes every expected frame through the independent
+    // kron_core oracle path and compares whole payloads.
+    let stats = run_load(
+        &engine,
+        handle.addr(),
+        &LoadConfig {
+            clients: 4,
+            frames_per_client: 100,
+            window: 4,
+            batch: 5,
+            zipf_s: 0.8,
+            seed: 1234,
+            weights: [1, 1, 1, 1, 1, 1],
+        },
+    );
+    assert_eq!(stats.frames, 400);
+    assert_eq!(stats.queries, 2000);
+    assert_eq!(stats.mismatched_frames, 0, "every response must be bit-identical");
+    let shutdown = handle.shutdown();
+    assert_eq!(shutdown.jobs_left, 0);
+}
+
+#[test]
+fn single_queries_match_engine_values() {
+    let (engine, handle) = spawn_small(1);
+    let mut stream = connect(&handle);
+    let mut row = Vec::new();
+    for p in [0u64, 1, engine.n_c() / 2, engine.n_c() - 1] {
+        for kind in QueryKind::ALL {
+            let (id, resp) =
+                roundtrip(&mut stream, p * 10 + kind.as_u8() as u64, &Request::Single(Query { kind, vertex: p }));
+            assert_eq!(id, p * 10 + kind.as_u8() as u64);
+            let Response::Single(reply) = resp else { panic!("expected single reply") };
+            let expect = match kind {
+                QueryKind::Neighbors => {
+                    engine.synthesize_row(p, &mut row);
+                    Value::Neighbors(row.clone())
+                }
+                QueryKind::Degree => Value::Degree(engine.degree(p)),
+                QueryKind::TriangleCount => Value::Triangles(engine.triangles(p)),
+                QueryKind::Closeness => Value::ClosenessBits(engine.closeness_bits(p)),
+                QueryKind::CommunityId => Value::CommunityId(engine.community_id(p)),
+                QueryKind::HopsFromRoot => Value::Hops(engine.hops_from_root(p)),
+            };
+            assert_eq!(reply, Reply::Ok(expect), "kind {kind:?} at vertex {p}");
+        }
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn out_of_range_is_an_error_reply_and_connection_survives() {
+    let (engine, handle) = spawn_small(1);
+    let mut stream = connect(&handle);
+    let bad = engine.n_c() + 7;
+    let (_, resp) = roundtrip(
+        &mut stream,
+        1,
+        &Request::Single(Query { kind: QueryKind::Degree, vertex: bad }),
+    );
+    assert_eq!(
+        resp,
+        Response::Single(Reply::Err {
+            code: protocol::ErrorCode::VertexOutOfRange,
+            detail: bad
+        })
+    );
+    // Same connection keeps working after a semantic error.
+    let (_, resp) = roundtrip(
+        &mut stream,
+        2,
+        &Request::Single(Query { kind: QueryKind::Degree, vertex: 0 }),
+    );
+    assert_eq!(resp, Response::Single(Reply::Ok(Value::Degree(engine.degree(0)))));
+    handle.shutdown();
+}
+
+#[test]
+fn malformed_frames_drop_the_connection_not_the_server() {
+    let (engine, handle) = spawn_small(1);
+
+    // Oversized length prefix: connection must be dropped.
+    let mut bad = connect(&handle);
+    bad.write_all(&u32::MAX.to_le_bytes()).expect("send bad prefix");
+    let mut payload = Vec::new();
+    assert!(
+        !protocol::read_frame(&mut bad, &mut payload).unwrap_or(false),
+        "server must close a connection after a bad length prefix"
+    );
+
+    // Undecodable payload (bad version byte): same fate.
+    let mut bad2 = connect(&handle);
+    let mut frame = Vec::new();
+    let start = protocol::begin_frame(&mut frame, 0, 1);
+    frame.extend_from_slice(&0u64.to_le_bytes());
+    protocol::finish_frame(&mut frame, start);
+    frame[4] = 99; // corrupt the version inside a well-framed payload
+    bad2.write_all(&frame).expect("send bad version");
+    assert!(!protocol::read_frame(&mut bad2, &mut payload).unwrap_or(false));
+
+    // The server itself is fine: a fresh connection gets answers.
+    let mut good = connect(&handle);
+    let (_, resp) = roundtrip(
+        &mut good,
+        3,
+        &Request::Single(Query { kind: QueryKind::Degree, vertex: 1 }),
+    );
+    assert_eq!(resp, Response::Single(Reply::Ok(Value::Degree(engine.degree(1)))));
+    handle.shutdown();
+}
+
+#[test]
+fn graceful_shutdown_flushes_pipelined_replies_and_joins_every_thread() {
+    let (engine, handle) = spawn_small(2);
+
+    // Connection X pipelines 50 frames without reading.
+    let mut x = connect(&handle);
+    let mut buf = Vec::new();
+    for i in 0..50u64 {
+        protocol::encode_request(
+            i,
+            &Request::Single(Query { kind: QueryKind::Degree, vertex: i % engine.n_c() }),
+            &mut buf,
+        );
+    }
+    x.write_all(&buf).expect("pipeline 50 frames");
+
+    // All 50 replies arrive (possibly reordered across the 2 workers —
+    // the ids must form exactly the sent set).
+    let mut seen = std::collections::BTreeSet::new();
+    let mut payload = Vec::new();
+    for _ in 0..50 {
+        assert!(protocol::read_frame(&mut x, &mut payload).expect("read reply"));
+        let (id, resp) = protocol::decode_response(&payload).expect("decode");
+        let Response::Single(Reply::Ok(Value::Degree(d))) = resp else {
+            panic!("expected degree reply")
+        };
+        assert_eq!(d, engine.degree(id % engine.n_c()));
+        assert!(seen.insert(id), "duplicate reply id {id}");
+    }
+    assert_eq!(seen.len(), 50);
+
+    // Connection Y requests shutdown and gets the acknowledgement.
+    let mut y = connect(&handle);
+    let (_, resp) = roundtrip(&mut y, 999, &Request::Shutdown);
+    assert_eq!(resp, Response::ShuttingDown);
+
+    handle.wait_shutdown_requested();
+    let stats = handle.shutdown();
+    // No worker leak: every spawned thread is joined and the queue is dry.
+    assert_eq!(stats.workers_joined, 2);
+    assert!(stats.readers_joined >= 2, "both connections' readers joined");
+    assert_eq!(stats.jobs_left, 0, "queue fully drained before workers exited");
+}
+
+#[test]
+fn cache_serves_repeat_neighbors_identically() {
+    let (engine, handle) = spawn_small(1);
+    let mut stream = connect(&handle);
+    let p = 3u64;
+    let (_, first) =
+        roundtrip(&mut stream, 1, &Request::Single(Query { kind: QueryKind::Neighbors, vertex: p }));
+    let (_, second) =
+        roundtrip(&mut stream, 2, &Request::Single(Query { kind: QueryKind::Neighbors, vertex: p }));
+    assert_eq!(first, second, "cache hit must serve identical bytes");
+    let mut row = Vec::new();
+    engine.synthesize_row(p, &mut row);
+    assert_eq!(first, Response::Single(Reply::Ok(Value::Neighbors(row))));
+    let stats = handle.cache_stats();
+    assert!(stats.hits >= 1, "second lookup must hit the row cache");
+    handle.shutdown();
+}

@@ -21,6 +21,12 @@
 # timings must make the comparator exit nonzero, so a silently broken
 # gate cannot pass.
 #
+# After the kernel phases, the serve tier runs: `kron-load --self`
+# writes the three query-server phases to BENCH_PR7.json (median-of-3,
+# every response validated bit-for-bit against the oracles), gated with
+# the same comparator against the previous BENCH_PR7.json when present,
+# with its own injected-regression self-test.
+#
 # Usage: scripts/bench.sh [--scale S] [--out PATH] [--baseline PATH]
 #                         [--gate-pct P]
 
@@ -68,3 +74,57 @@ EOF
   fi
   echo "bench.sh: gate self-test OK (injected regression was rejected)"
 fi
+
+# ---------------------------------------------------------------------------
+# Serve phases: kron-load --self hosts the query server in process and
+# times the three standard serving shapes (closed-loop mixed, pipelined
+# mixed, zipfian neighbors-hot) into BENCH_PR7.json, median-of-3 per
+# phase with every response validated bit-for-bit. When a previous
+# BENCH_PR7.json exists it becomes the baseline and the same >15%
+# comparator gates the serve phases too — with its own self-test.
+# ---------------------------------------------------------------------------
+
+SERVE_OUT=BENCH_PR7.json
+SERVE_BASE=""
+SERVE_FAKE=""
+trap 'rm -f "${FAKE:-}" "${SERVE_BASE}" "${SERVE_FAKE}"' EXIT
+
+cargo build --release --offline -p kron-serve
+
+if [[ -f "${SERVE_OUT}" ]]; then
+  SERVE_BASE="$(mktemp /tmp/bench_serve_base_XXXX.json)"
+  cp "${SERVE_OUT}" "${SERVE_BASE}"
+fi
+
+echo "== kron-load --self: serve phases, median-of-3, bit-exact validation =="
+./target/release/kron-load --self --out "${SERVE_OUT}"
+
+if [[ -n "${SERVE_BASE}" ]]; then
+  echo "== serve gate: ${SERVE_OUT} vs previous baseline at ${GATE_PCT}% =="
+  ./target/release/bench_smoke --compare "${SERVE_OUT}" --baseline "${SERVE_BASE}" \
+    --gate-pct "${GATE_PCT}"
+fi
+
+echo "== serve gate self-test: injected regression must fail =="
+SERVE_FAKE="$(mktemp /tmp/bench_serve_selftest_XXXX.json)"
+cat > "${SERVE_FAKE}" <<EOF
+{
+  "schema_version": 2,
+  "phases": [
+    {
+      "name": "serve_closed_loop_mixed",
+      "secs_threads_1": 0.000001
+    },
+    {
+      "name": "serve_pipelined_mixed",
+      "secs_threads_1": 0.000001
+    }
+  ]
+}
+EOF
+if ./target/release/bench_smoke --compare "${SERVE_OUT}" --baseline "${SERVE_FAKE}" \
+    --gate-pct "${GATE_PCT}" >/dev/null 2>&1; then
+  echo "bench.sh: FATAL: serve gate self-test passed an injected regression" >&2
+  exit 1
+fi
+echo "bench.sh: serve gate self-test OK (injected regression was rejected)"

@@ -6,8 +6,12 @@
 #                package's own test target does not cover)
 #   2. chaos:    scripts/chaos.sh — fault-injected distributed conformance
 #   3. obs:      scripts/obs.sh — observability determinism + allocator
-#   4. bench:    scripts/bench.sh — instrumented benchmark with the >15%
-#                stripped-phase regression gate and its self-test
+#   4. serve:    scripts/serve.sh — query-server smoke: process-level
+#                loopback serving, bit-exact load validation, graceful
+#                shutdown, steady-state zero-allocation proof
+#   5. bench:    scripts/bench.sh — instrumented benchmark with the >15%
+#                stripped-phase regression gate and its self-test (kernel
+#                phases in BENCH_PR6.json, serve phases in BENCH_PR7.json)
 #
 # Any failing stage aborts the run with that stage's exit code. Run this
 # before every PR; it is the enforced superset of the tier-1 contract in
@@ -32,6 +36,9 @@ scripts/chaos.sh
 
 echo "==== ci: observability suite ===="
 scripts/obs.sh
+
+echo "==== ci: serve smoke (query server + load harness) ===="
+scripts/serve.sh
 
 echo "==== ci: bench + regression gate ===="
 scripts/bench.sh

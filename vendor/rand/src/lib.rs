@@ -9,6 +9,8 @@
 
 use std::ops::{Range, RangeInclusive};
 
+pub mod distributions;
+
 /// Core source of 64-bit randomness.
 pub trait RngCore {
     /// Next raw 64 bits.

@@ -324,6 +324,38 @@ pub fn synthesize_row_block(
     (offsets, targets)
 }
 
+/// Streams the sorted target row of every product row `p ∈ rows` to
+/// `visit(p, &targets)`, reusing **one** row buffer across calls — the
+/// out-of-core synthesis primitive: resident memory is the largest single
+/// product row (`max d_A(i) · max d_B(k)` targets), never the block.
+///
+/// Row ordering and content are identical to [`synthesize_row_block`]
+/// over the same range; the shard spill path streams these rows straight
+/// to disk so a `C` that cannot fit in RAM never has to.
+pub fn for_each_synthesized_row<F: FnMut(u64, &[u64])>(
+    pair: &KroneckerPair,
+    rows: std::ops::Range<u64>,
+    mut visit: F,
+) {
+    assert!(rows.end <= pair.n_c(), "row range exceeds n_C");
+    let a = pair.a();
+    let b = pair.b();
+    let nb = b.n();
+    let mut row_buf: Vec<u64> = Vec::new();
+    for p in rows {
+        let (i, k) = pair.split(p);
+        row_buf.clear();
+        let row_b = b.neighbors(k);
+        for &j in a.neighbors(i) {
+            let col_base = j * nb;
+            for &l in row_b {
+                row_buf.push(col_base + l);
+            }
+        }
+        visit(p, &row_buf);
+    }
+}
+
 /// Materializes `C` as an explicit CSR graph (direct synthesis path).
 ///
 /// Memory is `O(nnz_A · nnz_B)` — intended for validation-scale products
@@ -541,6 +573,26 @@ mod tests {
             targets.extend(tgt_hi);
             let rebuilt = CsrGraph::from_sorted_parts(pair.n_c(), offsets, targets);
             assert_eq!(rebuilt, c, "cut={cut}");
+        }
+    }
+
+    #[test]
+    fn streamed_rows_match_block_synthesis() {
+        let pair = KroneckerPair::with_full_self_loops(star(4), cycle(5)).unwrap();
+        for range in [0..pair.n_c(), 3..11, 0..0, pair.n_c() - 1..pair.n_c()] {
+            let (offsets, targets) = synthesize_row_block(&pair, range.clone());
+            let mut streamed_offsets = vec![0usize];
+            let mut streamed_targets = Vec::new();
+            let mut expected_p = range.start;
+            for_each_synthesized_row(&pair, range.clone(), |p, row| {
+                assert_eq!(p, expected_p, "rows must stream in order");
+                expected_p += 1;
+                streamed_targets.extend_from_slice(row);
+                streamed_offsets.push(streamed_targets.len());
+            });
+            assert_eq!(expected_p, range.end);
+            assert_eq!(streamed_offsets, offsets, "range={range:?}");
+            assert_eq!(streamed_targets, targets, "range={range:?}");
         }
     }
 

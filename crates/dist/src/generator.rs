@@ -13,15 +13,17 @@
 //! it then holds every batch too) *and* every payload it sent is acked,
 //! so no peer still needs its retransmissions.
 
+use std::path::PathBuf;
 use std::time::Instant;
 
 use kron_core::KroneckerPair;
+use kron_graph::shard::ShardWriter;
 use kron_graph::{Arc, EdgeList};
 use kron_obs::events::Timeline;
-use kron_obs::metrics::LocalRegistry;
+use kron_obs::metrics::{LocalCounter, LocalRegistry};
 
 use crate::owner::{DelegateOwner, EdgeOwner, HashOwner, VertexBlockOwner};
-use crate::partition::{FactorPartition, PartitionScheme};
+use crate::partition::{FactorPartition, GridPartition, PartitionScheme};
 use crate::reliability::{Packet, ReliableEndpoint};
 use crate::stats::{GenStats, RankStats};
 use crate::transport::{Endpoint, TransportConfig};
@@ -68,6 +70,30 @@ pub enum OwnerConfig {
     },
 }
 
+/// Out-of-core storage: ranks spill their stored arcs as sorted shard
+/// runs (`kron_graph::shard`) instead of resident [`EdgeList`]s, bounding
+/// a rank's storage memory to one run buffer + one IO buffer.
+#[derive(Debug, Clone)]
+pub struct SpillConfig {
+    /// Directory the per-rank run files are written to.
+    pub dir: PathBuf,
+    /// Arcs per sorted run (the rank's storage-side memory bound).
+    pub run_arcs: usize,
+    /// IO buffer capacity per open shard file, in bytes.
+    pub io_buf_bytes: usize,
+}
+
+impl SpillConfig {
+    /// Spill into `dir` with default run size (64Ki arcs) and IO buffer.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        SpillConfig {
+            dir: dir.into(),
+            run_arcs: 64 * 1024,
+            io_buf_bytes: kron_graph::shard::DEFAULT_IO_BUF,
+        }
+    }
+}
+
 /// Configuration of a distributed generation run.
 #[derive(Debug, Clone)]
 pub struct DistConfig {
@@ -86,6 +112,11 @@ pub struct DistConfig {
     /// The rank mesh the exchange runs over: perfect channels or the
     /// seeded fault-injecting adversary.
     pub transport: TransportConfig,
+    /// When set (and storing), ranks spill stored arcs to sorted shard
+    /// runs on disk instead of keeping them resident; the run's
+    /// [`DistResult::per_rank`] lists stay empty and
+    /// [`DistResult::shard_runs`] carries the file paths.
+    pub spill: Option<SpillConfig>,
 }
 
 impl DistConfig {
@@ -99,6 +130,7 @@ impl DistConfig {
             owner: OwnerConfig::VertexBlock,
             exchange: ExchangeMode::Phased,
             transport: TransportConfig::Perfect,
+            spill: None,
         }
     }
 }
@@ -106,8 +138,14 @@ impl DistConfig {
 /// Result of a distributed generation run.
 #[derive(Debug)]
 pub struct DistResult {
-    /// Arcs stored at each rank (empty lists in count-only mode).
+    /// Arcs stored at each rank (empty lists in count-only and spill
+    /// modes).
     pub per_rank: Vec<EdgeList>,
+    /// Sorted shard-run files each rank spilled — empty unless
+    /// [`DistConfig::spill`] was set. Feed a rank's runs (or all runs) to
+    /// `kron_graph::CsrGraph::from_shards` / `merge_shards` to rebuild
+    /// the stored arcs.
+    pub shard_runs: Vec<Vec<PathBuf>>,
     /// Counters and timing.
     pub stats: GenStats,
     /// Per-rank event timeline of the exchange — empty unless
@@ -232,9 +270,21 @@ pub fn generate_distributed(pair: &KroneckerPair, config: &DistConfig) -> DistRe
     let _span = kron_obs::span::enter("dist/generate");
     assert!(config.ranks > 0, "need at least one rank");
     assert!(config.batch_size > 0, "batch size must be positive");
-    let a_arcs: Vec<Arc> = pair.a().arcs().collect();
-    let b_arcs: Vec<Arc> = pair.b().arcs().collect();
-    let partition = FactorPartition::new(config.scheme, config.ranks, &a_arcs, &b_arcs);
+    if let Some(spill) = &config.spill {
+        std::fs::create_dir_all(&spill.dir).expect("create spill directory");
+    }
+    // 1D deals the factor *arc lists* (B replicated); 2D gives each rank
+    // only its row-contiguous CSR slices of both factors.
+    let partition = match config.scheme {
+        PartitionScheme::OneD => {
+            let a_arcs: Vec<Arc> = pair.a().arcs().collect();
+            let b_arcs: Vec<Arc> = pair.b().arcs().collect();
+            RunPartition::OneD(FactorPartition::new(config.scheme, config.ranks, &a_arcs, &b_arcs))
+        }
+        PartitionScheme::TwoD => {
+            RunPartition::TwoD(GridPartition::new(pair.a(), pair.b(), config.ranks))
+        }
+    };
 
     let owner: Box<dyn EdgeOwner + Send + Sync> = match config.owner {
         OwnerConfig::VertexBlock => Box::new(VertexBlockOwner::new(pair.n_c(), config.ranks)),
@@ -260,8 +310,9 @@ pub fn generate_distributed(pair: &KroneckerPair, config: &DistConfig) -> DistRe
         for ep in endpoints {
             let partition = &partition;
             let cfg = config;
-            handles.push(scope.spawn(move || {
-                run_rank(ep, partition, owner, cfg, n_b, pair.n_c())
+            handles.push(scope.spawn(move || match partition {
+                RunPartition::OneD(p) => run_rank(ep, p, owner, cfg, n_b, pair.n_c()),
+                RunPartition::TwoD(g) => run_rank_2d(ep, g, owner, cfg, n_b, pair.n_c()),
             }));
         }
         for handle in handles {
@@ -272,10 +323,12 @@ pub fn generate_distributed(pair: &KroneckerPair, config: &DistConfig) -> DistRe
 
     let mut stats = GenStats { per_rank: Vec::with_capacity(config.ranks), elapsed_secs };
     let mut edges = Vec::with_capacity(config.ranks);
+    let mut shard_runs = Vec::with_capacity(config.ranks);
     let mut recorders = Vec::with_capacity(config.ranks);
     for out in per_rank {
         stats.per_rank.push(out.stats);
         edges.push(out.stored);
+        shard_runs.push(out.shard_runs);
         recorders.push(out.recorder);
     }
     // Mirror the run's aggregates into the global registry so an
@@ -285,7 +338,14 @@ pub fn generate_distributed(pair: &KroneckerPair, config: &DistConfig) -> DistRe
     kron_obs::counter!("dist.retransmissions").add(stats.total_retransmissions());
     kron_obs::counter!("dist.redeliveries_discarded")
         .add(stats.total_redeliveries_discarded());
-    DistResult { per_rank: edges, stats, timeline: Timeline::from_recorders(recorders) }
+    kron_obs::counter!("dist.spilled_arcs").add(stats.total_spilled_arcs());
+    DistResult { per_rank: edges, shard_runs, stats, timeline: Timeline::from_recorders(recorders) }
+}
+
+/// The partition structure a run executes on, per scheme.
+enum RunPartition {
+    OneD(FactorPartition),
+    TwoD(GridPartition),
 }
 
 /// Materializes the per-rank shards of `C = A ⊗ B` **directly from the
@@ -325,7 +385,272 @@ pub fn materialize_shards_direct(pair: &KroneckerPair, ranks: usize) -> Vec<Edge
 struct RankOutput {
     stats: RankStats,
     stored: EdgeList,
+    shard_runs: Vec<PathBuf>,
     recorder: kron_obs::events::RankRecorder,
+}
+
+/// Where a rank's stored arcs land: a resident [`EdgeList`], or sorted
+/// shard runs on disk (the out-of-core tier, [`DistConfig::spill`]).
+enum RankStore {
+    Memory(EdgeList),
+    Spill {
+        n_c: u64,
+        dir: PathBuf,
+        rank: usize,
+        run_arcs: usize,
+        io_buf_bytes: usize,
+        buf: Vec<Arc>,
+        runs: Vec<PathBuf>,
+        spilled: u64,
+    },
+}
+
+impl RankStore {
+    fn new(config: &DistConfig, rank: usize, n_c: u64) -> Self {
+        match (&config.spill, config.storage) {
+            (Some(spill), StorageMode::Store) => RankStore::Spill {
+                n_c,
+                dir: spill.dir.clone(),
+                rank,
+                run_arcs: spill.run_arcs.max(1),
+                io_buf_bytes: spill.io_buf_bytes,
+                buf: Vec::new(),
+                runs: Vec::new(),
+                spilled: 0,
+            },
+            _ => RankStore::Memory(EdgeList::new(n_c)),
+        }
+    }
+
+    #[inline]
+    fn store(&mut self, p: u64, q: u64) {
+        let run_full = match self {
+            RankStore::Memory(list) => {
+                list.add_arc(p, q).expect("in range");
+                false
+            }
+            RankStore::Spill { run_arcs, buf, .. } => {
+                buf.push((p, q));
+                buf.len() >= *run_arcs
+            }
+        };
+        if run_full {
+            self.flush_run();
+        }
+    }
+
+    /// Sorts the run buffer and writes it out as one shard run; exchange
+    /// arrival order is nondeterministic, so each run is sorted locally
+    /// and the global order is reimposed by the k-way merge.
+    fn flush_run(&mut self) {
+        if let RankStore::Spill { n_c, dir, rank, io_buf_bytes, buf, runs, spilled, .. } = self {
+            if buf.is_empty() {
+                return;
+            }
+            buf.sort_unstable();
+            let path = dir.join(format!("rank{rank}_run{}.krsh", runs.len()));
+            let mut writer = ShardWriter::with_buffer(&path, *n_c, *io_buf_bytes)
+                .expect("create shard run");
+            for &(p, q) in buf.iter() {
+                writer.push(p, q).expect("spill arc in range and sorted");
+            }
+            writer.finish().expect("finish shard run");
+            *spilled += buf.len() as u64;
+            buf.clear();
+            runs.push(path);
+        }
+    }
+
+    /// Flushes the final partial run and returns
+    /// `(stored, run paths, run count, spilled arcs)`.
+    fn finish(mut self) -> (EdgeList, Vec<PathBuf>, u64, u64) {
+        self.flush_run();
+        match self {
+            RankStore::Memory(list) => (list, Vec::new(), 0, 0),
+            RankStore::Spill { n_c, runs, spilled, .. } => {
+                let run_count = runs.len() as u64;
+                (EdgeList::new(n_c), runs, run_count, spilled)
+            }
+        }
+    }
+}
+
+/// The per-rank exchange engine shared by the 1D and 2D generation
+/// loops: owner routing, batch outboxes with buffer recycling, the
+/// interleaved drain, the Done protocol, and the memory-or-spill store.
+/// Generation loops differ only in how they enumerate `(p, q)`; they
+/// call [`Exchange::emit`] per arc and [`Exchange::finish`] once.
+struct Exchange<'a> {
+    link: ReliableEndpoint<Message>,
+    rank: usize,
+    ranks: usize,
+    batch_size: usize,
+    count_only: bool,
+    interleaved: bool,
+    owner: &'a (dyn EdgeOwner + Send + Sync),
+    // The rank's counters live in a LocalRegistry (index-handle adds in
+    // the per-arc loop); RankStats is snapshotted from it at the end.
+    reg: LocalRegistry,
+    c_generated: LocalCounter,
+    c_sent_remote: LocalCounter,
+    c_sent_local: LocalCounter,
+    c_stored: LocalCounter,
+    c_messages: LocalCounter,
+    c_factor_arcs: LocalCounter,
+    c_retransmissions: LocalCounter,
+    c_redeliveries: LocalCounter,
+    c_buffers_reused: LocalCounter,
+    c_spill_runs: LocalCounter,
+    c_spill_arcs: LocalCounter,
+    store: RankStore,
+    outboxes: Vec<Vec<Arc>>,
+    // Recycled batch buffers: drained inbound `Vec`s are cleared and
+    // handed back out as outbox replacements instead of allocating a
+    // fresh `Vec` per sent batch. Bounded by the rank count so the pool
+    // never outgrows one buffer per open outbox.
+    spare: Vec<Vec<Arc>>,
+    dones: usize,
+}
+
+impl<'a> Exchange<'a> {
+    fn new(
+        ep: Endpoint<Packet<Message>>,
+        owner: &'a (dyn EdgeOwner + Send + Sync),
+        config: &DistConfig,
+        n_c: u64,
+    ) -> Self {
+        let rank = ep.rank();
+        let mut reg = LocalRegistry::new();
+        Exchange {
+            rank,
+            ranks: config.ranks,
+            batch_size: config.batch_size,
+            count_only: config.storage == StorageMode::CountOnly,
+            interleaved: config.exchange == ExchangeMode::Interleaved,
+            owner,
+            c_generated: reg.counter(RankStats::GENERATED),
+            c_sent_remote: reg.counter(RankStats::SENT_REMOTE),
+            c_sent_local: reg.counter(RankStats::SENT_LOCAL),
+            c_stored: reg.counter(RankStats::STORED),
+            c_messages: reg.counter(RankStats::MESSAGES),
+            c_factor_arcs: reg.counter(RankStats::FACTOR_ARCS),
+            c_retransmissions: reg.counter(RankStats::RETRANSMISSIONS),
+            c_redeliveries: reg.counter(RankStats::REDELIVERIES_DISCARDED),
+            c_buffers_reused: reg.counter(RankStats::BATCH_BUFFERS_REUSED),
+            c_spill_runs: reg.counter(RankStats::SPILL_RUNS),
+            c_spill_arcs: reg.counter(RankStats::SPILL_ARCS),
+            reg,
+            store: RankStore::new(config, rank, n_c),
+            outboxes: vec![Vec::new(); config.ranks],
+            spare: Vec::new(),
+            dones: 0,
+            link: ReliableEndpoint::new(ep),
+        }
+    }
+
+    /// Accounts factor arcs this rank holds (`|E_{A_r}| + |E_{B_r}|`).
+    fn add_factor_arcs(&mut self, arcs: u64) {
+        self.reg.add(self.c_factor_arcs, arcs);
+    }
+
+    /// Routes one generated product arc: store locally, or batch toward
+    /// its owner (sending + optionally draining when a batch fills).
+    #[inline]
+    fn emit(&mut self, p: u64, q: u64) {
+        self.reg.inc(self.c_generated);
+        if self.count_only {
+            return;
+        }
+        let dest = self.owner.owner(p, q);
+        if dest == self.rank {
+            self.reg.inc(self.c_sent_local);
+            self.reg.inc(self.c_stored);
+            self.store.store(p, q);
+        } else {
+            self.reg.inc(self.c_sent_remote);
+            self.outboxes[dest].push((p, q));
+            if self.outboxes[dest].len() >= self.batch_size {
+                let refill = self.spare.pop();
+                self.reg.add(self.c_buffers_reused, u64::from(refill.is_some()));
+                let batch =
+                    std::mem::replace(&mut self.outboxes[dest], refill.unwrap_or_default());
+                self.reg.inc(self.c_messages);
+                self.link.send(dest, Message::Batch(batch));
+                if self.interleaved {
+                    // Drain whatever the reliable layer has already
+                    // delivered so the inbox never builds up
+                    // (HavoqGT-style asynchrony). Peers that finished
+                    // early may already send Dones.
+                    self.drain_ready();
+                }
+            }
+        }
+    }
+
+    /// Stores every batch the reliable layer has already delivered,
+    /// recycling the drained buffers.
+    fn drain_ready(&mut self) {
+        while let Some((_, message)) = self.link.poll() {
+            match message {
+                Message::Batch(mut batch) => {
+                    for &(p, q) in &batch {
+                        self.reg.inc(self.c_stored);
+                        self.store.store(p, q);
+                    }
+                    batch.clear();
+                    if self.spare.len() < self.ranks {
+                        self.spare.push(batch);
+                    }
+                }
+                Message::Done => self.dones += 1,
+            }
+        }
+    }
+
+    /// Flush + Done protocol + final drain; returns the rank's output.
+    fn finish(mut self) -> RankOutput {
+        // Flush remainders and signal completion to every rank, self
+        // included — Done is an ordinary sequenced payload, so delivering
+        // it proves every earlier batch on that link was delivered too.
+        for dest in 0..self.ranks {
+            if !self.outboxes[dest].is_empty() {
+                self.reg.inc(self.c_messages);
+                let batch = std::mem::take(&mut self.outboxes[dest]);
+                self.link.send(dest, Message::Batch(batch));
+            }
+        }
+        for dest in 0..self.ranks {
+            self.link.send(dest, Message::Done);
+        }
+
+        // Drain phase: run until (a) a Done from every rank — in-order
+        // delivery means every batch is in by then — and (b) everything
+        // this rank sent is acked, so no peer still waits on our
+        // retransmissions. `poll` retransmits unacked payloads and
+        // flushes held traffic whenever the mesh goes idle, which
+        // guarantees progress under bounded fair loss.
+        while self.dones < self.ranks || !self.link.all_acked() {
+            match self.link.poll() {
+                Some((_, Message::Batch(batch))) => {
+                    for (p, q) in batch {
+                        self.reg.inc(self.c_stored);
+                        self.store.store(p, q);
+                    }
+                }
+                Some((_, Message::Done)) => self.dones += 1,
+                None => {}
+            }
+        }
+        // Late acks and held duplicates must still reach draining peers.
+        self.link.shutdown();
+        self.reg.set(self.c_retransmissions, self.link.retransmissions);
+        self.reg.set(self.c_redeliveries, self.link.duplicates_discarded);
+        let recorder = self.link.take_recorder_with_accounting();
+        let (stored, shard_runs, run_count, spilled) = self.store.finish();
+        self.reg.set(self.c_spill_runs, run_count);
+        self.reg.set(self.c_spill_arcs, spilled);
+        RankOutput { stats: RankStats::from_registry(&self.reg), stored, shard_runs, recorder }
+    }
 }
 
 fn run_rank(
@@ -337,119 +662,133 @@ fn run_rank(
     n_c: u64,
 ) -> RankOutput {
     let rank = ep.rank();
-    let mut link = ReliableEndpoint::new(ep);
-    // The rank's counters live in a LocalRegistry (index-handle adds in
-    // the per-arc loop); RankStats is snapshotted from it at the end.
-    let mut reg = LocalRegistry::new();
-    let c_generated = reg.counter(RankStats::GENERATED);
-    let c_sent_remote = reg.counter(RankStats::SENT_REMOTE);
-    let c_sent_local = reg.counter(RankStats::SENT_LOCAL);
-    let c_stored = reg.counter(RankStats::STORED);
-    let c_messages = reg.counter(RankStats::MESSAGES);
-    let c_factor_arcs = reg.counter(RankStats::FACTOR_ARCS);
-    let c_retransmissions = reg.counter(RankStats::RETRANSMISSIONS);
-    let c_redeliveries = reg.counter(RankStats::REDELIVERIES_DISCARDED);
-    let c_buffers_reused = reg.counter(RankStats::BATCH_BUFFERS_REUSED);
-    let mut stored = EdgeList::new(n_c);
-    let mut outboxes: Vec<Vec<Arc>> = vec![Vec::new(); config.ranks];
-    // Recycled batch buffers: drained inbound `Vec`s are cleared and
-    // handed back out as outbox replacements instead of allocating a
-    // fresh `Vec` per sent batch. Bounded by the rank count so the pool
-    // never outgrows one buffer per open outbox.
-    let mut spare: Vec<Vec<Arc>> = Vec::new();
-    let mut dones = 0usize;
-
+    let mut ex = Exchange::new(ep, owner, config, n_c);
     // Generation phase: multiply this rank's work cells.
     for cell in partition.cells_of(rank) {
-        reg.add(c_factor_arcs, (cell.a_arcs.len() + cell.b_arcs.len()) as u64);
+        ex.add_factor_arcs((cell.a_arcs.len() + cell.b_arcs.len()) as u64);
         for &(i, j) in &cell.a_arcs {
             let row_base = i * n_b;
             let col_base = j * n_b;
             for &(k, l) in &cell.b_arcs {
-                let p = row_base + k;
-                let q = col_base + l;
-                reg.inc(c_generated);
-                if config.storage == StorageMode::CountOnly {
-                    continue;
+                ex.emit(row_base + k, col_base + l);
+            }
+        }
+    }
+    ex.finish()
+}
+
+/// The 2D generation loop (Rem. 1 made real): rank `(x, y)` holds only
+/// the row slices `A_x`, `B_y` and synthesizes its product tile
+/// `A_x ⊗ B_y` **row by row in sorted order** — for each product row
+/// `p = (i, k)` the targets `j·n_B + l` are emitted `j`-outer / `l`-inner
+/// over the sorted slice rows, exactly the
+/// `kron_core::generate::synthesize_row_block` emission order — and
+/// routes every arc through the same reliable exchange as the 1D path.
+fn run_rank_2d(
+    ep: Endpoint<Packet<Message>>,
+    grid: &GridPartition,
+    owner: &(dyn EdgeOwner + Send + Sync),
+    config: &DistConfig,
+    n_b: u64,
+    n_c: u64,
+) -> RankOutput {
+    let rank = ep.rank();
+    let mut ex = Exchange::new(ep, owner, config, n_c);
+    let a_slice = grid.a_slice_of(rank);
+    let b_slice = grid.b_slice_of(rank);
+    ex.add_factor_arcs((a_slice.nnz() + b_slice.nnz()) as u64);
+    for i in a_slice.rows() {
+        let row_a = a_slice.neighbors(i);
+        if row_a.is_empty() {
+            continue;
+        }
+        let row_base = i * n_b;
+        for k in b_slice.rows() {
+            let row_b = b_slice.neighbors(k);
+            if row_b.is_empty() {
+                continue;
+            }
+            let p = row_base + k;
+            for &j in row_a {
+                let col_base = j * n_b;
+                for &l in row_b {
+                    ex.emit(p, col_base + l);
                 }
-                let dest = owner.owner(p, q);
-                if dest == rank {
-                    reg.inc(c_sent_local);
-                    reg.inc(c_stored);
-                    stored.add_arc(p, q).expect("in range");
-                } else {
-                    reg.inc(c_sent_remote);
-                    let outbox = &mut outboxes[dest];
-                    outbox.push((p, q));
-                    if outbox.len() >= config.batch_size {
-                        let refill = spare.pop();
-                        reg.add(c_buffers_reused, u64::from(refill.is_some()));
-                        let batch = std::mem::replace(outbox, refill.unwrap_or_default());
-                        reg.inc(c_messages);
-                        link.send(dest, Message::Batch(batch));
-                        if config.exchange == ExchangeMode::Interleaved {
-                            // Drain whatever the reliable layer has
-                            // already delivered so the inbox never builds
-                            // up (HavoqGT-style asynchrony). Peers that
-                            // finished early may already send Dones.
-                            while let Some((_, message)) = link.poll() {
-                                match message {
-                                    Message::Batch(mut batch) => {
-                                        for &(p, q) in &batch {
-                                            reg.inc(c_stored);
-                                            stored.add_arc(p, q).expect("in range");
-                                        }
-                                        batch.clear();
-                                        if spare.len() < config.ranks {
-                                            spare.push(batch);
-                                        }
-                                    }
-                                    Message::Done => dones += 1,
-                                }
-                            }
+            }
+        }
+    }
+    ex.finish()
+}
+
+/// Streams the per-rank row blocks of `C` straight to sorted shard runs
+/// on disk, with **no generation loop, no exchange, and no resident edge
+/// set** — the out-of-core sibling of [`materialize_shards_direct`]:
+/// rank `r` owns the contiguous product-row interval
+/// [`VertexBlockOwner::row_range`], whose rows
+/// `kron_core::generate::for_each_synthesized_row` emits already sorted
+/// through one reused row buffer, so each run file is written in order
+/// (no sort buffer at all) and peak resident memory is one product row
+/// plus one IO buffer — never `O(|E_C|)`. Returns the per-rank run paths;
+/// `kron_graph::build_external_csr` over all of them completes the
+/// beyond-RAM pipeline.
+pub fn spill_shards_direct(
+    pair: &KroneckerPair,
+    ranks: usize,
+    spill: &SpillConfig,
+) -> kron_graph::Result<Vec<Vec<PathBuf>>> {
+    assert!(ranks > 0, "need at least one rank");
+    let _span = kron_obs::span::enter("dist/spill_shards_direct");
+    std::fs::create_dir_all(&spill.dir)?;
+    let owner = VertexBlockOwner::new(pair.n_c(), ranks);
+    let run_arcs = spill.run_arcs.max(1);
+    let mut all = Vec::with_capacity(ranks);
+    for rank in 0..ranks {
+        let rows = owner.row_range(rank);
+        let mut runs: Vec<PathBuf> = Vec::new();
+        let mut writer: Option<ShardWriter> = None;
+        let mut in_run = 0usize;
+        let mut failed: Option<kron_graph::GraphError> = None;
+        kron_core::generate::for_each_synthesized_row(pair, rows, |p, row| {
+            if failed.is_some() {
+                return;
+            }
+            for &q in row {
+                if writer.is_none() {
+                    let path = spill.dir.join(format!("rank{rank}_run{}.krsh", runs.len()));
+                    match ShardWriter::with_buffer(&path, pair.n_c(), spill.io_buf_bytes) {
+                        Ok(w) => {
+                            writer = Some(w);
+                            runs.push(path);
+                            in_run = 0;
+                        }
+                        Err(e) => {
+                            failed = Some(e);
+                            return;
                         }
                     }
                 }
-            }
-        }
-    }
-    // Flush remainders and signal completion to every rank, self
-    // included — Done is an ordinary sequenced payload, so delivering it
-    // proves every earlier batch on that link was delivered too.
-    for (dest, outbox) in outboxes.iter_mut().enumerate() {
-        if !outbox.is_empty() {
-            reg.inc(c_messages);
-            link.send(dest, Message::Batch(std::mem::take(outbox)));
-        }
-    }
-    for dest in 0..config.ranks {
-        link.send(dest, Message::Done);
-    }
-
-    // Drain phase: run until (a) a Done from every rank — in-order
-    // delivery means every batch is in by then — and (b) everything this
-    // rank sent is acked, so no peer still waits on our retransmissions.
-    // `poll` retransmits unacked payloads and flushes held traffic
-    // whenever the mesh goes idle, which guarantees progress under
-    // bounded fair loss.
-    while dones < config.ranks || !link.all_acked() {
-        match link.poll() {
-            Some((_, Message::Batch(batch))) => {
-                for (p, q) in batch {
-                    reg.inc(c_stored);
-                    stored.add_arc(p, q).expect("in range");
+                if let Err(e) = writer.as_mut().expect("writer present").push(p, q) {
+                    failed = Some(e);
+                    return;
+                }
+                in_run += 1;
+                if in_run >= run_arcs {
+                    if let Err(e) = writer.take().expect("writer present").finish() {
+                        failed = Some(e);
+                        return;
+                    }
                 }
             }
-            Some((_, Message::Done)) => dones += 1,
-            None => {}
+        });
+        if let Some(e) = failed {
+            return Err(e);
         }
+        if let Some(w) = writer.take() {
+            w.finish()?;
+        }
+        all.push(runs);
     }
-    // Late acks and held duplicates must still reach draining peers.
-    link.shutdown();
-    reg.set(c_retransmissions, link.retransmissions);
-    reg.set(c_redeliveries, link.duplicates_discarded);
-    let recorder = link.take_recorder_with_accounting();
-    RankOutput { stats: RankStats::from_registry(&reg), stored, recorder }
+    Ok(all)
 }
 
 #[cfg(test)]
@@ -706,6 +1045,90 @@ mod tests {
             "no batch buffers recycled: {:?}",
             result.stats.per_rank
         );
+    }
+
+    #[test]
+    fn two_d_bounds_factor_storage_to_slices() {
+        // Rem. 1's whole point: no 2D rank holds a full factor. With a
+        // 4-rank 2×2 grid each rank holds about half of A and half of B.
+        let pair = KroneckerPair::as_is(erdos_renyi(16, 0.5, 9), erdos_renyi(16, 0.5, 10))
+            .unwrap();
+        let mut cfg = DistConfig::new(4);
+        cfg.scheme = PartitionScheme::TwoD;
+        let result = run(&pair, &cfg);
+        assert_eq!(result.union(pair.n_c()), reference(&pair));
+        let full = (pair.a().nnz() + pair.b().nnz()) as u64;
+        let one_d_bound = pair.a().nnz() as u64 / 4 + pair.b().nnz() as u64;
+        let max = result.stats.max_factor_arcs();
+        assert!(max < full, "a 2D rank held both factors whole: {max} vs {full}");
+        assert!(
+            max < one_d_bound,
+            "2D factor storage {max} should beat 1D's replicated-B bound {one_d_bound}"
+        );
+    }
+
+    fn spill_config(name: &str) -> SpillConfig {
+        let dir = std::env::temp_dir().join("kron_dist_spill_test").join(name);
+        // Tiny runs so even small products produce multi-run merges.
+        let mut spill = SpillConfig::new(dir);
+        spill.run_arcs = 64;
+        spill
+    }
+
+    fn union_of_runs(result: &DistResult, n_c: u64) -> EdgeList {
+        let paths: Vec<_> = result.shard_runs.iter().flatten().collect();
+        let csr = kron_graph::CsrGraph::from_shards(&paths, 1024).expect("merge spilled runs");
+        assert_eq!(csr.n(), n_c);
+        csr.to_edge_list()
+    }
+
+    #[test]
+    fn spill_mode_matches_in_memory_both_schemes() {
+        let pair = KroneckerPair::with_full_self_loops(erdos_renyi(8, 0.5, 6), cycle(5)).unwrap();
+        let expected = reference(&pair);
+        for scheme in [PartitionScheme::OneD, PartitionScheme::TwoD] {
+            let mut cfg = DistConfig::new(4);
+            cfg.scheme = scheme;
+            cfg.batch_size = 16;
+            cfg.spill = Some(spill_config(&format!("mode_{scheme:?}")));
+            let result = run(&pair, &cfg);
+            assert!(
+                result.per_rank.iter().all(EdgeList::is_empty),
+                "{scheme:?}: spill mode must not keep resident edge lists"
+            );
+            assert_eq!(
+                result.stats.total_spilled_arcs() as u128,
+                pair.nnz_c(),
+                "{scheme:?}: every stored arc must be spilled"
+            );
+            assert!(result.stats.per_rank.iter().any(|r| r.spill_runs > 1));
+            assert_eq!(union_of_runs(&result, pair.n_c()), expected, "{scheme:?}");
+        }
+    }
+
+    #[test]
+    fn spill_shards_direct_matches_distributed_spill() {
+        let pair = KroneckerPair::as_is(erdos_renyi(9, 0.4, 13), cycle(6)).unwrap();
+        let expected = reference(&pair);
+        for ranks in [1usize, 3, 4] {
+            let spill = spill_config(&format!("direct_{ranks}"));
+            let runs = spill_shards_direct(&pair, ranks, &spill).unwrap();
+            assert_eq!(runs.len(), ranks);
+            let paths: Vec<_> = runs.iter().flatten().collect();
+            let csr = kron_graph::CsrGraph::from_shards(&paths, 1024).unwrap();
+            assert_eq!(csr.to_edge_list(), expected, "ranks={ranks}");
+            // Rank r's runs hold exactly its row block, in order.
+            let owner = VertexBlockOwner::new(pair.n_c(), ranks);
+            for (rank, rank_runs) in runs.iter().enumerate() {
+                let range = owner.row_range(rank);
+                for path in rank_runs {
+                    let mut reader = kron_graph::shard::ShardReader::open(path).unwrap();
+                    while let Some((p, _)) = reader.next_arc().unwrap() {
+                        assert!(range.contains(&p), "rank {rank} spilled foreign row {p}");
+                    }
+                }
+            }
+        }
     }
 
     #[test]

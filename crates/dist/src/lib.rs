@@ -29,9 +29,12 @@ pub mod transport;
 pub mod triangle_count;
 pub mod validate;
 
-pub use generator::{generate_distributed, DistConfig, DistResult, ExchangeMode, OwnerConfig, StorageMode};
+pub use generator::{
+    generate_distributed, materialize_shards_direct, spill_shards_direct, DistConfig, DistResult,
+    ExchangeMode, OwnerConfig, SpillConfig, StorageMode,
+};
 pub use owner::{EdgeOwner, HashOwner, VertexBlockOwner};
-pub use partition::{FactorPartition, PartitionScheme};
+pub use partition::{grid_dims, FactorPartition, FactorSlice, GridPartition, PartitionScheme};
 pub use reliability::{EpochTally, ReliableEndpoint};
 pub use stats::{GenStats, RankStats};
 pub use transport::{Endpoint, FaultConfig, TransportConfig, TransportStats};

@@ -14,8 +14,17 @@
 //! `O(|E_A|/R_a + |E_B|/R_b)`, enabling weak scaling to `O(|E_C|)` ranks.
 //!
 //! Arcs are dealt round-robin by index, which keeps sorted input balanced.
+//!
+//! [`FactorPartition`] is the *analytic* model (arc lists dealt to work
+//! cells — what `table3_partition` sweeps); [`GridPartition`] is the
+//! *execution* structure the real 2D generator runs on: a divisor grid
+//! `R_a × R_b = R` of row-contiguous factor **slices**, one cell per
+//! rank, so each rank holds only its CSR slice of `A` and of `B` and can
+//! synthesize its product tile row-by-row in sorted order.
 
-use kron_graph::Arc;
+use std::ops::Range;
+
+use kron_graph::{Arc, CsrGraph};
 use serde::{Deserialize, Serialize};
 
 /// Which of the two §III schemes to use.
@@ -143,6 +152,159 @@ impl FactorPartition {
     }
 }
 
+/// The `R_a × R_b` grid for `ranks` ranks: `R_a` is the **largest divisor
+/// of `ranks` with `R_a² ≤ ranks`**, `R_b = ranks / R_a` — so `R_a · R_b`
+/// is exactly `ranks` (one cell per rank, no cell dealt twice, no rank
+/// idle) and the grid is as close to square as the divisor structure
+/// allows: 4 → 2×2, 8 → 2×4, 12 → 3×4. A prime `ranks` degenerates to
+/// `1 × ranks`, which is the 1D layout — the price of exact cover.
+pub fn grid_dims(ranks: usize) -> (usize, usize) {
+    assert!(ranks > 0, "need at least one rank");
+    let mut r_a = 1;
+    let mut d = 1;
+    while d * d <= ranks {
+        if ranks % d == 0 {
+            r_a = d;
+        }
+        d += 1;
+    }
+    (r_a, ranks / r_a)
+}
+
+/// A row-contiguous CSR slice of one factor: the rows in `rows` with
+/// offsets rebased to the slice (`offsets[0] == 0`). This is *all* of
+/// that factor a 2D rank holds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FactorSlice {
+    rows: Range<u64>,
+    offsets: Vec<usize>,
+    targets: Vec<u64>,
+}
+
+impl FactorSlice {
+    /// Extracts the slice covering `rows` of `g`.
+    pub fn of(g: &CsrGraph, rows: Range<u64>) -> Self {
+        let start = rows.start as usize;
+        let end = rows.end as usize;
+        let base = g.offsets()[start];
+        let offsets: Vec<usize> =
+            g.offsets()[start..=end].iter().map(|&o| o - base).collect();
+        let targets = g.targets()[base..g.offsets()[end]].to_vec();
+        FactorSlice { rows, offsets, targets }
+    }
+
+    /// The factor rows this slice covers.
+    pub fn rows(&self) -> Range<u64> {
+        self.rows.clone()
+    }
+
+    /// Arcs stored in the slice.
+    pub fn nnz(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Sorted neighbor row of factor vertex `v` (must lie in `rows`).
+    pub fn neighbors(&self, v: u64) -> &[u64] {
+        let local = (v - self.rows.start) as usize;
+        &self.targets[self.offsets[local]..self.offsets[local + 1]]
+    }
+}
+
+/// Splits `g`'s rows into `parts` contiguous ranges balanced by **arc
+/// count** (boundary `t` is the first row whose offset reaches `t/parts`
+/// of the arcs), so slice workloads track `nnz`, not row counts.
+fn split_rows_by_arcs(g: &CsrGraph, parts: usize) -> Vec<Range<u64>> {
+    let offsets = g.offsets();
+    let n = g.n();
+    let total = g.nnz();
+    let mut bounds = Vec::with_capacity(parts + 1);
+    bounds.push(0u64);
+    for t in 1..parts {
+        let want = (total as u128 * t as u128 / parts as u128) as usize;
+        let row = (offsets.partition_point(|&o| o < want) as u64).min(n);
+        bounds.push(row.max(*bounds.last().expect("nonempty")));
+    }
+    bounds.push(n);
+    bounds.windows(2).map(|w| w[0]..w[1]).collect()
+}
+
+/// Rem. 1's 2D partition as the real generator executes it: ranks form a
+/// [`grid_dims`] grid, `A`'s rows are split into `R_a` arc-balanced
+/// contiguous slices and `B`'s into `R_b`, and rank `r` at grid
+/// coordinate `(x, y) = (r mod R_a, ⌊r / R_a⌋)` holds **only**
+/// `A_x` and `B_y` — per-rank factor storage `|E_A|/R_a + |E_B|/R_b`,
+/// never a full factor. Its work cell is the product tile
+/// `A_x ⊗ B_y`, and the tiles cover `C` exactly once because the row
+/// slices do.
+#[derive(Debug, Clone)]
+pub struct GridPartition {
+    ranks: usize,
+    r_a: usize,
+    r_b: usize,
+    a_slices: Vec<FactorSlice>,
+    b_slices: Vec<FactorSlice>,
+}
+
+impl GridPartition {
+    /// Builds the grid partition of `a` and `b` over `ranks` ranks.
+    pub fn new(a: &CsrGraph, b: &CsrGraph, ranks: usize) -> Self {
+        let (r_a, r_b) = grid_dims(ranks);
+        let a_slices =
+            split_rows_by_arcs(a, r_a).into_iter().map(|r| FactorSlice::of(a, r)).collect();
+        let b_slices =
+            split_rows_by_arcs(b, r_b).into_iter().map(|r| FactorSlice::of(b, r)).collect();
+        GridPartition { ranks, r_a, r_b, a_slices, b_slices }
+    }
+
+    /// Number of ranks.
+    pub fn ranks(&self) -> usize {
+        self.ranks
+    }
+
+    /// Grid dimensions `(R_a, R_b)`.
+    pub fn grid(&self) -> (usize, usize) {
+        (self.r_a, self.r_b)
+    }
+
+    /// Grid coordinate of rank `r`.
+    pub fn coords(&self, r: usize) -> (usize, usize) {
+        (r % self.r_a, r / self.r_a)
+    }
+
+    /// The `A` slice rank `r` holds.
+    pub fn a_slice_of(&self, r: usize) -> &FactorSlice {
+        &self.a_slices[r % self.r_a]
+    }
+
+    /// The `B` slice rank `r` holds.
+    pub fn b_slice_of(&self, r: usize) -> &FactorSlice {
+        &self.b_slices[r / self.r_a]
+    }
+
+    /// Product arcs rank `r` generates: `nnz(A_x) · nnz(B_y)`.
+    pub fn workload_of(&self, r: usize) -> u128 {
+        self.a_slice_of(r).nnz() as u128 * self.b_slice_of(r).nnz() as u128
+    }
+
+    /// Factor arcs rank `r` holds: `nnz(A_x) + nnz(B_y)` — Rem. 1's
+    /// storage bound term.
+    pub fn factor_storage_of(&self, r: usize) -> usize {
+        self.a_slice_of(r).nnz() + self.b_slice_of(r).nnz()
+    }
+
+    /// Max over ranks of [`GridPartition::workload_of`] divided by the
+    /// mean — 1.0 is perfect balance.
+    pub fn workload_imbalance(&self) -> f64 {
+        let loads: Vec<u128> = (0..self.ranks).map(|r| self.workload_of(r)).collect();
+        let total: u128 = loads.iter().sum();
+        if total == 0 {
+            return 1.0;
+        }
+        let mean = total as f64 / self.ranks as f64;
+        *loads.iter().max().expect("ranks > 0") as f64 / mean
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -253,6 +415,98 @@ mod tests {
     #[test]
     fn empty_factors() {
         let p = FactorPartition::new(PartitionScheme::TwoD, 4, &[], &[]);
+        assert_eq!((0..4).map(|r| p.workload_of(r)).sum::<u128>(), 0);
+        assert_eq!(p.workload_imbalance(), 1.0);
+    }
+
+    #[test]
+    fn grid_dims_are_exact_divisor_grids() {
+        assert_eq!(grid_dims(1), (1, 1));
+        assert_eq!(grid_dims(2), (1, 2));
+        assert_eq!(grid_dims(4), (2, 2));
+        assert_eq!(grid_dims(8), (2, 4)); // the non-square case the chaos matrix pins
+        assert_eq!(grid_dims(12), (3, 4));
+        assert_eq!(grid_dims(16), (4, 4));
+        assert_eq!(grid_dims(7), (1, 7)); // prime → degenerate 1D layout
+        for r in 1..=64usize {
+            let (ra, rb) = grid_dims(r);
+            assert_eq!(ra * rb, r, "grid must cover exactly once");
+            assert!(ra <= rb, "R_a is the small side");
+        }
+    }
+
+    fn graph(n: u64) -> CsrGraph {
+        CsrGraph::from_arcs(n, arcs(n)).unwrap()
+    }
+
+    #[test]
+    fn factor_slice_matches_csr_rows() {
+        let g = graph(10);
+        let slice = FactorSlice::of(&g, 3..7);
+        assert_eq!(slice.rows(), 3..7);
+        assert_eq!(slice.nnz(), 4);
+        for v in 3..7 {
+            assert_eq!(slice.neighbors(v), g.neighbors(v), "row {v}");
+        }
+    }
+
+    #[test]
+    fn grid_partition_covers_and_bounds_storage() {
+        let a = graph(100);
+        let b = graph(100);
+        for ranks in [1usize, 2, 3, 4, 8, 16] {
+            let p = GridPartition::new(&a, &b, ranks);
+            let (ra, rb) = p.grid();
+            assert_eq!((ra, rb), grid_dims(ranks));
+            // Every rank's tile is distinct and the tiles cover A × B.
+            let total: u128 = (0..ranks).map(|r| p.workload_of(r)).sum();
+            assert_eq!(total, 100 * 100, "ranks={ranks}");
+            // Rem. 1's bound: |E_A|/R_a + |E_B|/R_b per rank (±1 per split).
+            let bound = (100usize.div_ceil(ra) + 1) + (100usize.div_ceil(rb) + 1);
+            for r in 0..ranks {
+                assert!(
+                    p.factor_storage_of(r) <= bound,
+                    "ranks={ranks} rank={r}: {} > {bound}",
+                    p.factor_storage_of(r)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn grid_partition_storage_beats_one_d_replication() {
+        let a = graph(100);
+        let b = graph(100);
+        let grid = GridPartition::new(&a, &b, 16);
+        // 1D replicates all of B: ≥ 100 factor arcs per rank. The 4×4
+        // grid holds 25 + 25.
+        let max_2d = (0..16).map(|r| grid.factor_storage_of(r)).max().unwrap();
+        assert_eq!(max_2d, 50);
+    }
+
+    #[test]
+    fn grid_partition_balances_skewed_factors() {
+        use kron_graph::generators::star;
+        // star(64): the hub row holds half the arcs; arc-balanced row
+        // splitting must not put all remaining rows in one slice.
+        let a = star(64);
+        let b = graph(32);
+        let p = GridPartition::new(&a, &b, 8);
+        assert_eq!(p.grid(), (2, 4));
+        let total: u128 = (0..8).map(|r| p.workload_of(r)).sum();
+        assert_eq!(total, a.nnz() as u128 * b.nnz() as u128);
+        assert!(
+            p.workload_imbalance() < 2.0,
+            "arc-balanced slices should keep imbalance near 1, got {}",
+            p.workload_imbalance()
+        );
+    }
+
+    #[test]
+    fn grid_partition_handles_empty_factors() {
+        let a = CsrGraph::from_arcs(4, vec![]).unwrap();
+        let b = graph(4);
+        let p = GridPartition::new(&a, &b, 4);
         assert_eq!((0..4).map(|r| p.workload_of(r)).sum::<u128>(), 0);
         assert_eq!(p.workload_imbalance(), 1.0);
     }

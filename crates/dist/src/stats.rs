@@ -33,6 +33,11 @@ pub struct RankStats {
     /// freshly allocated — each one is a `batch_size`-capacity `Vec` the
     /// exchange did **not** allocate.
     pub batch_buffers_reused: u64,
+    /// Sorted shard runs this rank spilled to disk (0 unless the run was
+    /// configured with `DistConfig::spill`).
+    pub spill_runs: u64,
+    /// Arcs this rank spilled into shard runs instead of resident memory.
+    pub spill_arcs: u64,
 }
 
 impl RankStats {
@@ -54,6 +59,10 @@ impl RankStats {
     pub const REDELIVERIES_DISCARDED: &'static str = "dist.rank.redeliveries_discarded";
     /// Registry name of [`RankStats::batch_buffers_reused`].
     pub const BATCH_BUFFERS_REUSED: &'static str = "dist.rank.batch_buffers_reused";
+    /// Registry name of [`RankStats::spill_runs`].
+    pub const SPILL_RUNS: &'static str = "dist.rank.spill_runs";
+    /// Registry name of [`RankStats::spill_arcs`].
+    pub const SPILL_ARCS: &'static str = "dist.rank.spill_arcs";
 
     /// Snapshots a rank's [`LocalRegistry`] into the public struct
     /// (counters the rank never touched read as 0).
@@ -68,6 +77,8 @@ impl RankStats {
             retransmissions: reg.get(Self::RETRANSMISSIONS),
             redeliveries_discarded: reg.get(Self::REDELIVERIES_DISCARDED),
             batch_buffers_reused: reg.get(Self::BATCH_BUFFERS_REUSED),
+            spill_runs: reg.get(Self::SPILL_RUNS),
+            spill_arcs: reg.get(Self::SPILL_ARCS),
         }
     }
 }
@@ -132,6 +143,12 @@ impl GenStats {
     /// exchange saved by reusing drained receive buffers for outboxes.
     pub fn total_batch_buffers_reused(&self) -> u64 {
         self.per_rank.iter().map(|r| r.batch_buffers_reused).sum()
+    }
+
+    /// Total arcs spilled into shard runs across ranks (0 unless the run
+    /// was configured with `DistConfig::spill`).
+    pub fn total_spilled_arcs(&self) -> u64 {
+        self.per_rank.iter().map(|r| r.spill_arcs).sum()
     }
 
     /// Generation throughput in arcs/second.

@@ -13,18 +13,24 @@
 //! `cargo test` covers a small default seed set; `scripts/chaos.sh`
 //! widens it via `KRON_CHAOS_SEEDS=<count>` for the full sweep.
 
+use kron_core::generate::materialize;
 use kron_core::KroneckerPair;
 use kron_dist::{
     distributed_bfs_traced, distributed_triangle_count_traced, generate_distributed, DistConfig,
-    DistResult, ExchangeMode, FaultConfig, TransportConfig, VertexBlockOwner,
+    DistResult, ExchangeMode, FaultConfig, PartitionScheme, SpillConfig, TransportConfig,
+    VertexBlockOwner,
 };
 use kron_graph::generators::{cycle, erdos_renyi};
-use kron_graph::VertexId;
+use kron_graph::shard::{merge_shards, ShardReader};
+use kron_graph::{CsrGraph, EdgeList, VertexId};
 use kron_obs::events::{EventKind, Timeline, NO_PEER};
 
 const DEFAULT_SEED_COUNT: u64 = 4;
+/// Rank axis. 8 ranks puts the 2D scheme on its non-square 2×4 grid.
 const RANK_COUNTS: [usize; 4] = [1, 2, 4, 8];
 const MODES: [ExchangeMode; 2] = [ExchangeMode::Phased, ExchangeMode::Interleaved];
+/// Scheme axis: §III's 1D partition and Rem. 1's real 2D grid path.
+const SCHEMES: [PartitionScheme; 2] = [PartitionScheme::OneD, PartitionScheme::TwoD];
 
 /// Deterministic seed schedule; `KRON_CHAOS_SEEDS=<count>` widens it.
 fn seeds() -> Vec<u64> {
@@ -51,11 +57,26 @@ fn test_pair() -> KroneckerPair {
     KroneckerPair::with_full_self_loops(erdos_renyi(6, 0.5, 77), cycle(5)).unwrap()
 }
 
-fn config(ranks: usize, mode: ExchangeMode, transport: TransportConfig) -> DistConfig {
+fn config(
+    ranks: usize,
+    scheme: PartitionScheme,
+    mode: ExchangeMode,
+    transport: TransportConfig,
+) -> DistConfig {
     let mut cfg = DistConfig::new(ranks);
+    cfg.scheme = scheme;
     cfg.exchange = mode;
     cfg.transport = transport;
     cfg
+}
+
+/// The single-process ground truth every scheme and fault mix must
+/// reproduce bit-for-bit: `C` materialized sequentially, as a sorted
+/// deduplicated arc list.
+fn sequential_reference(pair: &KroneckerPair) -> EdgeList {
+    let mut list = materialize(pair).to_edge_list();
+    list.sort_dedup();
+    list
 }
 
 /// Per-rank stored arcs, sorted — arrival order varies under chaos, the
@@ -129,74 +150,87 @@ fn check_link_conservation(timeline: &Timeline, cell: &str) {
 fn chaos_matrix_generation_is_bit_identical() {
     kron_obs::events::set_enabled(true);
     let pair = test_pair();
+    let sequential = sequential_reference(&pair);
     let mut chaos_retransmissions = 0u64;
     let mut chaos_redeliveries = 0u64;
-    for ranks in RANK_COUNTS {
-        for mode in MODES {
-            let baseline =
-                generate_distributed(&pair, &config(ranks, mode, TransportConfig::Perfect));
-            let expected = canonical_stores(&baseline);
-            assert_eq!(
-                u128::from(baseline.stats.total_stored()),
-                pair.nnz_c(),
-                "perfect baseline sanity"
-            );
-            // A perfect transport never drops or duplicates, so the
-            // reliable layer must stay silent — counters and event log
-            // agree on zero.
-            assert_eq!(baseline.stats.total_retransmissions(), 0, "perfect transport retransmitted");
-            assert_eq!(baseline.timeline.count_of(EventKind::Retransmit), 0);
-            assert_eq!(baseline.timeline.count_of(EventKind::DropInjected), 0);
-            check_link_conservation(&baseline.timeline, "perfect baseline");
-            for seed in seeds() {
-                for (mix, faults) in mixes(seed) {
-                    let cell = format!(
-                        "repro: seed={seed} mix={mix} ranks={ranks} mode={mode:?}"
-                    );
-                    let run = generate_distributed(
-                        &pair,
-                        &config(ranks, mode, TransportConfig::Faulty(faults)),
-                    );
-                    assert_cell_eq(
-                        &u128::from(run.stats.total_stored()),
-                        &pair.nnz_c(),
-                        &run.timeline,
-                        &cell,
-                        "stored arc count drifted under faults",
-                    );
-                    assert_cell_eq(
-                        &canonical_stores(&run),
-                        &expected,
-                        &run.timeline,
-                        &cell,
-                        "per-rank edge stores differ from perfect run",
-                    );
-                    assert_cell_eq(
-                        &run.union(pair.n_c()).arcs().to_vec(),
-                        &baseline.union(pair.n_c()).arcs().to_vec(),
-                        &run.timeline,
-                        &cell,
-                        "edge union differs from perfect run",
-                    );
-                    check_link_conservation(&run.timeline, &cell);
-                    // Counters snapshot the same facts the event log
-                    // records — the two views must agree.
-                    assert_cell_eq(
-                        &run.stats.total_retransmissions(),
-                        &run.timeline.count_of(EventKind::Retransmit),
-                        &run.timeline,
-                        &cell,
-                        "retransmission counter disagrees with event log",
-                    );
-                    assert_cell_eq(
-                        &run.stats.total_redeliveries_discarded(),
-                        &run.timeline.count_of(EventKind::DedupDiscard),
-                        &run.timeline,
-                        &cell,
-                        "dedup counter disagrees with event log",
-                    );
-                    chaos_retransmissions += run.stats.total_retransmissions();
-                    chaos_redeliveries += run.stats.total_redeliveries_discarded();
+    for scheme in SCHEMES {
+        for ranks in RANK_COUNTS {
+            for mode in MODES {
+                let baseline = generate_distributed(
+                    &pair,
+                    &config(ranks, scheme, mode, TransportConfig::Perfect),
+                );
+                let expected = canonical_stores(&baseline);
+                assert_eq!(
+                    u128::from(baseline.stats.total_stored()),
+                    pair.nnz_c(),
+                    "perfect baseline sanity (scheme={scheme:?} ranks={ranks})"
+                );
+                // Every scheme must reproduce the sequential run exactly
+                // — the same contract for Rem. 1's 2D grid as for §III.
+                assert_eq!(
+                    baseline.union(pair.n_c()),
+                    sequential,
+                    "scheme={scheme:?} ranks={ranks} mode={mode:?}: \
+                     perfect run differs from sequential materialization"
+                );
+                // A perfect transport never drops or duplicates, so the
+                // reliable layer must stay silent — counters and event log
+                // agree on zero.
+                assert_eq!(baseline.stats.total_retransmissions(), 0, "perfect transport retransmitted");
+                assert_eq!(baseline.timeline.count_of(EventKind::Retransmit), 0);
+                assert_eq!(baseline.timeline.count_of(EventKind::DropInjected), 0);
+                check_link_conservation(&baseline.timeline, "perfect baseline");
+                for seed in seeds() {
+                    for (mix, faults) in mixes(seed) {
+                        let cell = format!(
+                            "repro: seed={seed} mix={mix} scheme={scheme:?} ranks={ranks} mode={mode:?}"
+                        );
+                        let run = generate_distributed(
+                            &pair,
+                            &config(ranks, scheme, mode, TransportConfig::Faulty(faults)),
+                        );
+                        assert_cell_eq(
+                            &u128::from(run.stats.total_stored()),
+                            &pair.nnz_c(),
+                            &run.timeline,
+                            &cell,
+                            "stored arc count drifted under faults",
+                        );
+                        assert_cell_eq(
+                            &canonical_stores(&run),
+                            &expected,
+                            &run.timeline,
+                            &cell,
+                            "per-rank edge stores differ from perfect run",
+                        );
+                        assert_cell_eq(
+                            &run.union(pair.n_c()).arcs().to_vec(),
+                            &sequential.arcs().to_vec(),
+                            &run.timeline,
+                            &cell,
+                            "edge union differs from sequential run",
+                        );
+                        check_link_conservation(&run.timeline, &cell);
+                        // Counters snapshot the same facts the event log
+                        // records — the two views must agree.
+                        assert_cell_eq(
+                            &run.stats.total_retransmissions(),
+                            &run.timeline.count_of(EventKind::Retransmit),
+                            &run.timeline,
+                            &cell,
+                            "retransmission counter disagrees with event log",
+                        );
+                        assert_cell_eq(
+                            &run.stats.total_redeliveries_discarded(),
+                            &run.timeline.count_of(EventKind::DedupDiscard),
+                            &run.timeline,
+                            &cell,
+                            "dedup counter disagrees with event log",
+                        );
+                        chaos_retransmissions += run.stats.total_retransmissions();
+                        chaos_redeliveries += run.stats.total_redeliveries_discarded();
+                    }
                 }
             }
         }
@@ -208,42 +242,139 @@ fn chaos_matrix_generation_is_bit_identical() {
     assert!(chaos_redeliveries > 0, "no fault schedule ever duplicated a payload");
 }
 
+/// Spill tier under the same matrix: {OneD, TwoD} × {Perfect + every
+/// fault mix} × ranks (incl. the 2×4 grid). Each rank's merged shard
+/// runs must equal the per-rank store of the perfect in-memory run, and
+/// the union of all runs must be bit-identical to the sequential
+/// materialization — chaos on the exchange must never corrupt, drop, or
+/// duplicate an arc on its way to disk.
+#[test]
+fn chaos_matrix_spilled_shards_are_bit_identical() {
+    kron_obs::events::set_enabled(true);
+    let pair = test_pair();
+    let sequential = sequential_reference(&pair);
+    let base_dir = std::env::temp_dir().join("kron_chaos_spill");
+    for scheme in SCHEMES {
+        for ranks in RANK_COUNTS {
+            // Per-rank expected stores come from the in-memory perfect
+            // run (ownership is owner-determined, not scheme-determined).
+            let in_memory = generate_distributed(
+                &pair,
+                &config(ranks, scheme, ExchangeMode::Phased, TransportConfig::Perfect),
+            );
+            let expected_stores = canonical_stores(&in_memory);
+            let mut transports = vec![("perfect".to_string(), TransportConfig::Perfect)];
+            for seed in seeds() {
+                for (mix, faults) in mixes(seed) {
+                    transports
+                        .push((format!("{mix} seed={seed}"), TransportConfig::Faulty(faults)));
+                }
+            }
+            for (tname, transport) in transports {
+                let cell = format!("repro: spill {tname} scheme={scheme:?} ranks={ranks}");
+                let mut cfg = config(ranks, scheme, ExchangeMode::Phased, transport);
+                let dir = base_dir.join(format!("{tname}_{scheme:?}_{ranks}"));
+                let mut spill = SpillConfig::new(dir.clone());
+                spill.run_arcs = 100; // force multi-run merges per rank
+                cfg.spill = Some(spill);
+                let run = generate_distributed(&pair, &cfg);
+                assert!(
+                    run.per_rank.iter().all(EdgeList::is_empty),
+                    "spill mode kept resident edges — {cell}"
+                );
+                assert_cell_eq(
+                    &(run.stats.total_spilled_arcs() as u128),
+                    &pair.nnz_c(),
+                    &run.timeline,
+                    &cell,
+                    "spilled arc count drifted",
+                );
+                // Per-rank shard unions: merge each rank's runs.
+                for (rank, rank_runs) in run.shard_runs.iter().enumerate() {
+                    let readers: Vec<ShardReader> = rank_runs
+                        .iter()
+                        .map(|p| ShardReader::open(p).expect("open spilled run"))
+                        .collect();
+                    let mut merged = Vec::new();
+                    merge_shards(readers, |p, q| merged.push((p, q)))
+                        .expect("merge spilled runs");
+                    assert_cell_eq(
+                        &merged,
+                        &expected_stores[rank],
+                        &run.timeline,
+                        &format!("{cell} rank={rank}"),
+                        "rank's merged shard runs differ from perfect in-memory store",
+                    );
+                }
+                // Whole-graph union via the external-memory CSR build.
+                let paths: Vec<_> = run.shard_runs.iter().flatten().collect();
+                let rebuilt = CsrGraph::from_shards(&paths, 4096).expect("from_shards");
+                assert_cell_eq(
+                    &rebuilt.to_edge_list(),
+                    &sequential,
+                    &run.timeline,
+                    &cell,
+                    "union of spilled shards differs from sequential run",
+                );
+                std::fs::remove_dir_all(&dir).expect("clean up spill dir");
+            }
+        }
+    }
+    let _ = std::fs::remove_dir_all(&base_dir);
+}
+
 #[test]
 fn chaos_matrix_bfs_distances_are_bit_identical() {
     kron_obs::events::set_enabled(true);
     let pair = test_pair();
-    for ranks in RANK_COUNTS {
-        let result =
-            generate_distributed(&pair, &config(ranks, ExchangeMode::Phased, TransportConfig::Perfect));
-        let owner = VertexBlockOwner::new(pair.n_c(), ranks);
-        for source in [0u64, pair.n_c() / 2] {
-            let (baseline, _) = distributed_bfs_traced(
-                &result,
-                &owner,
-                pair.n_c(),
-                source,
-                &TransportConfig::Perfect,
+    // Single-process BFS over the sequentially materialized graph is the
+    // absolute reference — not merely "same as the perfect run".
+    let csr = materialize(&pair);
+    for scheme in SCHEMES {
+        for ranks in RANK_COUNTS {
+            let result = generate_distributed(
+                &pair,
+                &config(ranks, scheme, ExchangeMode::Phased, TransportConfig::Perfect),
             );
-            for seed in seeds() {
-                for (mix, faults) in mixes(seed) {
-                    let cell = format!(
-                        "repro: bfs seed={seed} mix={mix} ranks={ranks} source={source}"
-                    );
-                    let (dist, timeline) = distributed_bfs_traced(
-                        &result,
-                        &owner,
-                        pair.n_c(),
-                        source,
-                        &TransportConfig::Faulty(faults),
-                    );
-                    assert_cell_eq(
-                        &dist,
-                        &baseline,
-                        &timeline,
-                        &cell,
-                        "BFS distances differ from perfect run",
-                    );
-                    check_link_conservation(&timeline, &cell);
+            let owner = VertexBlockOwner::new(pair.n_c(), ranks);
+            for source in [0u64, pair.n_c() / 2] {
+                let sequential = kron_analytics::distance::bfs_distances(&csr, source);
+                let (baseline, timeline) = distributed_bfs_traced(
+                    &result,
+                    &owner,
+                    pair.n_c(),
+                    source,
+                    &TransportConfig::Perfect,
+                );
+                assert_cell_eq(
+                    &baseline,
+                    &sequential,
+                    &timeline,
+                    &format!("repro: bfs perfect scheme={scheme:?} ranks={ranks} source={source}"),
+                    "perfect-transport BFS differs from sequential BFS",
+                );
+                for seed in seeds() {
+                    for (mix, faults) in mixes(seed) {
+                        let cell = format!(
+                            "repro: bfs seed={seed} mix={mix} scheme={scheme:?} ranks={ranks} \
+                             source={source}"
+                        );
+                        let (dist, timeline) = distributed_bfs_traced(
+                            &result,
+                            &owner,
+                            pair.n_c(),
+                            source,
+                            &TransportConfig::Faulty(faults),
+                        );
+                        assert_cell_eq(
+                            &dist,
+                            &sequential,
+                            &timeline,
+                            &cell,
+                            "BFS distances differ from sequential run",
+                        );
+                        check_link_conservation(&timeline, &cell);
+                    }
                 }
             }
         }
@@ -254,29 +385,43 @@ fn chaos_matrix_bfs_distances_are_bit_identical() {
 fn chaos_matrix_triangle_counts_are_bit_identical() {
     kron_obs::events::set_enabled(true);
     let pair = test_pair();
-    for ranks in RANK_COUNTS {
-        let result =
-            generate_distributed(&pair, &config(ranks, ExchangeMode::Phased, TransportConfig::Perfect));
-        let owner = VertexBlockOwner::new(pair.n_c(), ranks);
-        let (baseline, _) =
-            distributed_triangle_count_traced(&result, &owner, &TransportConfig::Perfect);
-        assert!(baseline > 0, "test graph must contain triangles");
-        for seed in seeds() {
-            for (mix, faults) in mixes(seed) {
-                let cell = format!("repro: triangles seed={seed} mix={mix} ranks={ranks}");
-                let (count, timeline) = distributed_triangle_count_traced(
-                    &result,
-                    &owner,
-                    &TransportConfig::Faulty(faults),
-                );
-                assert_cell_eq(
-                    &count,
-                    &baseline,
-                    &timeline,
-                    &cell,
-                    "triangle count differs from perfect run",
-                );
-                check_link_conservation(&timeline, &cell);
+    let sequential = kron_analytics::triangles::global_triangles(&materialize(&pair));
+    assert!(sequential > 0, "test graph must contain triangles");
+    for scheme in SCHEMES {
+        for ranks in RANK_COUNTS {
+            let result = generate_distributed(
+                &pair,
+                &config(ranks, scheme, ExchangeMode::Phased, TransportConfig::Perfect),
+            );
+            let owner = VertexBlockOwner::new(pair.n_c(), ranks);
+            let (baseline, timeline) =
+                distributed_triangle_count_traced(&result, &owner, &TransportConfig::Perfect);
+            assert_cell_eq(
+                &baseline,
+                &sequential,
+                &timeline,
+                &format!("repro: triangles perfect scheme={scheme:?} ranks={ranks}"),
+                "perfect-transport triangle count differs from sequential count",
+            );
+            for seed in seeds() {
+                for (mix, faults) in mixes(seed) {
+                    let cell = format!(
+                        "repro: triangles seed={seed} mix={mix} scheme={scheme:?} ranks={ranks}"
+                    );
+                    let (count, timeline) = distributed_triangle_count_traced(
+                        &result,
+                        &owner,
+                        &TransportConfig::Faulty(faults),
+                    );
+                    assert_cell_eq(
+                        &count,
+                        &sequential,
+                        &timeline,
+                        &cell,
+                        "triangle count differs from sequential run",
+                    );
+                    check_link_conservation(&timeline, &cell);
+                }
             }
         }
     }

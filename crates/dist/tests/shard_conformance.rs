@@ -1,0 +1,143 @@
+//! Conformance of the out-of-core shard tier against the in-memory
+//! pipeline, across random Kronecker factor pairs: direct spill,
+//! exchange-driven spill (both partition schemes), `from_shards`, and the
+//! fully external CSR build must all reproduce `materialize(A ⊗ B)` bit
+//! for bit.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use proptest::prelude::*;
+
+use kron_core::generate::materialize;
+use kron_core::KroneckerPair;
+use kron_dist::{
+    generate_distributed, spill_shards_direct, DistConfig, PartitionScheme, SpillConfig,
+};
+use kron_graph::generators::{cycle, erdos_renyi, path};
+use kron_graph::shard::{build_external_csr, ExternalCsr};
+use kron_graph::CsrGraph;
+
+static CASE: AtomicUsize = AtomicUsize::new(0);
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let id = CASE.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("kron_shard_conf_{}_{tag}_{id}", std::process::id()))
+}
+
+/// Strategy: a random factor pair — ER × {ER, cycle, path} factors,
+/// as-is or with full self loops.
+fn factor_pair() -> impl Strategy<Value = KroneckerPair> {
+    ((2u64..8, 2u64..8), (0u64..1000, proptest::bool::ANY, 0usize..3)).prop_map(
+        |((na, nb), (seed, full, shape))| {
+            let a = erdos_renyi(na, 0.5, seed);
+            let b = match shape {
+                0 => erdos_renyi(nb, 0.5, seed.wrapping_add(7)),
+                1 => cycle(nb.max(3)),
+                _ => path(nb),
+            };
+            if full {
+                KroneckerPair::with_full_self_loops(a, b).expect("loop-free factors")
+            } else {
+                KroneckerPair::as_is(a, b).expect("loop-free factors")
+            }
+        },
+    )
+}
+
+/// Asserts two CSR graphs are equal down to their raw arrays — "equal by
+/// bits", not merely equivalent.
+fn assert_bits_equal(got: &CsrGraph, want: &CsrGraph, ctx: &str) {
+    assert_eq!(got.n(), want.n(), "{ctx}: n");
+    assert_eq!(got.offsets(), want.offsets(), "{ctx}: offset array");
+    assert_eq!(got.targets(), want.targets(), "{ctx}: target array");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Direct per-rank spill → `from_shards` reproduces the sequentially
+    /// materialized product exactly, for every rank count and run size.
+    #[test]
+    fn direct_spill_from_shards_matches_materialize(
+        pair in factor_pair(),
+        ranks in 1usize..6,
+        run_arcs in 1usize..200,
+    ) {
+        let reference = materialize(&pair);
+        let dir = scratch_dir("direct");
+        let mut spill = SpillConfig::new(dir.clone());
+        spill.run_arcs = run_arcs;
+        let runs = spill_shards_direct(&pair, ranks, &spill).expect("direct spill");
+        prop_assert_eq!(runs.len(), ranks);
+        let paths: Vec<&PathBuf> = runs.iter().flatten().collect();
+        if paths.is_empty() {
+            // An empty product spills nothing; nothing further to check.
+            std::fs::remove_dir_all(&dir).ok();
+            prop_assert_eq!(reference.nnz(), 0);
+            continue;
+        }
+        let rebuilt = CsrGraph::from_shards(&paths, 1024).expect("from_shards");
+        assert_bits_equal(&rebuilt, &reference, &format!("direct spill ranks={ranks} run_arcs={run_arcs}"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Exchange-driven spill under both partition schemes agrees with the
+    /// sequential build too — same shards-to-CSR contract, but the arcs
+    /// took the full routed path through the reliable transport.
+    #[test]
+    fn exchange_spill_from_shards_matches_materialize(
+        pair in factor_pair(),
+        ranks in 1usize..5,
+    ) {
+        let reference = materialize(&pair);
+        for scheme in [PartitionScheme::OneD, PartitionScheme::TwoD] {
+            let dir = scratch_dir("exch");
+            let mut cfg = DistConfig::new(ranks);
+            cfg.scheme = scheme;
+            let mut spill = SpillConfig::new(dir.clone());
+            spill.run_arcs = 64;
+            cfg.spill = Some(spill);
+            let result = generate_distributed(&pair, &cfg);
+            let paths: Vec<&PathBuf> = result.shard_runs.iter().flatten().collect();
+            if paths.is_empty() {
+                std::fs::remove_dir_all(&dir).ok();
+                prop_assert_eq!(reference.nnz(), 0);
+                continue;
+            }
+            let rebuilt = CsrGraph::from_shards(&paths, 1024).expect("from_shards");
+            assert_bits_equal(
+                &rebuilt,
+                &reference,
+                &format!("exchange spill scheme={scheme:?} ranks={ranks}"),
+            );
+            std::fs::remove_dir_all(&dir).ok();
+        }
+    }
+
+    /// The fully external build (`KRSC` file on disk) loads back equal to
+    /// the in-memory CSR, and its streamed degrees match row for row.
+    #[test]
+    fn external_csr_file_matches_materialize(pair in factor_pair(), ranks in 1usize..4) {
+        let reference = materialize(&pair);
+        let dir = scratch_dir("ext");
+        let spill = SpillConfig::new(dir.clone());
+        let runs = spill_shards_direct(&pair, ranks, &spill).expect("direct spill");
+        let paths: Vec<&PathBuf> = runs.iter().flatten().collect();
+        if paths.is_empty() {
+            std::fs::remove_dir_all(&dir).ok();
+            continue;
+        }
+        let out = dir.join("product.krsc");
+        let stats = build_external_csr(&paths, &out, 1024).expect("external build");
+        prop_assert_eq!(stats.arcs as usize, reference.nnz());
+        let mut ext = ExternalCsr::open(&out).expect("open external CSR");
+        prop_assert_eq!(ext.n(), reference.n());
+        prop_assert_eq!(ext.arc_count() as usize, reference.nnz());
+        assert_bits_equal(&ext.load().expect("load external CSR"), &reference, "external CSR");
+        let mut degrees = Vec::new();
+        ext.for_each_degree(|_, d| degrees.push(d)).expect("degree stream");
+        prop_assert_eq!(degrees, reference.degrees());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -27,6 +27,7 @@ pub mod generators;
 pub mod io;
 pub mod ops;
 pub mod parallel;
+pub mod shard;
 pub mod union_find;
 
 pub use arena::Arena;

@@ -1,0 +1,828 @@
+//! Out-of-core edge shards: streaming sorted-run spill files and the
+//! external-memory CSR build over them.
+//!
+//! The distributed generator can produce a `C = A ⊗ B` far larger than
+//! RAM; this module is the disk tier that makes such a product storable
+//! and analyzable on a small box. Three layers:
+//!
+//! * **Sorted-run shard files** (`KRSH` v1): a versioned, length-prefixed
+//!   binary format holding one *sorted* run of arcs. [`ShardWriter`]
+//!   streams arcs out through a bounded buffer (enforcing sortedness at
+//!   write time); [`ShardReader`] streams them back, validating the
+//!   declared count against the actual file length with overflow-checked
+//!   arithmetic *before* trusting it — the same adversarial-decode
+//!   discipline as [`crate::io::decode_binary`] — and re-enforcing
+//!   sortedness and vertex range at read time, so a corrupted shard is
+//!   an error, never a panic or an attacker-sized allocation.
+//! * **K-way merge** ([`merge_shards`]): merges any number of sorted
+//!   runs into one globally sorted, deduplicated arc stream delivered to
+//!   a visitor. Resident memory is one read buffer per run plus a
+//!   run-count-sized heap — never `O(edges)`.
+//! * **CSR builds**: [`CsrGraph::from_shards`] materializes the merged
+//!   stream as an in-memory CSR **bit-identical** to
+//!   [`CsrGraph::from_edge_list`] over the same arc multiset, with no
+//!   intermediate edge list (the 16-byte-per-arc `Vec` never exists);
+//!   [`build_external_csr`] goes fully out-of-core, writing a CSR-layout
+//!   file (`KRSC` v1, offsets then targets) in two merge passes so peak
+//!   resident memory is `O(n + run buffers)` regardless of the edge
+//!   count. [`ExternalCsr`] reads that file back — whole (for
+//!   validation-scale equality checks) or row-at-a-time / degree-stream
+//!   (for beyond-RAM analytics).
+//!
+//! Spill and merge volumes are mirrored into `kron-obs` counters
+//! (`shard.spilled_arcs`, `shard.merged_arcs`,
+//! `shard.merge_duplicates_discarded`, …) so an [`ObsReport`] covers the
+//! disk tier alongside the kernels.
+//!
+//! [`ObsReport`]: ../../kron_obs/report/struct.ObsReport.html
+
+use std::collections::BinaryHeap;
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use crate::csr::CsrGraph;
+use crate::{Arc, GraphError, Result};
+
+/// Magic bytes of a sorted-run shard file.
+pub const SHARD_MAGIC: &[u8; 4] = b"KRSH";
+/// Current shard format version.
+pub const SHARD_VERSION: u32 = 1;
+/// Magic bytes of an external CSR file.
+pub const CSR_MAGIC: &[u8; 4] = b"KRSC";
+/// Current external CSR format version.
+pub const CSR_VERSION: u32 = 1;
+
+/// Default IO buffer capacity for shard readers and writers (bytes).
+pub const DEFAULT_IO_BUF: usize = 64 * 1024;
+
+/// Count placeholder written at create time; a shard dropped before
+/// [`ShardWriter::finish`] keeps it, and every reader rejects it (no file
+/// can be long enough), so half-written shards can never be merged.
+const UNFINISHED: u64 = u64::MAX;
+
+fn corrupt(path: &Path, message: impl std::fmt::Display) -> GraphError {
+    GraphError::Parse { line: 0, message: format!("{}: {message}", path.display()) }
+}
+
+/// Summary of one finished shard run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardInfo {
+    /// File the run was written to.
+    pub path: PathBuf,
+    /// Vertex-universe size stamped in the header.
+    pub n: u64,
+    /// Arcs in the run.
+    pub arcs: u64,
+}
+
+/// Streaming writer of one sorted run.
+///
+/// Arcs must be pushed in non-decreasing `(source, target)` order —
+/// enforced per push, because the merge's correctness rests on it. The
+/// header's arc count is patched in by [`ShardWriter::finish`]; until
+/// then the file carries a poisoned count no reader accepts.
+#[derive(Debug)]
+pub struct ShardWriter {
+    out: BufWriter<File>,
+    path: PathBuf,
+    n: u64,
+    arcs: u64,
+    last: Option<Arc>,
+}
+
+impl ShardWriter {
+    /// Creates a shard over a universe of `n` vertices with the default
+    /// IO buffer.
+    pub fn create<P: AsRef<Path>>(path: P, n: u64) -> Result<Self> {
+        Self::with_buffer(path, n, DEFAULT_IO_BUF)
+    }
+
+    /// Creates a shard with an explicit IO buffer capacity — the only
+    /// resident memory the writer holds.
+    pub fn with_buffer<P: AsRef<Path>>(path: P, n: u64, buf_bytes: usize) -> Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        let mut out = BufWriter::with_capacity(buf_bytes.max(32), File::create(&path)?);
+        out.write_all(SHARD_MAGIC)?;
+        out.write_all(&SHARD_VERSION.to_le_bytes())?;
+        out.write_all(&n.to_le_bytes())?;
+        out.write_all(&UNFINISHED.to_le_bytes())?;
+        Ok(ShardWriter { out, path, n, arcs: 0, last: None })
+    }
+
+    /// Appends one arc; must be `>=` the previous arc and in `0..n`.
+    pub fn push(&mut self, u: u64, v: u64) -> Result<()> {
+        if u >= self.n || v >= self.n {
+            return Err(GraphError::VertexOutOfRange { vertex: u.max(v), n: self.n });
+        }
+        if let Some(last) = self.last {
+            if (u, v) < last {
+                return Err(corrupt(
+                    &self.path,
+                    format!("arc ({u},{v}) pushed after {last:?} — runs must be sorted"),
+                ));
+            }
+        }
+        self.last = Some((u, v));
+        self.out.write_all(&u.to_le_bytes())?;
+        self.out.write_all(&v.to_le_bytes())?;
+        self.arcs += 1;
+        Ok(())
+    }
+
+    /// Arcs pushed so far.
+    pub fn arcs(&self) -> u64 {
+        self.arcs
+    }
+
+    /// Flushes, patches the header's arc count, and returns the run
+    /// summary. Dropping a writer without calling this leaves the file
+    /// unreadable by design.
+    pub fn finish(mut self) -> Result<ShardInfo> {
+        self.out.flush()?;
+        let file = self.out.get_mut();
+        file.seek(SeekFrom::Start(16))?;
+        file.write_all(&self.arcs.to_le_bytes())?;
+        file.flush()?;
+        kron_obs::counter!("shard.spilled_runs").add(1);
+        kron_obs::counter!("shard.spilled_arcs").add(self.arcs);
+        Ok(ShardInfo { path: self.path, n: self.n, arcs: self.arcs })
+    }
+}
+
+/// Streaming reader of one sorted run; validates framing at open and
+/// ordering/range per arc, through a bounded read buffer.
+#[derive(Debug)]
+pub struct ShardReader {
+    input: BufReader<File>,
+    path: PathBuf,
+    n: u64,
+    total: u64,
+    remaining: u64,
+    last: Option<Arc>,
+}
+
+impl ShardReader {
+    /// Opens a shard with the default IO buffer.
+    pub fn open<P: AsRef<Path>>(path: P) -> Result<Self> {
+        Self::with_buffer(path, DEFAULT_IO_BUF)
+    }
+
+    /// Opens a shard with an explicit read-buffer capacity — the only
+    /// resident memory the reader holds.
+    ///
+    /// The declared arc count is validated against the real file length
+    /// (overflow-checked, trailing bytes rejected) **before** anything is
+    /// believed, so a forged header costs one comparison, not an OOM.
+    pub fn with_buffer<P: AsRef<Path>>(path: P, buf_bytes: usize) -> Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        let file = File::open(&path)?;
+        let len = file.metadata()?.len();
+        let mut input = BufReader::with_capacity(buf_bytes.max(32), file);
+        let mut header = [0u8; 24];
+        if len < 24 {
+            return Err(corrupt(&path, "shard truncated (header)"));
+        }
+        input.read_exact(&mut header)?;
+        if &header[0..4] != SHARD_MAGIC {
+            return Err(corrupt(&path, "bad magic (expected KRSH)"));
+        }
+        let version = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes"));
+        if version != SHARD_VERSION {
+            return Err(corrupt(&path, format!("unsupported shard version {version}")));
+        }
+        let n = u64::from_le_bytes(header[8..16].try_into().expect("8 bytes"));
+        let total = u64::from_le_bytes(header[16..24].try_into().expect("8 bytes"));
+        let need = total
+            .checked_mul(16)
+            .and_then(|b| b.checked_add(24))
+            .ok_or_else(|| corrupt(&path, "arc count overflows byte length"))?;
+        if len < need {
+            return Err(corrupt(&path, "shard truncated (arcs)"));
+        }
+        if len > need {
+            return Err(corrupt(&path, "trailing bytes after arc run"));
+        }
+        Ok(ShardReader { input, path, n, total, remaining: total, last: None })
+    }
+
+    /// Vertex-universe size stamped in the header.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Total arcs declared by the (validated) header.
+    pub fn arcs_total(&self) -> u64 {
+        self.total
+    }
+
+    /// Next arc, or `None` at end of run. Errors on IO failure, an
+    /// out-of-range vertex, or an ordering violation — corruption in the
+    /// payload surfaces here instead of corrupting a merge.
+    pub fn next_arc(&mut self) -> Result<Option<Arc>> {
+        if self.remaining == 0 {
+            return Ok(None);
+        }
+        let mut buf = [0u8; 16];
+        self.input.read_exact(&mut buf)?;
+        let u = u64::from_le_bytes(buf[0..8].try_into().expect("8 bytes"));
+        let v = u64::from_le_bytes(buf[8..16].try_into().expect("8 bytes"));
+        if u >= self.n || v >= self.n {
+            return Err(corrupt(&self.path, format!("arc ({u},{v}) out of range (n={})", self.n)));
+        }
+        if let Some(last) = self.last {
+            if (u, v) < last {
+                return Err(corrupt(
+                    &self.path,
+                    format!("arc ({u},{v}) after {last:?} — run not sorted"),
+                ));
+            }
+        }
+        self.last = Some((u, v));
+        self.remaining -= 1;
+        Ok(Some((u, v)))
+    }
+}
+
+/// Accounting of one merge pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MergeStats {
+    /// Runs merged.
+    pub runs: usize,
+    /// Unique arcs emitted.
+    pub arcs_out: u64,
+    /// Duplicate arcs discarded (within or across runs).
+    pub duplicates_discarded: u64,
+}
+
+/// K-way merges sorted runs into one sorted, deduplicated arc stream,
+/// delivered to `emit` in strictly increasing `(source, target)` order.
+///
+/// All runs must agree on `n`. Resident memory: the readers' bounded
+/// buffers plus a heap of one head per run.
+pub fn merge_shards<F: FnMut(u64, u64)>(
+    mut readers: Vec<ShardReader>,
+    mut emit: F,
+) -> Result<MergeStats> {
+    let mut stats = MergeStats { runs: readers.len(), ..MergeStats::default() };
+    if let Some(first) = readers.first() {
+        let n = first.n();
+        for r in &readers {
+            if r.n() != n {
+                return Err(corrupt(
+                    &r.path,
+                    format!("shard n={} disagrees with sibling n={n}", r.n()),
+                ));
+            }
+        }
+    }
+    // Min-heap of run heads via Reverse ordering.
+    let mut heap: BinaryHeap<std::cmp::Reverse<(Arc, usize)>> =
+        BinaryHeap::with_capacity(readers.len());
+    for (idx, reader) in readers.iter_mut().enumerate() {
+        if let Some(arc) = reader.next_arc()? {
+            heap.push(std::cmp::Reverse((arc, idx)));
+        }
+    }
+    let mut last: Option<Arc> = None;
+    while let Some(std::cmp::Reverse((arc, idx))) = heap.pop() {
+        if let Some(next) = readers[idx].next_arc()? {
+            heap.push(std::cmp::Reverse((next, idx)));
+        }
+        if last == Some(arc) {
+            stats.duplicates_discarded += 1;
+        } else {
+            last = Some(arc);
+            stats.arcs_out += 1;
+            emit(arc.0, arc.1);
+        }
+    }
+    kron_obs::counter!("shard.merged_runs").add(stats.runs as u64);
+    kron_obs::counter!("shard.merged_arcs").add(stats.arcs_out);
+    kron_obs::counter!("shard.merge_duplicates_discarded").add(stats.duplicates_discarded);
+    Ok(stats)
+}
+
+fn open_all<P: AsRef<Path>>(paths: &[P], buf_bytes: usize) -> Result<Vec<ShardReader>> {
+    paths.iter().map(|p| ShardReader::with_buffer(p, buf_bytes)).collect()
+}
+
+impl CsrGraph {
+    /// External-memory CSR build: k-way merges the sorted shard runs at
+    /// `paths` straight into CSR arrays — **bit-identical** to
+    /// [`CsrGraph::from_edge_list`] over the union of the runs' arcs, but
+    /// the 16-byte-per-arc edge list and the counting-sort scratch never
+    /// exist. Transient memory beyond the returned CSR is one `buf_bytes`
+    /// read buffer per run plus the merge heap.
+    ///
+    /// `n` comes from the shard headers (which must agree). An empty
+    /// `paths` slice is rejected — there is no `n` to build over.
+    pub fn from_shards<P: AsRef<Path>>(paths: &[P], buf_bytes: usize) -> Result<CsrGraph> {
+        let _span = kron_obs::span::enter("shard/from_shards");
+        let readers = open_all(paths, buf_bytes)?;
+        let first = readers
+            .first()
+            .ok_or_else(|| corrupt(Path::new("<no shards>"), "from_shards needs >= 1 run"))?;
+        let n = first.n();
+        // Upper bound (duplicates only shrink it): reserving exactly once
+        // keeps the peak at one targets array, no doubling.
+        let declared: u64 = readers.iter().map(ShardReader::arcs_total).sum();
+        let mut offsets = Vec::with_capacity(n as usize + 1);
+        let mut targets: Vec<u64> = Vec::with_capacity(declared as usize);
+        offsets.push(0usize);
+        let mut row = 0u64;
+        merge_shards(readers, |u, v| {
+            // Arcs arrive sorted by (u, v); close out rows up to u.
+            while row < u {
+                offsets.push(targets.len());
+                row += 1;
+            }
+            targets.push(v);
+        })?;
+        while row < n {
+            offsets.push(targets.len());
+            row += 1;
+        }
+        Ok(CsrGraph::from_sorted_parts(n, offsets, targets))
+    }
+}
+
+/// Accounting of one external CSR build.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExternalCsrStats {
+    /// Unique arcs written.
+    pub arcs: u64,
+    /// Duplicates discarded by the merge.
+    pub duplicates_discarded: u64,
+    /// Bytes of the emitted CSR file.
+    pub bytes: u64,
+}
+
+/// Fully out-of-core CSR build: merges the sorted runs at `paths` twice —
+/// pass one counts per-row degrees, pass two streams targets — and writes
+/// a `KRSC` CSR-layout file (header, `n + 1` offsets, targets) to `out`.
+///
+/// Peak resident memory is the `(n + 1)`-entry degree table plus the
+/// bounded run buffers: independent of the arc count, which only ever
+/// exists on disk. This is the build that makes a beyond-RAM `C`
+/// analyzable.
+pub fn build_external_csr<P: AsRef<Path>>(
+    paths: &[P],
+    out: &Path,
+    buf_bytes: usize,
+) -> Result<ExternalCsrStats> {
+    let _span = kron_obs::span::enter("shard/build_external_csr");
+    let readers = open_all(paths, buf_bytes)?;
+    let first = readers
+        .first()
+        .ok_or_else(|| corrupt(Path::new("<no shards>"), "external build needs >= 1 run"))?;
+    let n = first.n();
+    // Pass 1: degree counts (the only O(n) state of the build).
+    let mut counts = vec![0u64; n as usize + 1];
+    let pass1 = merge_shards(readers, |u, _| counts[u as usize + 1] += 1)?;
+    for i in 0..n as usize {
+        counts[i + 1] += counts[i];
+    }
+    let mut writer = BufWriter::with_capacity(buf_bytes.max(32), File::create(out)?);
+    writer.write_all(CSR_MAGIC)?;
+    writer.write_all(&CSR_VERSION.to_le_bytes())?;
+    writer.write_all(&n.to_le_bytes())?;
+    writer.write_all(&pass1.arcs_out.to_le_bytes())?;
+    for offset in &counts {
+        writer.write_all(&offset.to_le_bytes())?;
+    }
+    // Pass 2: stream targets in merged order, which is exactly CSR order.
+    let readers = open_all(paths, buf_bytes)?;
+    let mut written = 0u64;
+    let pass2 = merge_shards(readers, |_, v| {
+        written += 1;
+        // BufWriter error surfaces at flush; merge visitors are infallible.
+        let _ = writer.write_all(&v.to_le_bytes());
+    })?;
+    if pass2 != pass1 {
+        return Err(corrupt(out, "shards changed between merge passes"));
+    }
+    writer.flush()?;
+    let bytes = 24 + (n + 1) * 8 + pass1.arcs_out * 8;
+    kron_obs::counter!("shard.external_csr_arcs").add(pass1.arcs_out);
+    kron_obs::counter!("shard.external_csr_bytes").add(bytes);
+    Ok(ExternalCsrStats {
+        arcs: pass1.arcs_out,
+        duplicates_discarded: pass1.duplicates_discarded,
+        bytes,
+    })
+}
+
+/// Reader over a `KRSC` external CSR file: validated header, O(1)-memory
+/// degree/row access by seek, and a full [`ExternalCsr::load`] for
+/// validation-scale equality checks.
+#[derive(Debug)]
+pub struct ExternalCsr {
+    file: File,
+    path: PathBuf,
+    n: u64,
+    arcs: u64,
+}
+
+impl ExternalCsr {
+    /// Opens and validates an external CSR file. The declared `n` and arc
+    /// count must reproduce the file length exactly (overflow-checked), so
+    /// truncation, forged headers, and trailing garbage are all rejected
+    /// before any allocation.
+    pub fn open<P: AsRef<Path>>(path: P) -> Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        let mut file = File::open(&path)?;
+        let len = file.metadata()?.len();
+        if len < 24 {
+            return Err(corrupt(&path, "external CSR truncated (header)"));
+        }
+        let mut header = [0u8; 24];
+        file.read_exact(&mut header)?;
+        if &header[0..4] != CSR_MAGIC {
+            return Err(corrupt(&path, "bad magic (expected KRSC)"));
+        }
+        let version = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes"));
+        if version != CSR_VERSION {
+            return Err(corrupt(&path, format!("unsupported CSR version {version}")));
+        }
+        let n = u64::from_le_bytes(header[8..16].try_into().expect("8 bytes"));
+        let arcs = u64::from_le_bytes(header[16..24].try_into().expect("8 bytes"));
+        let need = n
+            .checked_add(1)
+            .and_then(|rows| rows.checked_mul(8))
+            .and_then(|o| arcs.checked_mul(8).and_then(|t| o.checked_add(t)))
+            .and_then(|body| body.checked_add(24))
+            .ok_or_else(|| corrupt(&path, "header sizes overflow byte length"))?;
+        if len != need {
+            return Err(corrupt(
+                &path,
+                format!("file length {len} does not match declared sizes ({need})"),
+            ));
+        }
+        Ok(ExternalCsr { file, path, n, arcs })
+    }
+
+    /// Vertex count.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Stored arc count.
+    pub fn arc_count(&self) -> u64 {
+        self.arcs
+    }
+
+    fn offset_pair(&mut self, p: u64) -> Result<(u64, u64)> {
+        if p >= self.n {
+            return Err(GraphError::VertexOutOfRange { vertex: p, n: self.n });
+        }
+        self.file.seek(SeekFrom::Start(24 + p * 8))?;
+        let mut buf = [0u8; 16];
+        self.file.read_exact(&mut buf)?;
+        let start = u64::from_le_bytes(buf[0..8].try_into().expect("8 bytes"));
+        let end = u64::from_le_bytes(buf[8..16].try_into().expect("8 bytes"));
+        if start > end || end > self.arcs {
+            return Err(corrupt(&self.path, format!("row {p} offsets [{start},{end}) corrupt")));
+        }
+        Ok((start, end))
+    }
+
+    /// Degree of `p` — two offset reads, O(1) memory.
+    pub fn degree(&mut self, p: u64) -> Result<u64> {
+        let (start, end) = self.offset_pair(p)?;
+        Ok(end - start)
+    }
+
+    /// Neighbor row of `p` — memory proportional to that row alone.
+    pub fn row(&mut self, p: u64) -> Result<Vec<u64>> {
+        let (start, end) = self.offset_pair(p)?;
+        let targets_base = 24 + (self.n + 1) * 8;
+        self.file.seek(SeekFrom::Start(targets_base + start * 8))?;
+        let mut row = vec![0u64; (end - start) as usize];
+        let mut buf = [0u8; 8];
+        for slot in &mut row {
+            self.file.read_exact(&mut buf)?;
+            *slot = u64::from_le_bytes(buf);
+        }
+        Ok(row)
+    }
+
+    /// Streams every vertex's degree in id order through a bounded
+    /// buffer — the beyond-RAM degree scan.
+    pub fn for_each_degree<F: FnMut(u64, u64)>(&mut self, mut f: F) -> Result<()> {
+        self.file.seek(SeekFrom::Start(24))?;
+        let mut reader = BufReader::with_capacity(DEFAULT_IO_BUF, &self.file);
+        let mut buf = [0u8; 8];
+        reader.read_exact(&mut buf)?;
+        let mut prev = u64::from_le_bytes(buf);
+        for p in 0..self.n {
+            reader.read_exact(&mut buf)?;
+            let next = u64::from_le_bytes(buf);
+            if next < prev {
+                return Err(corrupt(&self.path, format!("offsets not monotone at row {p}")));
+            }
+            f(p, next - prev);
+            prev = next;
+        }
+        Ok(())
+    }
+
+    /// Loads the whole file as an in-memory [`CsrGraph`] — validation-
+    /// scale only; this is the one method that allocates O(arcs).
+    pub fn load(&mut self) -> Result<CsrGraph> {
+        self.file.seek(SeekFrom::Start(24))?;
+        let mut reader = BufReader::with_capacity(DEFAULT_IO_BUF, &self.file);
+        let mut buf = [0u8; 8];
+        let mut offsets = Vec::with_capacity(self.n as usize + 1);
+        for row in 0..=self.n {
+            reader.read_exact(&mut buf)?;
+            let offset = u64::from_le_bytes(buf);
+            if offset > self.arcs || offsets.last().is_some_and(|&o| (o as u64) > offset) {
+                return Err(corrupt(&self.path, format!("offsets corrupt at row {row}")));
+            }
+            offsets.push(offset as usize);
+        }
+        if offsets.last() != Some(&(self.arcs as usize)) {
+            return Err(corrupt(&self.path, "final offset disagrees with arc count"));
+        }
+        let mut targets = Vec::with_capacity(self.arcs as usize);
+        for _ in 0..self.arcs {
+            reader.read_exact(&mut buf)?;
+            let v = u64::from_le_bytes(buf);
+            if v >= self.n {
+                return Err(corrupt(&self.path, format!("target {v} out of range")));
+            }
+            targets.push(v);
+        }
+        Ok(CsrGraph::from_sorted_parts(self.n, offsets, targets))
+    }
+}
+
+/// Sorts `arcs` and spills them as one run at `path` (helper for run
+/// buffers accumulated in arrival order).
+pub fn spill_sorted_run(path: &Path, n: u64, arcs: &mut Vec<Arc>) -> Result<ShardInfo> {
+    arcs.sort_unstable();
+    let mut writer = ShardWriter::create(path, n)?;
+    for &(u, v) in arcs.iter() {
+        writer.push(u, v)?;
+    }
+    arcs.clear();
+    writer.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edge_list::EdgeList;
+
+    fn dir(name: &str) -> PathBuf {
+        let d = std::env::temp_dir().join("kron_shard_unit").join(name);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn write_run(path: &Path, n: u64, arcs: &[Arc]) -> ShardInfo {
+        let mut w = ShardWriter::create(path, n).unwrap();
+        for &(u, v) in arcs {
+            w.push(u, v).unwrap();
+        }
+        w.finish().unwrap()
+    }
+
+    #[test]
+    fn roundtrip_single_run() {
+        let d = dir("roundtrip");
+        let path = d.join("run.krsh");
+        let arcs = vec![(0, 1), (0, 2), (1, 0), (3, 3)];
+        let info = write_run(&path, 4, &arcs);
+        assert_eq!(info.arcs, 4);
+        let mut reader = ShardReader::open(&path).unwrap();
+        assert_eq!(reader.n(), 4);
+        let mut back = Vec::new();
+        while let Some(arc) = reader.next_arc().unwrap() {
+            back.push(arc);
+        }
+        assert_eq!(back, arcs);
+    }
+
+    #[test]
+    fn writer_rejects_unsorted_and_out_of_range() {
+        let d = dir("writer_rejects");
+        let mut w = ShardWriter::create(d.join("bad.krsh"), 4).unwrap();
+        w.push(2, 2).unwrap();
+        assert!(w.push(1, 0).is_err(), "descending arc accepted");
+        assert!(w.push(2, 9).is_err(), "out-of-range target accepted");
+    }
+
+    #[test]
+    fn unfinished_shard_is_rejected() {
+        let d = dir("unfinished");
+        let path = d.join("dropped.krsh");
+        {
+            let mut w = ShardWriter::create(&path, 4).unwrap();
+            w.push(0, 1).unwrap();
+            // Dropped without finish: count stays poisoned.
+        }
+        assert!(ShardReader::open(&path).is_err());
+    }
+
+    #[test]
+    fn reader_rejects_framing_corruption() {
+        let d = dir("framing");
+        let path = d.join("run.krsh");
+        write_run(&path, 4, &[(0, 1), (1, 2)]);
+        let good = std::fs::read(&path).unwrap();
+
+        // Truncated header.
+        std::fs::write(&path, &good[..10]).unwrap();
+        assert!(ShardReader::open(&path).is_err());
+        // Bad magic.
+        let mut bad = good.clone();
+        bad[0] = b'X';
+        std::fs::write(&path, &bad).unwrap();
+        assert!(ShardReader::open(&path).is_err());
+        // Unsupported version.
+        let mut bad = good.clone();
+        bad[4] = 99;
+        std::fs::write(&path, &bad).unwrap();
+        assert!(ShardReader::open(&path).is_err());
+        // Truncated payload.
+        std::fs::write(&path, &good[..good.len() - 1]).unwrap();
+        assert!(ShardReader::open(&path).is_err());
+        // Trailing byte.
+        let mut bad = good.clone();
+        bad.push(0);
+        std::fs::write(&path, &bad).unwrap();
+        assert!(ShardReader::open(&path).is_err());
+    }
+
+    #[test]
+    fn reader_rejects_forged_counts_without_allocating() {
+        let d = dir("forged");
+        let path = d.join("forged.krsh");
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(SHARD_MAGIC);
+        bytes.extend_from_slice(&SHARD_VERSION.to_le_bytes());
+        bytes.extend_from_slice(&4u64.to_le_bytes());
+        bytes.extend_from_slice(&u64::MAX.to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(ShardReader::open(&path).is_err(), "u64::MAX count accepted");
+        // A count whose * 16 wraps to something tiny.
+        bytes.truncate(16);
+        bytes.extend_from_slice(&((u64::MAX / 16) + 1).to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(ShardReader::open(&path).is_err(), "wrapping count accepted");
+    }
+
+    #[test]
+    fn reader_rejects_unsorted_payload() {
+        let d = dir("unsorted");
+        let path = d.join("run.krsh");
+        // Hand-build a shard whose payload is out of order.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(SHARD_MAGIC);
+        bytes.extend_from_slice(&SHARD_VERSION.to_le_bytes());
+        bytes.extend_from_slice(&4u64.to_le_bytes());
+        bytes.extend_from_slice(&2u64.to_le_bytes());
+        for (u, v) in [(2u64, 0u64), (1, 0)] {
+            bytes.extend_from_slice(&u.to_le_bytes());
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        std::fs::write(&path, &bytes).unwrap();
+        let mut reader = ShardReader::open(&path).unwrap();
+        assert!(reader.next_arc().is_ok());
+        assert!(reader.next_arc().is_err(), "ordering violation accepted");
+    }
+
+    #[test]
+    fn merge_dedups_across_runs() {
+        let d = dir("merge");
+        let p1 = d.join("a.krsh");
+        let p2 = d.join("b.krsh");
+        write_run(&p1, 5, &[(0, 1), (2, 3), (4, 4)]);
+        write_run(&p2, 5, &[(0, 1), (1, 0), (2, 3)]);
+        let readers = vec![ShardReader::open(&p1).unwrap(), ShardReader::open(&p2).unwrap()];
+        let mut merged = Vec::new();
+        let stats = merge_shards(readers, |u, v| merged.push((u, v))).unwrap();
+        assert_eq!(merged, vec![(0, 1), (1, 0), (2, 3), (4, 4)]);
+        assert_eq!(stats.arcs_out, 4);
+        assert_eq!(stats.duplicates_discarded, 2);
+        assert_eq!(stats.runs, 2);
+    }
+
+    #[test]
+    fn merge_rejects_disagreeing_universes() {
+        let d = dir("merge_n");
+        let p1 = d.join("a.krsh");
+        let p2 = d.join("b.krsh");
+        write_run(&p1, 5, &[(0, 1)]);
+        write_run(&p2, 6, &[(0, 1)]);
+        let readers = vec![ShardReader::open(&p1).unwrap(), ShardReader::open(&p2).unwrap()];
+        assert!(merge_shards(readers, |_, _| {}).is_err());
+    }
+
+    #[test]
+    fn from_shards_matches_from_edge_list() {
+        let d = dir("from_shards");
+        let arcs = vec![(0u64, 3u64), (1, 1), (2, 0), (3, 2), (0, 1), (1, 1)];
+        let list = EdgeList::from_arcs(4, arcs.clone()).unwrap();
+        let reference = CsrGraph::from_edge_list(&list);
+        // Two interleaved sorted runs with a duplicate across them.
+        let mut run1 = vec![arcs[0], arcs[2], arcs[4]];
+        let mut run2 = vec![arcs[1], arcs[3], arcs[5], (0, 3)];
+        run1.sort_unstable();
+        run2.sort_unstable();
+        let p1 = d.join("r1.krsh");
+        let p2 = d.join("r2.krsh");
+        write_run(&p1, 4, &run1);
+        write_run(&p2, 4, &run2);
+        let built = CsrGraph::from_shards(&[&p1, &p2], 1024).unwrap();
+        assert_eq!(built, reference);
+        assert_eq!(built.offsets(), reference.offsets());
+        assert_eq!(built.targets(), reference.targets());
+    }
+
+    #[test]
+    fn from_shards_needs_a_run() {
+        let empty: [&Path; 0] = [];
+        assert!(CsrGraph::from_shards(&empty, 1024).is_err());
+    }
+
+    #[test]
+    fn external_csr_roundtrip_and_streaming() {
+        let d = dir("external");
+        let arcs = vec![(0u64, 1u64), (0, 2), (1, 0), (3, 0), (3, 3)];
+        let list = EdgeList::from_arcs(4, arcs.clone()).unwrap();
+        let reference = CsrGraph::from_edge_list(&list);
+        let mut sorted = arcs.clone();
+        sorted.sort_unstable();
+        let run = d.join("run.krsh");
+        write_run(&run, 4, &sorted);
+        let out = d.join("c.krsc");
+        let stats = build_external_csr(&[&run], &out, 1024).unwrap();
+        assert_eq!(stats.arcs, 5);
+        assert_eq!(stats.duplicates_discarded, 0);
+        assert_eq!(stats.bytes, std::fs::metadata(&out).unwrap().len());
+
+        let mut ext = ExternalCsr::open(&out).unwrap();
+        assert_eq!(ext.n(), 4);
+        assert_eq!(ext.arc_count(), 5);
+        assert_eq!(ext.load().unwrap(), reference);
+        for p in 0..4u64 {
+            assert_eq!(ext.degree(p).unwrap(), reference.degree(p), "degree({p})");
+            assert_eq!(ext.row(p).unwrap(), reference.neighbors(p), "row({p})");
+        }
+        let mut degrees = Vec::new();
+        ext.for_each_degree(|_, deg| degrees.push(deg)).unwrap();
+        assert_eq!(degrees, reference.degrees());
+        assert!(ext.degree(99).is_err());
+    }
+
+    #[test]
+    fn external_csr_rejects_corruption() {
+        let d = dir("external_bad");
+        let run = d.join("run.krsh");
+        write_run(&run, 3, &[(0, 1), (2, 2)]);
+        let out = d.join("c.krsc");
+        build_external_csr(&[&run], &out, 1024).unwrap();
+        let good = std::fs::read(&out).unwrap();
+
+        std::fs::write(&out, &good[..20]).unwrap();
+        assert!(ExternalCsr::open(&out).is_err(), "truncated header accepted");
+        let mut bad = good.clone();
+        bad[0] = b'Z';
+        std::fs::write(&out, &bad).unwrap();
+        assert!(ExternalCsr::open(&out).is_err(), "bad magic accepted");
+        let mut bad = good.clone();
+        bad[4] = 7;
+        std::fs::write(&out, &bad).unwrap();
+        assert!(ExternalCsr::open(&out).is_err(), "bad version accepted");
+        std::fs::write(&out, &good[..good.len() - 8]).unwrap();
+        assert!(ExternalCsr::open(&out).is_err(), "truncated targets accepted");
+        let mut bad = good.clone();
+        bad.push(1);
+        std::fs::write(&out, &bad).unwrap();
+        assert!(ExternalCsr::open(&out).is_err(), "trailing byte accepted");
+        // Forged n that would overflow the length computation.
+        let mut bad = good.clone();
+        bad[8..16].copy_from_slice(&u64::MAX.to_le_bytes());
+        std::fs::write(&out, &bad).unwrap();
+        assert!(ExternalCsr::open(&out).is_err(), "overflowing n accepted");
+    }
+
+    #[test]
+    fn spill_sorted_run_sorts_and_clears() {
+        let d = dir("spill_helper");
+        let path = d.join("run.krsh");
+        let mut buf = vec![(3u64, 0u64), (0, 1), (2, 2)];
+        let info = spill_sorted_run(&path, 4, &mut buf).unwrap();
+        assert!(buf.is_empty(), "run buffer must be recycled empty");
+        assert_eq!(info.arcs, 3);
+        let mut reader = ShardReader::open(&path).unwrap();
+        let mut back = Vec::new();
+        while let Some(arc) = reader.next_arc().unwrap() {
+            back.push(arc);
+        }
+        assert_eq!(back, vec![(0, 1), (2, 2), (3, 0)]);
+    }
+}

@@ -27,6 +27,12 @@
 # the same comparator against the previous BENCH_PR7.json when present,
 # with its own injected-regression self-test.
 #
+# Then the shard tier: `shard_bench` writes the 2D generation, shard
+# spill throughput, and external merge phases to BENCH_PR8.json (every
+# phase verified bit-identical to the sequential build first), gated the
+# same way against the previous BENCH_PR8.json, with its own
+# injected-regression self-test.
+#
 # Usage: scripts/bench.sh [--scale S] [--out PATH] [--baseline PATH]
 #                         [--gate-pct P]
 
@@ -128,3 +134,55 @@ if ./target/release/bench_smoke --compare "${SERVE_OUT}" --baseline "${SERVE_FAK
   exit 1
 fi
 echo "bench.sh: serve gate self-test OK (injected regression was rejected)"
+
+# ---------------------------------------------------------------------------
+# Shard phases: shard_bench times 2D rank-grid generation, direct shard
+# spill, and the two-pass external CSR merge into BENCH_PR8.json
+# (median-of-5 per phase, all outputs verified bit-identical to the
+# sequential materialization before any timing). A previous
+# BENCH_PR8.json becomes the baseline for the same >15% comparator, and
+# the gate gets its own injected-regression self-test.
+# ---------------------------------------------------------------------------
+
+SHARD_OUT=BENCH_PR8.json
+SHARD_BASE=""
+SHARD_FAKE=""
+trap 'rm -f "${FAKE:-}" "${SERVE_BASE}" "${SERVE_FAKE}" "${SHARD_BASE}" "${SHARD_FAKE}"' EXIT
+
+if [[ -f "${SHARD_OUT}" ]]; then
+  SHARD_BASE="$(mktemp /tmp/bench_shard_base_XXXX.json)"
+  cp "${SHARD_OUT}" "${SHARD_BASE}"
+fi
+
+echo "== shard_bench: spill/merge phases, median-of-5, bit-exact verification =="
+./target/release/shard_bench --out "${SHARD_OUT}"
+
+if [[ -n "${SHARD_BASE}" ]]; then
+  echo "== shard gate: ${SHARD_OUT} vs previous baseline at ${GATE_PCT}% =="
+  ./target/release/bench_smoke --compare "${SHARD_OUT}" --baseline "${SHARD_BASE}" \
+    --gate-pct "${GATE_PCT}"
+fi
+
+echo "== shard gate self-test: injected regression must fail =="
+SHARD_FAKE="$(mktemp /tmp/bench_shard_selftest_XXXX.json)"
+cat > "${SHARD_FAKE}" <<EOF
+{
+  "schema_version": 2,
+  "phases": [
+    {
+      "name": "shard_generate_2d",
+      "secs_threads_1": 0.000001
+    },
+    {
+      "name": "shard_external_merge",
+      "secs_threads_1": 0.000001
+    }
+  ]
+}
+EOF
+if ./target/release/bench_smoke --compare "${SHARD_OUT}" --baseline "${SHARD_FAKE}" \
+    --gate-pct "${GATE_PCT}" >/dev/null 2>&1; then
+  echo "bench.sh: FATAL: shard gate self-test passed an injected regression" >&2
+  exit 1
+fi
+echo "bench.sh: shard gate self-test OK (injected regression was rejected)"

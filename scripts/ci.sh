@@ -9,9 +9,14 @@
 #   4. serve:    scripts/serve.sh — query-server smoke: process-level
 #                loopback serving, bit-exact load validation, graceful
 #                shutdown, steady-state zero-allocation proof
-#   5. bench:    scripts/bench.sh — instrumented benchmark with the >15%
+#   5. shard:    scripts/shard.sh — out-of-core tier smoke: verified
+#                generate → spill → external-build pass with a
+#                scratch-dir-clean assertion, plus the shard format and
+#                conformance suites
+#   6. bench:    scripts/bench.sh — instrumented benchmark with the >15%
 #                stripped-phase regression gate and its self-test (kernel
-#                phases in BENCH_PR6.json, serve phases in BENCH_PR7.json)
+#                phases in BENCH_PR6.json, serve phases in BENCH_PR7.json,
+#                shard phases in BENCH_PR8.json)
 #
 # Any failing stage aborts the run with that stage's exit code. Run this
 # before every PR; it is the enforced superset of the tier-1 contract in
@@ -39,6 +44,9 @@ scripts/obs.sh
 
 echo "==== ci: serve smoke (query server + load harness) ===="
 scripts/serve.sh
+
+echo "==== ci: shard smoke (out-of-core tier) ===="
+scripts/shard.sh
 
 echo "==== ci: bench + regression gate ===="
 scripts/bench.sh

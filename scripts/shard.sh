@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Out-of-core shard tier smoke: generate → spill → external build → verify.
+#
+# Runs `shard_bench --smoke` against a scratch directory under mktemp:
+# one fully verified pass of 2D rank-grid generation, direct per-rank
+# spill into sorted KRSH runs, `from_shards`, and the two-pass external
+# KRSC build — every output bit-compared against the sequential
+# materialization in-process. Afterwards the scratch directory must be
+# empty: a shard file the pipeline forgot to clean up (or an unfinished
+# run left behind by an early exit) fails the stage.
+#
+# Then runs the shard-format test batteries: the kron-graph unit +
+# property suites (roundtrip, truncation/bit-flip/forged-count corpus)
+# and the cross-crate conformance suite in kron-dist.
+#
+# Usage: scripts/shard.sh [--scale S] [--ranks R]
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release --offline -p kron-bench
+
+SCRATCH="$(mktemp -d /tmp/kron_shard_smoke_XXXX)"
+trap 'rm -rf "${SCRATCH}"' EXIT
+
+echo "== shard: verified smoke pass (scratch ${SCRATCH}) =="
+./target/release/shard_bench --smoke --dir "${SCRATCH}" "$@"
+
+LEFTOVER="$(find "${SCRATCH}" -mindepth 1 | head -5)"
+if [[ -n "${LEFTOVER}" ]]; then
+  echo "shard.sh: FATAL: smoke pass left files in its scratch dir:" >&2
+  echo "${LEFTOVER}" >&2
+  exit 1
+fi
+echo "shard.sh: scratch dir clean after smoke pass"
+
+echo "== shard: format unit + property suites (kron-graph) =="
+cargo test -q --offline -p kron-graph shard
+cargo test -q --offline -p kron-graph --test shard_props
+
+echo "== shard: cross-crate conformance suite (kron-dist) =="
+cargo test -q --offline -p kron-dist --test shard_conformance
+
+echo "shard.sh: all shard checks passed"

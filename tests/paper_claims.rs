@@ -210,7 +210,9 @@ fn cor1_cross_terms_create_triangles() {
 // seeded fault-injecting transport, so the conformance claim covers the
 // chaos-hardened exchange too.
 
-use kronecker::dist::{generate_distributed, DistConfig, FaultConfig, TransportConfig};
+use kronecker::dist::{
+    generate_distributed, DistConfig, FaultConfig, PartitionScheme, TransportConfig,
+};
 use kronecker::graph::CsrGraph;
 
 fn section1_pairs() -> Vec<(&'static str, KroneckerPair)> {
@@ -248,11 +250,16 @@ struct SweepCoverage {
     communities: usize,
 }
 
-fn brute_force_sweep(tname: &str, transport: &TransportConfig) -> SweepCoverage {
+fn brute_force_sweep(
+    tname: &str,
+    scheme: PartitionScheme,
+    transport: &TransportConfig,
+) -> SweepCoverage {
     let mut coverage = SweepCoverage::default();
     for (name, pair) in section1_pairs() {
-        let ctx = format!("{name} [{tname}]");
+        let ctx = format!("{name} [{tname}, {scheme:?}]");
         let mut cfg = DistConfig::new(3);
+        cfg.scheme = scheme;
         cfg.transport = transport.clone();
         let result = generate_distributed(&pair, &cfg);
         let c = CsrGraph::from_edge_list(&result.union(pair.n_c()));
@@ -334,23 +341,29 @@ fn assert_sweep_covered(coverage: &SweepCoverage) {
 }
 
 /// §I table: every ground-truth property, brute-forced against the store
-/// produced by the distributed generator over perfect channels.
+/// produced by the distributed generator over perfect channels — under
+/// both §III's 1D scheme and Rem. 1's 2D rank-grid scheme.
 #[test]
 fn intro_table_brute_force_distributed_perfect() {
-    let coverage = brute_force_sweep("perfect transport", &TransportConfig::Perfect);
-    assert_sweep_covered(&coverage);
+    for scheme in [PartitionScheme::OneD, PartitionScheme::TwoD] {
+        let coverage = brute_force_sweep("perfect transport", scheme, &TransportConfig::Perfect);
+        assert_sweep_covered(&coverage);
+    }
 }
 
 /// Same sweep with the seeded chaos transport: drop/duplication/delay/
 /// reordering in the exchange must not change a single ground-truth
-/// property of the stored graph.
+/// property of the stored graph, whichever partition scheme generated it.
 #[test]
 fn intro_table_brute_force_distributed_chaos() {
-    let coverage = brute_force_sweep(
-        "chaos transport seed=0xC4A05",
-        &TransportConfig::Faulty(FaultConfig::chaos(0xC4A05)),
-    );
-    assert_sweep_covered(&coverage);
+    for scheme in [PartitionScheme::OneD, PartitionScheme::TwoD] {
+        let coverage = brute_force_sweep(
+            "chaos transport seed=0xC4A05",
+            scheme,
+            &TransportConfig::Faulty(FaultConfig::chaos(0xC4A05)),
+        );
+        assert_sweep_covered(&coverage);
+    }
 }
 
 /// SelfLoopMode::AsIs with factors that already carry full loops satisfies

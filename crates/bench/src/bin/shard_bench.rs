@@ -1,25 +1,35 @@
-//! Out-of-core shard tier benchmark (PR 8).
+//! Out-of-core shard tier benchmark (PR 8, rebuilt for the PR 9 fast
+//! tier).
 //!
-//! Times the three phases the spill pipeline adds on top of in-memory
+//! Times the phases the spill pipeline adds on top of in-memory
 //! generation, at a fixed small scale with interleaving-free medians
 //! (each phase is independent; reps are consecutive):
 //!
 //! - `shard_generate_2d` — distributed generation under the real 2D
 //!   rank-grid scheme (Rem. 1), in-memory stores, perfect transport;
 //! - `shard_spill_throughput` — direct per-rank synthesis straight into
-//!   sorted `KRSH` shard runs on disk (no exchange, no resident edges);
-//! - `shard_external_merge` — the two-pass external-memory CSR build
-//!   (`KRSC` file) over those runs.
+//!   sorted `KRSH` v2 shard runs on disk (no exchange, no resident
+//!   edges);
+//! - `shard_merge_v2` — the loser-tree k-way merge alone over v2 runs
+//!   (compare + emit, no CSR build), the raw decode+merge ceiling;
+//! - `shard_external_onepass` — the footer-driven single-pass external
+//!   CSR build (`KRSC` file) over those runs;
+//! - `shard_external_twopass` — the PR 8 two-pass reference build, kept
+//!   timed so the one-pass win stays measured, not asserted.
+//!
+//! The report also carries `shard_disk_bytes`: the same arc stream
+//! spilled as v1 and as v2, with the compression ratio — the PR 9
+//! acceptance gate (`v2 <= v1/4`) is asserted here, not eyeballed.
 //!
 //! Every phase's output is verified bit-identical to the sequentially
 //! materialized product before any timing is trusted. The report goes to
-//! `BENCH_PR8.json` (schema-stamped, lint-checked, `"name"` /
+//! `BENCH_PR9.json` (schema-stamped, lint-checked, `"name"` /
 //! `"secs_threads_1"` lines parseable by `bench_smoke --compare`, which
 //! `scripts/bench.sh` uses to gate these phases at >15% regression).
 //!
 //! `--smoke` runs one tiny verified pass of the whole
-//! generate → spill → external-build → verify pipeline and exits — the
-//! mode `scripts/shard.sh` wires into CI.
+//! generate → spill → merge → external-build → verify pipeline and exits
+//! — the mode `scripts/shard.sh` wires into CI.
 //!
 //! Usage: `shard_bench [--scale S] [--ranks R] [--out PATH] [--dir DIR]
 //!                     [--smoke]`
@@ -31,7 +41,10 @@ use kron_core::generate::materialize;
 use kron_core::KroneckerPair;
 use kron_dist::{generate_distributed, spill_shards_direct, DistConfig, PartitionScheme, SpillConfig};
 use kron_graph::generators::{rmat, RmatConfig};
-use kron_graph::shard::{build_external_csr, ExternalCsr};
+use kron_graph::shard::{
+    build_external_csr, build_external_csr_two_pass, merge_shards, ExternalCsr, ShardReader,
+    ShardVersion,
+};
 use kron_graph::CsrGraph;
 use kron_obs::report::{ObsReport, SCHEMA_VERSION};
 use serde::Serialize;
@@ -46,6 +59,15 @@ struct ShardPhase {
     arcs_per_sec: f64,
 }
 
+/// On-disk footprint of the same arc stream in both shard formats.
+#[derive(Serialize)]
+struct ShardDiskBytes {
+    v1: u64,
+    v2: u64,
+    /// `v1 / v2` — ≥ 4 is the PR 9 acceptance bar, asserted at run time.
+    ratio: f64,
+}
+
 #[derive(Serialize)]
 struct ShardReport {
     schema_version: u32,
@@ -57,6 +79,7 @@ struct ShardReport {
     run_arcs: usize,
     spilled_runs: usize,
     external_csr_bytes: u64,
+    shard_disk_bytes: ShardDiskBytes,
     phases: Vec<ShardPhase>,
     obs: ObsReport,
 }
@@ -90,10 +113,29 @@ fn phase(name: &str, arcs: u64, reps: usize, mut run: impl FnMut()) -> ShardPhas
     }
 }
 
+/// Spills the product in the given format and returns the run paths plus
+/// their total on-disk bytes.
+fn spill_as(
+    pair: &KroneckerPair,
+    ranks: usize,
+    dir: &PathBuf,
+    format: ShardVersion,
+) -> (Vec<PathBuf>, u64) {
+    let mut spill = SpillConfig::new(dir.clone());
+    spill.format = format;
+    let direct = spill_shards_direct(pair, ranks, &spill).expect("spill");
+    assert_eq!(direct.stats.total_spilled_arcs() as u128, pair.nnz_c(), "spill accounting");
+    let paths: Vec<PathBuf> = direct.runs.into_iter().flatten().collect();
+    let bytes = paths.iter().map(|p| std::fs::metadata(p).expect("run file").len()).sum();
+    (paths, bytes)
+}
+
 /// One fully verified pass of the pipeline: 2D exchange generation,
-/// direct spill, `from_shards`, external CSR file — all bit-identical to
-/// the sequential materialization. Returns (runs, external bytes).
-fn verified_pass(pair: &KroneckerPair, ranks: usize, dir: &PathBuf) -> (usize, u64) {
+/// direct spill in both formats, `from_shards` over each plus the mixed
+/// set, and single-pass vs two-pass external CSR files compared whole —
+/// all bit-identical to the sequential materialization. Returns
+/// (runs, external bytes, v1 disk bytes, v2 disk bytes).
+fn verified_pass(pair: &KroneckerPair, ranks: usize, dir: &PathBuf) -> (usize, u64, u64, u64) {
     let reference = materialize(pair);
     let mut seq_list = reference.to_edge_list();
     seq_list.sort_dedup();
@@ -108,26 +150,44 @@ fn verified_pass(pair: &KroneckerPair, ranks: usize, dir: &PathBuf) -> (usize, u
         "2D generation differs from sequential materialization"
     );
 
-    // Direct spill → in-memory external build.
-    let spill = SpillConfig::new(dir.clone());
-    let runs = spill_shards_direct(pair, ranks, &spill).expect("spill");
-    let paths: Vec<&PathBuf> = runs.iter().flatten().collect();
-    let rebuilt = CsrGraph::from_shards(&paths, 64 * 1024).expect("from_shards");
-    assert_eq!(rebuilt.offsets(), reference.offsets(), "from_shards offsets differ");
-    assert_eq!(rebuilt.targets(), reference.targets(), "from_shards targets differ");
+    // Direct spill in both formats; each (and the mixed union) rebuilds
+    // the same CSR.
+    let (v1_paths, v1_bytes) = spill_as(pair, ranks, &dir.join("v1"), ShardVersion::V1);
+    let (v2_paths, v2_bytes) = spill_as(pair, ranks, &dir.join("v2"), ShardVersion::V2);
+    for (tag, paths) in [("v1", &v1_paths), ("v2", &v2_paths)] {
+        let rebuilt = CsrGraph::from_shards(paths, 64 * 1024).expect("from_shards");
+        assert_eq!(rebuilt.offsets(), reference.offsets(), "{tag} from_shards offsets differ");
+        assert_eq!(rebuilt.targets(), reference.targets(), "{tag} from_shards targets differ");
+    }
+    let mixed: Vec<&PathBuf> = v1_paths.iter().chain(&v2_paths).collect();
+    let rebuilt = CsrGraph::from_shards(&mixed, 64 * 1024).expect("mixed from_shards");
+    assert_eq!(&rebuilt, &reference, "mixed-version merge differs");
 
-    // Fully external build, read back and compared whole.
+    // Fully external build over the v2 runs: one-pass output must be
+    // byte-identical to the two-pass reference, and load back equal.
     let out = dir.join("product.krsc");
-    let stats = build_external_csr(&paths, &out, 64 * 1024).expect("external build");
+    let out2 = dir.join("product_twopass.krsc");
+    let stats = build_external_csr(&v2_paths, &out, 64 * 1024).expect("external build");
+    assert_eq!(stats.merge_passes, 1, "footer-driven build must be single-pass");
+    build_external_csr_two_pass(&v2_paths, &out2, 64 * 1024).expect("two-pass build");
+    assert_eq!(
+        std::fs::read(&out).expect("read one-pass KRSC"),
+        std::fs::read(&out2).expect("read two-pass KRSC"),
+        "single-pass external CSR bytes differ from two-pass"
+    );
     let loaded = ExternalCsr::open(&out).expect("open").load().expect("load");
     assert_eq!(loaded, reference, "external CSR file differs from in-memory build");
     eprintln!(
-        "shard_bench: verified pass OK — {} arcs, {} runs, {} external bytes",
+        "shard_bench: verified pass OK — {} arcs, {} runs, {} external bytes, \
+         shard bytes v1 {} / v2 {} ({:.2}x)",
         stats.arcs,
-        paths.len(),
-        stats.bytes
+        v2_paths.len(),
+        stats.bytes,
+        v1_bytes,
+        v2_bytes,
+        v1_bytes as f64 / v2_bytes.max(1) as f64
     );
-    (paths.len(), stats.bytes)
+    (v2_paths.len(), stats.bytes, v1_bytes, v2_bytes)
 }
 
 fn main() {
@@ -139,7 +199,7 @@ fn main() {
     let scale: u32 = get("--scale")
         .map_or(if smoke { 4 } else { 6 }, |s| s.parse().expect("numeric --scale"));
     let ranks: usize = get("--ranks").map_or(4, |s| s.parse().expect("numeric --ranks"));
-    let out_path = get("--out").unwrap_or_else(|| "BENCH_PR8.json".to_string());
+    let out_path = get("--out").unwrap_or_else(|| "BENCH_PR9.json".to_string());
     let dir: PathBuf = get("--dir").map(PathBuf::from).unwrap_or_else(|| {
         std::env::temp_dir().join(format!("kron_shard_bench_{}", std::process::id()))
     });
@@ -171,8 +231,13 @@ fn main() {
     // Correctness first: one fully verified pass of every path under
     // timing, so the medians below time known-good code.
     let verify_dir = dir.join("verify");
-    let (spilled_runs, external_csr_bytes) = verified_pass(&pair, ranks, &verify_dir);
+    let (spilled_runs, external_csr_bytes, v1_bytes, v2_bytes) =
+        verified_pass(&pair, ranks, &verify_dir);
     std::fs::remove_dir_all(&verify_dir).expect("clean verify dir");
+    assert!(
+        v2_bytes * 4 <= v1_bytes,
+        "v2 shards ({v2_bytes} B) must be <= 1/4 of v1 ({v1_bytes} B)"
+    );
 
     let mut phases = Vec::new();
 
@@ -184,22 +249,43 @@ fn main() {
         assert_eq!(result.stats.total_stored(), m_c);
     }));
 
-    // Phase 2: direct synthesis straight into sorted shard runs on disk.
+    // Phase 2: direct synthesis straight into sorted v2 shard runs.
     let spill = SpillConfig::new(dir.join("spill"));
     phases.push(phase("shard_spill_throughput", m_c, REPS, || {
-        let runs = spill_shards_direct(&pair, ranks, &spill).expect("spill");
-        assert_eq!(runs.len(), ranks);
+        let direct = spill_shards_direct(&pair, ranks, &spill).expect("spill");
+        assert_eq!(direct.runs.len(), ranks);
         std::fs::remove_dir_all(&spill.dir).expect("clean spill dir");
     }));
 
-    // Phase 3: two-pass external CSR build over a fixed set of runs.
+    // A fixed set of v2 runs for the merge and build phases.
     let merge_dir = dir.join("merge");
-    let merge_spill = SpillConfig::new(merge_dir.clone());
-    let runs = spill_shards_direct(&pair, ranks, &merge_spill).expect("spill for merge");
-    let paths: Vec<&PathBuf> = runs.iter().flatten().collect();
+    let (paths, _) = spill_as(&pair, ranks, &merge_dir, ShardVersion::V2);
+
+    // Phase 3: the loser-tree k-way merge alone — block decode, compare,
+    // emit — without any CSR work downstream.
+    phases.push(phase("shard_merge_v2", m_c, REPS, || {
+        let readers: Vec<ShardReader> = paths
+            .iter()
+            .map(|p| ShardReader::with_buffer(p, 64 * 1024).expect("open run"))
+            .collect();
+        let mut merged = 0u64;
+        let stats = merge_shards(readers, |_, _| merged += 1).expect("merge");
+        assert_eq!(merged, m_c);
+        assert_eq!(stats.arcs_out, m_c);
+    }));
+
+    // Phase 4: footer-driven single-pass external CSR build.
     let krsc = merge_dir.join("product.krsc");
-    phases.push(phase("shard_external_merge", m_c, REPS, || {
+    phases.push(phase("shard_external_onepass", m_c, REPS, || {
         let stats = build_external_csr(&paths, &krsc, 64 * 1024).expect("external build");
+        assert_eq!(stats.arcs, m_c);
+        assert_eq!(stats.merge_passes, 1);
+    }));
+
+    // Phase 5: the PR 8 two-pass build, for the measured comparison.
+    let krsc2 = merge_dir.join("product_twopass.krsc");
+    phases.push(phase("shard_external_twopass", m_c, REPS, || {
+        let stats = build_external_csr_two_pass(&paths, &krsc2, 64 * 1024).expect("two-pass build");
         assert_eq!(stats.arcs, m_c);
     }));
     std::fs::remove_dir_all(&merge_dir).expect("clean merge dir");
@@ -215,6 +301,11 @@ fn main() {
         run_arcs: SpillConfig::new(PathBuf::new()).run_arcs,
         spilled_runs,
         external_csr_bytes,
+        shard_disk_bytes: ShardDiskBytes {
+            v1: v1_bytes,
+            v2: v2_bytes,
+            ratio: v1_bytes as f64 / v2_bytes.max(1) as f64,
+        },
         phases,
         obs: ObsReport::capture(),
     };

@@ -36,7 +36,7 @@ fn external_build_peak_memory_stays_under_budget() {
     // one measured window.
     let out = dir.join("product.krsc");
     let ((runs_total, stats, degree_sum), external) = kron_obs::alloc::measure(|| {
-        let runs = spill_shards_direct(&pair, ranks, &spill).expect("spill");
+        let runs = spill_shards_direct(&pair, ranks, &spill).expect("spill").runs;
         let paths: Vec<_> = runs.iter().flatten().collect();
         let stats = build_external_csr(&paths, &out, buf_bytes).expect("external build");
         let mut ext = ExternalCsr::open(&out).expect("open external CSR");

@@ -17,7 +17,7 @@ use std::path::PathBuf;
 use std::time::Instant;
 
 use kron_core::KroneckerPair;
-use kron_graph::shard::ShardWriter;
+use kron_graph::shard::{ShardVersion, ShardWriter};
 use kron_graph::{Arc, EdgeList};
 use kron_obs::events::Timeline;
 use kron_obs::metrics::{LocalCounter, LocalRegistry};
@@ -81,15 +81,20 @@ pub struct SpillConfig {
     pub run_arcs: usize,
     /// IO buffer capacity per open shard file, in bytes.
     pub io_buf_bytes: usize,
+    /// Shard wire format of the emitted runs (v2 delta-varint by
+    /// default; v1 kept for conformance runs).
+    pub format: ShardVersion,
 }
 
 impl SpillConfig {
-    /// Spill into `dir` with default run size (64Ki arcs) and IO buffer.
+    /// Spill into `dir` with default run size (64Ki arcs), IO buffer,
+    /// and the current (v2) shard format.
     pub fn new(dir: impl Into<PathBuf>) -> Self {
         SpillConfig {
             dir: dir.into(),
             run_arcs: 64 * 1024,
             io_buf_bytes: kron_graph::shard::DEFAULT_IO_BUF,
+            format: ShardVersion::default(),
         }
     }
 }
@@ -399,6 +404,7 @@ enum RankStore {
         rank: usize,
         run_arcs: usize,
         io_buf_bytes: usize,
+        format: ShardVersion,
         buf: Vec<Arc>,
         runs: Vec<PathBuf>,
         spilled: u64,
@@ -414,6 +420,7 @@ impl RankStore {
                 rank,
                 run_arcs: spill.run_arcs.max(1),
                 io_buf_bytes: spill.io_buf_bytes,
+                format: spill.format,
                 buf: Vec::new(),
                 runs: Vec::new(),
                 spilled: 0,
@@ -443,14 +450,18 @@ impl RankStore {
     /// arrival order is nondeterministic, so each run is sorted locally
     /// and the global order is reimposed by the k-way merge.
     fn flush_run(&mut self) {
-        if let RankStore::Spill { n_c, dir, rank, io_buf_bytes, buf, runs, spilled, .. } = self {
+        if let RankStore::Spill {
+            n_c, dir, rank, io_buf_bytes, format, buf, runs, spilled, ..
+        } = self
+        {
             if buf.is_empty() {
                 return;
             }
             buf.sort_unstable();
             let path = dir.join(format!("rank{rank}_run{}.krsh", runs.len()));
-            let mut writer = ShardWriter::with_buffer(&path, *n_c, *io_buf_bytes)
-                .expect("create shard run");
+            let mut writer =
+                ShardWriter::with_buffer_versioned(&path, *n_c, *io_buf_bytes, *format)
+                    .expect("create shard run");
             for &(p, q) in buf.iter() {
                 writer.push(p, q).expect("spill arc in range and sorted");
             }
@@ -720,6 +731,21 @@ fn run_rank_2d(
     ex.finish()
 }
 
+/// What [`spill_shards_direct`] produced: the per-rank run paths plus
+/// the per-rank accounting that the exchange path reports through
+/// [`DistResult::stats`] — so obs reports from the direct path carry
+/// real `dist.spilled_arcs` instead of the PR 8 gap (always 0, because
+/// only `generate_distributed` mirrored `GenStats` into the registry).
+#[derive(Debug)]
+pub struct DirectSpillResult {
+    /// Run files per rank, in rank order (rank `r` at index `r`).
+    pub runs: Vec<Vec<PathBuf>>,
+    /// Per-rank generation/spill accounting. On the direct path every
+    /// synthesized arc is stored and spilled locally, so per rank
+    /// `generated == stored == spill_arcs`.
+    pub stats: GenStats,
+}
+
 /// Streams the per-rank row blocks of `C` straight to sorted shard runs
 /// on disk, with **no generation loop, no exchange, and no resident edge
 /// set** — the out-of-core sibling of [`materialize_shards_direct`]:
@@ -728,25 +754,29 @@ fn run_rank_2d(
 /// `kron_core::generate::for_each_synthesized_row` emits already sorted
 /// through one reused row buffer, so each run file is written in order
 /// (no sort buffer at all) and peak resident memory is one product row
-/// plus one IO buffer — never `O(|E_C|)`. Returns the per-rank run paths;
-/// `kron_graph::build_external_csr` over all of them completes the
+/// plus one IO buffer — never `O(|E_C|)`. Returns the per-rank run paths
+/// and spill accounting (mirrored into the global obs registry);
+/// `kron_graph::build_external_csr` over all runs completes the
 /// beyond-RAM pipeline.
 pub fn spill_shards_direct(
     pair: &KroneckerPair,
     ranks: usize,
     spill: &SpillConfig,
-) -> kron_graph::Result<Vec<Vec<PathBuf>>> {
+) -> kron_graph::Result<DirectSpillResult> {
     assert!(ranks > 0, "need at least one rank");
     let _span = kron_obs::span::enter("dist/spill_shards_direct");
+    let started = Instant::now();
     std::fs::create_dir_all(&spill.dir)?;
     let owner = VertexBlockOwner::new(pair.n_c(), ranks);
     let run_arcs = spill.run_arcs.max(1);
     let mut all = Vec::with_capacity(ranks);
+    let mut per_rank = Vec::with_capacity(ranks);
     for rank in 0..ranks {
         let rows = owner.row_range(rank);
         let mut runs: Vec<PathBuf> = Vec::new();
         let mut writer: Option<ShardWriter> = None;
         let mut in_run = 0usize;
+        let mut arcs = 0u64;
         let mut failed: Option<kron_graph::GraphError> = None;
         kron_core::generate::for_each_synthesized_row(pair, rows, |p, row| {
             if failed.is_some() {
@@ -755,7 +785,12 @@ pub fn spill_shards_direct(
             for &q in row {
                 if writer.is_none() {
                     let path = spill.dir.join(format!("rank{rank}_run{}.krsh", runs.len()));
-                    match ShardWriter::with_buffer(&path, pair.n_c(), spill.io_buf_bytes) {
+                    match ShardWriter::with_buffer_versioned(
+                        &path,
+                        pair.n_c(),
+                        spill.io_buf_bytes,
+                        spill.format,
+                    ) {
                         Ok(w) => {
                             writer = Some(w);
                             runs.push(path);
@@ -772,6 +807,7 @@ pub fn spill_shards_direct(
                     return;
                 }
                 in_run += 1;
+                arcs += 1;
                 if in_run >= run_arcs {
                     if let Err(e) = writer.take().expect("writer present").finish() {
                         failed = Some(e);
@@ -786,9 +822,23 @@ pub fn spill_shards_direct(
         if let Some(w) = writer.take() {
             w.finish()?;
         }
+        per_rank.push(RankStats {
+            generated: arcs,
+            stored: arcs,
+            spill_runs: runs.len() as u64,
+            spill_arcs: arcs,
+            ..RankStats::default()
+        });
         all.push(runs);
     }
-    Ok(all)
+    let stats = GenStats { per_rank, elapsed_secs: started.elapsed().as_secs_f64() };
+    // Mirror into the global registry — the exchange path does this in
+    // `generate_distributed`; without it direct-spill obs reports showed
+    // `dist.spilled_arcs = 0` no matter how much hit disk.
+    kron_obs::counter!("dist.generated").add(stats.total_generated());
+    kron_obs::counter!("dist.stored").add(stats.total_stored());
+    kron_obs::counter!("dist.spilled_arcs").add(stats.total_spilled_arcs());
+    Ok(DirectSpillResult { runs: all, stats })
 }
 
 #[cfg(test)]
@@ -1112,8 +1162,17 @@ mod tests {
         let expected = reference(&pair);
         for ranks in [1usize, 3, 4] {
             let spill = spill_config(&format!("direct_{ranks}"));
-            let runs = spill_shards_direct(&pair, ranks, &spill).unwrap();
+            let direct = spill_shards_direct(&pair, ranks, &spill).unwrap();
+            let runs = &direct.runs;
             assert_eq!(runs.len(), ranks);
+            // The obs-gap fix: the direct path reports real per-rank
+            // spill accounting, matching the product it wrote.
+            assert_eq!(direct.stats.total_spilled_arcs() as u128, pair.nnz_c());
+            assert_eq!(direct.stats.total_generated(), direct.stats.total_stored());
+            for (rank, rs) in direct.stats.per_rank.iter().enumerate() {
+                assert_eq!(rs.spill_runs as usize, runs[rank].len(), "rank {rank} run count");
+                assert_eq!(rs.spill_arcs, rs.stored, "rank {rank} stores locally");
+            }
             let paths: Vec<_> = runs.iter().flatten().collect();
             let csr = kron_graph::CsrGraph::from_shards(&paths, 1024).unwrap();
             assert_eq!(csr.to_edge_list(), expected, "ranks={ranks}");
@@ -1129,6 +1188,28 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn spill_shards_direct_mirrors_obs_counters() {
+        // PR 8's obs gap: direct-spill runs reported dist.spilled_arcs = 0
+        // because only generate_distributed mirrored GenStats into the
+        // registry. The direct path must now mirror its own accounting.
+        let pair = KroneckerPair::as_is(erdos_renyi(8, 0.5, 21), cycle(4)).unwrap();
+        let spill = spill_config("obs_gap");
+        kron_obs::set_enabled(true);
+        let direct = spill_shards_direct(&pair, 2, &spill).unwrap();
+        kron_obs::set_enabled(false);
+        let metrics = kron_obs::metrics::snapshot();
+        let spilled = direct.stats.total_spilled_arcs();
+        assert_eq!(spilled as u128, pair.nnz_c());
+        // Other tests share the global registry, so assert at-least.
+        assert!(
+            metrics.counter("dist.spilled_arcs").unwrap_or(0) >= spilled,
+            "direct spill must mirror dist.spilled_arcs into the registry"
+        );
+        assert!(metrics.counter("dist.generated").unwrap_or(0) >= spilled);
+        assert!(metrics.counter("dist.stored").unwrap_or(0) >= spilled);
     }
 
     #[test]

@@ -30,7 +30,8 @@ pub mod triangle_count;
 pub mod validate;
 
 pub use generator::{
-    generate_distributed, materialize_shards_direct, spill_shards_direct, DistConfig, DistResult,
+    generate_distributed, materialize_shards_direct, spill_shards_direct, DirectSpillResult,
+    DistConfig, DistResult,
     ExchangeMode, OwnerConfig, SpillConfig, StorageMode,
 };
 pub use owner::{EdgeOwner, HashOwner, VertexBlockOwner};

@@ -21,7 +21,9 @@ use kron_dist::{
     VertexBlockOwner,
 };
 use kron_graph::generators::{cycle, erdos_renyi};
-use kron_graph::shard::{merge_shards, ShardReader};
+use kron_graph::shard::{
+    build_external_csr, build_external_csr_two_pass, merge_shards, ShardReader, ShardVersion,
+};
 use kron_graph::{CsrGraph, EdgeList, VertexId};
 use kron_obs::events::{EventKind, Timeline, NO_PEER};
 
@@ -270,12 +272,19 @@ fn chaos_matrix_spilled_shards_are_bit_identical() {
                         .push((format!("{mix} seed={seed}"), TransportConfig::Faulty(faults)));
                 }
             }
-            for (tname, transport) in transports {
-                let cell = format!("repro: spill {tname} scheme={scheme:?} ranks={ranks}");
+            for (cell_idx, (tname, transport)) in transports.into_iter().enumerate() {
+                // Alternate the shard wire format across cells so the
+                // whole fault grid runs against both v1 and v2 spills.
+                let format =
+                    if cell_idx % 2 == 0 { ShardVersion::V2 } else { ShardVersion::V1 };
+                let cell = format!(
+                    "repro: spill {tname} scheme={scheme:?} ranks={ranks} format={format:?}"
+                );
                 let mut cfg = config(ranks, scheme, ExchangeMode::Phased, transport);
                 let dir = base_dir.join(format!("{tname}_{scheme:?}_{ranks}"));
                 let mut spill = SpillConfig::new(dir.clone());
                 spill.run_arcs = 100; // force multi-run merges per rank
+                spill.format = format;
                 cfg.spill = Some(spill);
                 let run = generate_distributed(&pair, &cfg);
                 assert!(
@@ -315,6 +324,19 @@ fn chaos_matrix_spilled_shards_are_bit_identical() {
                     &run.timeline,
                     &cell,
                     "union of spilled shards differs from sequential run",
+                );
+                // Single-pass external build vs the two-pass reference:
+                // byte-identical KRSC output in every fault cell.
+                let one = dir.join("one.krsc");
+                let two = dir.join("two.krsc");
+                build_external_csr(&paths, &one, 4096).expect("single-pass build");
+                build_external_csr_two_pass(&paths, &two, 4096).expect("two-pass build");
+                assert_cell_eq(
+                    &std::fs::read(&one).expect("read single-pass KRSC"),
+                    &std::fs::read(&two).expect("read two-pass KRSC"),
+                    &run.timeline,
+                    &cell,
+                    "single-pass external CSR bytes differ from two-pass",
                 );
                 std::fs::remove_dir_all(&dir).expect("clean up spill dir");
             }

@@ -15,7 +15,9 @@ use kron_dist::{
     generate_distributed, spill_shards_direct, DistConfig, PartitionScheme, SpillConfig,
 };
 use kron_graph::generators::{cycle, erdos_renyi, path};
-use kron_graph::shard::{build_external_csr, ExternalCsr};
+use kron_graph::shard::{
+    build_external_csr, build_external_csr_two_pass, CsrCacheConfig, ExternalCsr, ShardVersion,
+};
 use kron_graph::CsrGraph;
 
 static CASE: AtomicUsize = AtomicUsize::new(0);
@@ -63,12 +65,14 @@ proptest! {
         pair in factor_pair(),
         ranks in 1usize..6,
         run_arcs in 1usize..200,
+        v1 in proptest::bool::ANY,
     ) {
         let reference = materialize(&pair);
         let dir = scratch_dir("direct");
         let mut spill = SpillConfig::new(dir.clone());
         spill.run_arcs = run_arcs;
-        let runs = spill_shards_direct(&pair, ranks, &spill).expect("direct spill");
+        spill.format = if v1 { ShardVersion::V1 } else { ShardVersion::V2 };
+        let runs = spill_shards_direct(&pair, ranks, &spill).expect("direct spill").runs;
         prop_assert_eq!(runs.len(), ranks);
         let paths: Vec<&PathBuf> = runs.iter().flatten().collect();
         if paths.is_empty() {
@@ -122,7 +126,7 @@ proptest! {
         let reference = materialize(&pair);
         let dir = scratch_dir("ext");
         let spill = SpillConfig::new(dir.clone());
-        let runs = spill_shards_direct(&pair, ranks, &spill).expect("direct spill");
+        let runs = spill_shards_direct(&pair, ranks, &spill).expect("direct spill").runs;
         let paths: Vec<&PathBuf> = runs.iter().flatten().collect();
         if paths.is_empty() {
             std::fs::remove_dir_all(&dir).ok();
@@ -138,6 +142,96 @@ proptest! {
         let mut degrees = Vec::new();
         ext.for_each_degree(|_, d| degrees.push(d)).expect("degree stream");
         prop_assert_eq!(degrees, reference.degrees());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Shard format conformance: v1 and v2 spills of the same product
+    /// merge to byte-identical external CSR files; a mixed-version run
+    /// set merges just as cleanly; the single-pass build is byte-equal to
+    /// the two-pass reference on every one of those run sets; and v2
+    /// spends strictly fewer shard bytes on disk than v1.
+    #[test]
+    fn v1_and_v2_runs_build_identical_csr_files(
+        pair in factor_pair(),
+        ranks in 1usize..4,
+        run_arcs in 1usize..120,
+    ) {
+        let dir = scratch_dir("fmt");
+        let mut spilled = Vec::new(); // (tag, run paths, disk bytes)
+        for (tag, format) in [("v1", ShardVersion::V1), ("v2", ShardVersion::V2)] {
+            let mut spill = SpillConfig::new(dir.join(tag));
+            spill.run_arcs = run_arcs;
+            spill.format = format;
+            let runs = spill_shards_direct(&pair, ranks, &spill).expect("direct spill").runs;
+            let paths: Vec<PathBuf> = runs.into_iter().flatten().collect();
+            let bytes: u64 =
+                paths.iter().map(|p| std::fs::metadata(p).expect("run file").len()).sum();
+            spilled.push((tag, paths, bytes));
+        }
+        if spilled[0].1.is_empty() {
+            std::fs::remove_dir_all(&dir).ok();
+            continue;
+        }
+        // A mixed-version run set: v1 runs and v2 runs of the same rows;
+        // the merge dedups the overlap, so the product is unchanged.
+        let mixed: Vec<PathBuf> =
+            spilled[0].1.iter().chain(&spilled[1].1).cloned().collect();
+        let mut outputs = Vec::new();
+        for (tag, paths, _) in
+            spilled.iter().map(|(t, p, b)| (*t, p.clone(), *b)).chain([("mixed", mixed, 0)])
+        {
+            let one = dir.join(format!("{tag}_one.krsc"));
+            let two = dir.join(format!("{tag}_two.krsc"));
+            let s1 = build_external_csr(&paths, &one, 1024).expect("single-pass build");
+            let s2 = build_external_csr_two_pass(&paths, &two, 1024).expect("two-pass build");
+            prop_assert_eq!(s1.arcs, s2.arcs, "{}: pass arc counts", tag);
+            let b1 = std::fs::read(&one).expect("read single-pass KRSC");
+            let b2 = std::fs::read(&two).expect("read two-pass KRSC");
+            prop_assert_eq!(b1.clone(), b2, "{}: single-pass differs from two-pass", tag);
+            outputs.push(b1);
+        }
+        prop_assert_eq!(outputs[0].clone(), outputs[1].clone(), "v1 and v2 KRSC files differ");
+        prop_assert_eq!(outputs[1].clone(), outputs[2].clone(), "mixed KRSC file differs");
+        // Size wins need a few arcs per run to amortize v2's larger
+        // header + footer (a 1-arc v2 run is 44 B vs v1's 40 B).
+        if pair.nnz_c() >= 2 * spilled[0].1.len() as u128 {
+            prop_assert!(
+                spilled[1].2 < spilled[0].2,
+                "v2 spill ({} B) not smaller than v1 ({} B)", spilled[1].2, spilled[0].2
+            );
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// The block-cached `ExternalCsr` answers degree/row queries exactly
+    /// like the uncached reader, for any cache geometry.
+    #[test]
+    fn cached_external_csr_matches_uncached(
+        pair in factor_pair(),
+        block_bytes in 1usize..512,
+        blocks in 1usize..32,
+        seed in 0u64..=u64::MAX,
+    ) {
+        let reference = materialize(&pair);
+        let dir = scratch_dir("cache");
+        let spill = SpillConfig::new(dir.clone());
+        let runs = spill_shards_direct(&pair, 2, &spill).expect("direct spill").runs;
+        let paths: Vec<&PathBuf> = runs.iter().flatten().collect();
+        if paths.is_empty() {
+            std::fs::remove_dir_all(&dir).ok();
+            continue;
+        }
+        let out = dir.join("product.krsc");
+        build_external_csr(&paths, &out, 1024).expect("external build");
+        let cfg = CsrCacheConfig { block_bytes, blocks, seed };
+        let mut cached = ExternalCsr::open_with_cache(&out, cfg).expect("open cached");
+        let mut plain = ExternalCsr::open(&out).expect("open uncached");
+        for p in 0..reference.n() {
+            prop_assert_eq!(cached.degree(p).expect("degree"), plain.degree(p).expect("degree"));
+            prop_assert_eq!(cached.row(p).expect("row"), plain.row(p).expect("row"));
+        }
+        let stats = cached.cache_stats();
+        prop_assert!(stats.hits + stats.misses > 0, "cache saw no traffic");
         std::fs::remove_dir_all(&dir).ok();
     }
 }

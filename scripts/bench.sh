@@ -27,11 +27,12 @@
 # the same comparator against the previous BENCH_PR7.json when present,
 # with its own injected-regression self-test.
 #
-# Then the shard tier: `shard_bench` writes the 2D generation, shard
-# spill throughput, and external merge phases to BENCH_PR8.json (every
-# phase verified bit-identical to the sequential build first), gated the
-# same way against the previous BENCH_PR8.json, with its own
-# injected-regression self-test.
+# Then the shard tier: `shard_bench` writes the 2D generation, v2 shard
+# spill, loser-tree merge, and single-/two-pass external build phases to
+# BENCH_PR9.json (every phase verified bit-identical to the sequential
+# build first, v1/v2/mixed formats cross-checked, one-pass output
+# byte-compared to two-pass), gated the same way against the previous
+# BENCH_PR9.json, with its own injected-regression self-test.
 #
 # Usage: scripts/bench.sh [--scale S] [--out PATH] [--baseline PATH]
 #                         [--gate-pct P]
@@ -136,15 +137,17 @@ fi
 echo "bench.sh: serve gate self-test OK (injected regression was rejected)"
 
 # ---------------------------------------------------------------------------
-# Shard phases: shard_bench times 2D rank-grid generation, direct shard
-# spill, and the two-pass external CSR merge into BENCH_PR8.json
+# Shard phases: shard_bench times 2D rank-grid generation, direct v2
+# shard spill, the loser-tree k-way merge, and the single-pass (plus
+# reference two-pass) external CSR build into BENCH_PR9.json
 # (median-of-5 per phase, all outputs verified bit-identical to the
-# sequential materialization before any timing). A previous
-# BENCH_PR8.json becomes the baseline for the same >15% comparator, and
-# the gate gets its own injected-regression self-test.
+# sequential materialization before any timing, v2-vs-v1 disk footprint
+# asserted at <= 1/4). A previous BENCH_PR9.json becomes the baseline
+# for the same >15% comparator, and the gate gets its own
+# injected-regression self-test.
 # ---------------------------------------------------------------------------
 
-SHARD_OUT=BENCH_PR8.json
+SHARD_OUT=BENCH_PR9.json
 SHARD_BASE=""
 SHARD_FAKE=""
 trap 'rm -f "${FAKE:-}" "${SERVE_BASE}" "${SERVE_FAKE}" "${SHARD_BASE}" "${SHARD_FAKE}"' EXIT
@@ -170,11 +173,11 @@ cat > "${SHARD_FAKE}" <<EOF
   "schema_version": 2,
   "phases": [
     {
-      "name": "shard_generate_2d",
+      "name": "shard_merge_v2",
       "secs_threads_1": 0.000001
     },
     {
-      "name": "shard_external_merge",
+      "name": "shard_external_onepass",
       "secs_threads_1": 0.000001
     }
   ]

@@ -10,13 +10,13 @@
 #                loopback serving, bit-exact load validation, graceful
 #                shutdown, steady-state zero-allocation proof
 #   5. shard:    scripts/shard.sh — out-of-core tier smoke: verified
-#                generate → spill → external-build pass with a
-#                scratch-dir-clean assertion, plus the shard format and
-#                conformance suites
+#                generate → spill (v1 + v2 formats) → single-pass
+#                external-build pass with a scratch-dir-clean assertion,
+#                plus the shard format, v2 codec, and conformance suites
 #   6. bench:    scripts/bench.sh — instrumented benchmark with the >15%
 #                stripped-phase regression gate and its self-test (kernel
 #                phases in BENCH_PR6.json, serve phases in BENCH_PR7.json,
-#                shard phases in BENCH_PR8.json)
+#                shard phases in BENCH_PR9.json)
 #
 # Any failing stage aborts the run with that stage's exit code. Run this
 # before every PR; it is the enforced superset of the tier-1 contract in

@@ -3,15 +3,18 @@
 #
 # Runs `shard_bench --smoke` against a scratch directory under mktemp:
 # one fully verified pass of 2D rank-grid generation, direct per-rank
-# spill into sorted KRSH runs, `from_shards`, and the two-pass external
-# KRSC build — every output bit-compared against the sequential
+# spill into sorted KRSH runs in BOTH wire formats (v1 raw pairs and v2
+# delta varints), `from_shards` over each plus the mixed-version union,
+# and the single-pass external KRSC build byte-compared against the
+# two-pass reference — every output bit-compared against the sequential
 # materialization in-process. Afterwards the scratch directory must be
 # empty: a shard file the pipeline forgot to clean up (or an unfinished
 # run left behind by an early exit) fails the stage.
 #
 # Then runs the shard-format test batteries: the kron-graph unit +
-# property suites (roundtrip, truncation/bit-flip/forged-count corpus)
-# and the cross-crate conformance suite in kron-dist.
+# property suites (roundtrip, truncation/bit-flip/forged-count corpus,
+# plus the v2 varint/delta codec corpus in shard_v2_props) and the
+# cross-crate conformance suite in kron-dist.
 #
 # Usage: scripts/shard.sh [--scale S] [--ranks R]
 
@@ -37,6 +40,7 @@ echo "shard.sh: scratch dir clean after smoke pass"
 echo "== shard: format unit + property suites (kron-graph) =="
 cargo test -q --offline -p kron-graph shard
 cargo test -q --offline -p kron-graph --test shard_props
+cargo test -q --offline -p kron-graph --test shard_v2_props
 
 echo "== shard: cross-crate conformance suite (kron-dist) =="
 cargo test -q --offline -p kron-dist --test shard_conformance

@@ -315,4 +315,13 @@ fn main() {
     kron_obs::json_lint::validate(&written).expect("emitted report is valid JSON");
     println!("{json}");
     eprintln!("shard_bench: wrote {out_path} (schema_version {SCHEMA_VERSION}, lint-clean)");
+
+    // Chrome trace_event sidecar of the recorded spans (DESIGN.md §14).
+    let trace_path = format!("{out_path}.trace.json");
+    let mut tb = kron_obs::trace_export::TraceBuilder::new();
+    tb.add_flight(&kron_obs::ring::snapshot());
+    tb.write_to(std::path::Path::new(&trace_path)).expect("write trace");
+    let trace = std::fs::read_to_string(&trace_path).expect("read back trace");
+    kron_obs::json_lint::validate(&trace).expect("trace is valid JSON");
+    eprintln!("shard_bench: wrote {trace_path} (chrome trace_event, lint-clean)");
 }

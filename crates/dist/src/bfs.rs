@@ -152,7 +152,11 @@ pub fn distributed_bfs_traced(
             dist[v as usize] = d;
         }
     }
-    (dist, Timeline::from_recorders(recorders))
+    let timeline = Timeline::from_recorders(recorders);
+    if timeline.event_count() > 0 {
+        kron_obs::events::publish_timeline(&timeline);
+    }
+    (dist, timeline)
 }
 
 /// Per-level receive state of one rank.

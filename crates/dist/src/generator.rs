@@ -344,7 +344,13 @@ pub fn generate_distributed(pair: &KroneckerPair, config: &DistConfig) -> DistRe
     kron_obs::counter!("dist.redeliveries_discarded")
         .add(stats.total_redeliveries_discarded());
     kron_obs::counter!("dist.spilled_arcs").add(stats.total_spilled_arcs());
-    DistResult { per_rank: edges, shard_runs, stats, timeline: Timeline::from_recorders(recorders) }
+    let timeline = Timeline::from_recorders(recorders);
+    // Expose the merged timeline to the flight-recorder panic hook and
+    // trace export; skip when event recording was off (empty timeline).
+    if timeline.event_count() > 0 {
+        kron_obs::events::publish_timeline(&timeline);
+    }
+    DistResult { per_rank: edges, shard_runs, stats, timeline }
 }
 
 /// The partition structure a run executes on, per scheme.

@@ -131,7 +131,11 @@ pub fn distributed_triangle_count_traced(
             recorders.push(recorder);
         }
     });
-    (total, Timeline::from_recorders(recorders))
+    let timeline = Timeline::from_recorders(recorders);
+    if timeline.event_count() > 0 {
+        kron_obs::events::publish_timeline(&timeline);
+    }
+    (total, timeline)
 }
 
 fn count_on_rank(

@@ -111,9 +111,14 @@ fn assert_cell_eq<T: PartialEq + std::fmt::Debug>(
             Ok(path) => path.display().to_string(),
             Err(e) => format!("<timeline dump failed: {e}>"),
         };
+        let trace = match kron_obs::trace_export::dump_timeline_trace(timeline, cell) {
+            Ok(path) => path.display().to_string(),
+            Err(e) => format!("<trace dump failed: {e}>"),
+        };
         panic!(
             "{what} — {cell}\n  got:  {got:?}\n  want: {want:?}\n  \
-             per-rank event timeline: {dump}"
+             per-rank event timeline: {dump}\n  \
+             chrome trace (load in chrome://tracing): {trace}"
         );
     }
 }

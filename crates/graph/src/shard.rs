@@ -1316,13 +1316,16 @@ impl BlockCache {
         let set = &mut self.sets[(mix(block_id) & self.set_mask) as usize];
         let slot = if let Some(hit) = set.ways.iter().position(|w| w.tag == tag) {
             self.stats.hits += 1;
+            kron_obs::counter!("shard.block_cache_hits").add(1);
             hit
         } else {
             self.stats.misses += 1;
+            kron_obs::counter!("shard.block_cache_misses").add(1);
             let slot = match set.ways.iter().position(|w| w.tag == 0) {
                 Some(empty) => empty,
                 None => {
                     self.stats.evictions += 1;
+                    kron_obs::counter!("shard.block_cache_evictions").add(1);
                     (splitmix64(&mut set.rng) % CACHE_WAYS as u64) as usize
                 }
             };

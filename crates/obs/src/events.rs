@@ -24,6 +24,7 @@
 
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
 use std::time::Instant;
 
 use serde::Serialize;
@@ -253,9 +254,48 @@ impl Timeline {
     }
 }
 
+/// The most recently published timeline, kept for the flight-recorder
+/// panic hook (`ring::install_panic_hook`) so an unexpected panic can
+/// dump rank timelines alongside the ring contents.
+static PUBLISHED: Mutex<Option<Timeline>> = Mutex::new(None);
+
+/// Publishes a copy of `t` as "the current run's timeline". Distributed
+/// drivers call this after merging recorders; cost is one clone per run
+/// and only when event recording produced something, so the
+/// chaos/production fast path (events disabled → empty timeline) pays
+/// nothing but the lock.
+pub fn publish_timeline(t: &Timeline) {
+    let mut slot = PUBLISHED.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    *slot = Some(t.clone());
+}
+
+/// A copy of the most recently published timeline, if any.
+pub fn published_timeline() -> Option<Timeline> {
+    PUBLISHED.lock().unwrap_or_else(std::sync::PoisonError::into_inner).clone()
+}
+
+/// JSON rendering of the published timeline, for the panic-hook dump.
+pub(crate) fn published_timeline_json() -> Option<String> {
+    published_timeline().map(|t| serde_json::to_string_pretty(&t).expect("timeline serializes"))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn publish_roundtrip() {
+        let _serial = crate::test_serial();
+        set_enabled(true);
+        let mut r = RankRecorder::new(5);
+        r.record(EventKind::EpochStart, NO_PEER, 0, 0);
+        set_enabled(false);
+        let t = Timeline::from_recorders(vec![r]);
+        publish_timeline(&t);
+        let got = published_timeline().expect("published");
+        assert_eq!(got, t);
+        crate::json_lint::validate(&published_timeline_json().unwrap()).expect("lints");
+    }
 
     #[test]
     fn disabled_recorder_is_inert() {

@@ -35,6 +35,11 @@
 //!   the global sharded registry and the per-rank [`metrics::LocalRegistry`].
 //! * [`alloc`] — live/peak allocation tracking (feature `measure-alloc`).
 //! * [`events`] — the distributed per-rank event log and timeline merge.
+//! * [`ring`] — the always-on flight recorder: lock-free per-thread
+//!   rings of recent query/span events with stage breakdowns, plus the
+//!   panic hook that dumps them (DESIGN.md §14).
+//! * [`trace_export`] — Chrome `trace_event` rendering of timelines,
+//!   span trees, and flight-recorder contents.
 //! * [`report`] — [`report::ObsReport`] JSON export + human summary.
 //! * [`json_lint`] — a minimal JSON syntax validator (the vendored
 //!   `serde_json` is serialize-only, so emitted reports are checked with
@@ -47,7 +52,9 @@ pub mod events;
 pub mod json_lint;
 pub mod metrics;
 pub mod report;
+pub mod ring;
 pub mod span;
+pub mod trace_export;
 
 /// Master switch for spans and metrics. Off by default.
 static ENABLED: AtomicBool = AtomicBool::new(false);

@@ -275,6 +275,85 @@ pub struct NamedValue {
     pub value: u64,
 }
 
+/// Value range covered by log2 bucket `b`: `(0, 0)` for bucket 0, else
+/// `(2^(b-1), 2^b - 1)` (saturating at `u64::MAX` for bucket 64).
+pub fn bucket_bounds(b: u32) -> (u64, u64) {
+    if b == 0 {
+        return (0, 0);
+    }
+    let lo = 1u64 << (b - 1);
+    let hi = if b >= 64 { u64::MAX } else { (1u64 << b) - 1 };
+    (lo, hi)
+}
+
+/// Quantiles derived from sparse log2 `(bucket, count)` pairs — the ONE
+/// shared percentile implementation (`ObsReport`, the `Stats` admin
+/// reply, and `kron-load`'s latency summary all route through it).
+///
+/// Interpolation rule (pinned by `quantile_interpolation_pinned`): the
+/// quantile `q` of `n` samples is the nearest-rank sample
+/// `r = clamp(ceil(q·n), 1, n)` (1-based); within the bucket holding
+/// rank `r` — whose `c` samples are, for lack of finer information,
+/// assumed evenly spread over the bucket's value range `[lo, hi]` — the
+/// `j`-th of `c` samples is estimated as
+/// `lo + (hi - lo) · (j - 1) / max(c - 1, 1)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize)]
+pub struct HistQuantiles {
+    /// Total samples.
+    pub count: u64,
+    /// Median estimate.
+    pub p50: u64,
+    /// 90th percentile estimate.
+    pub p90: u64,
+    /// 99th percentile estimate.
+    pub p99: u64,
+    /// Upper edge of the highest non-empty bucket (a bound on the true
+    /// maximum, which log2 buckets do not retain exactly).
+    pub max: u64,
+}
+
+/// One quantile from sparse `(bucket, count)` pairs; see
+/// [`HistQuantiles`] for the pinned rule. Returns 0 on an empty histogram.
+pub fn quantile_from_buckets(buckets: &[(u32, u64)], q: f64) -> u64 {
+    let count: u64 = buckets.iter().map(|&(_, c)| c).sum();
+    if count == 0 {
+        return 0;
+    }
+    let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
+    let mut seen = 0u64;
+    for &(b, c) in buckets {
+        if seen + c >= rank {
+            let (lo, hi) = bucket_bounds(b);
+            let j = rank - seen; // 1-based position within this bucket
+            let denom = c.saturating_sub(1).max(1);
+            return lo + ((hi - lo) as u128 * (j - 1) as u128 / denom as u128) as u64;
+        }
+        seen += c;
+    }
+    bucket_bounds(buckets.last().map_or(0, |&(b, _)| b)).1
+}
+
+/// Derives the exported quantile set from sparse `(bucket, count)` pairs.
+pub fn quantiles_from_buckets(buckets: &[(u32, u64)]) -> HistQuantiles {
+    let count: u64 = buckets.iter().map(|&(_, c)| c).sum();
+    if count == 0 {
+        return HistQuantiles::default();
+    }
+    let max = buckets
+        .iter()
+        .filter(|&&(_, c)| c > 0)
+        .map(|&(b, _)| bucket_bounds(b).1)
+        .max()
+        .unwrap_or(0);
+    HistQuantiles {
+        count,
+        p50: quantile_from_buckets(buckets, 0.50),
+        p90: quantile_from_buckets(buckets, 0.90),
+        p99: quantile_from_buckets(buckets, 0.99),
+        max,
+    }
+}
+
 /// One named histogram in a snapshot; only non-empty buckets are listed.
 #[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct NamedHistogram {
@@ -285,6 +364,16 @@ pub struct NamedHistogram {
     /// `(bucket, count)` pairs; bucket `i` covers `2^(i-1) <= v < 2^i`
     /// (bucket 0 is exactly `v = 0`).
     pub buckets: Vec<(u32, u64)>,
+    /// Derived p50/p90/p99/max (see [`quantiles_from_buckets`]).
+    pub quantiles: HistQuantiles,
+}
+
+impl NamedHistogram {
+    /// Builds the snapshot entry, deriving the quantiles from `buckets`.
+    pub fn from_buckets(name: String, buckets: Vec<(u32, u64)>) -> NamedHistogram {
+        let quantiles = quantiles_from_buckets(&buckets);
+        NamedHistogram { name, count: quantiles.count, buckets, quantiles }
+    }
 }
 
 /// Deterministic, name-sorted view of the merged global registry.
@@ -342,12 +431,7 @@ pub fn snapshot() -> MetricsSnapshot {
                     .filter(|&(_, &c)| c > 0)
                     .map(|(b, &c)| (b as u32, c))
                     .collect();
-                let count = buckets.iter().map(|&(_, c)| c).sum();
-                snap.histograms.push(NamedHistogram {
-                    name: name.to_string(),
-                    count,
-                    buckets,
-                });
+                snap.histograms.push(NamedHistogram::from_buckets(name.to_string(), buckets));
             }
             _ => unreachable!("slot kinds fixed at registration"),
         }
@@ -439,6 +523,41 @@ mod tests {
         assert_eq!(bucket_of(3), 2);
         assert_eq!(bucket_of(4), 3);
         assert_eq!(bucket_of(u64::MAX), 64);
+    }
+
+    /// Pins the shared bucket-interpolation rule: nearest-rank
+    /// `r = clamp(ceil(q·n), 1, n)`, then the `j`-th of `c` samples in a
+    /// bucket `[lo, hi]` is `lo + (hi-lo)·(j-1)/max(c-1, 1)`.
+    #[test]
+    fn quantile_interpolation_pinned() {
+        // Four samples in bucket 3 (values 4..=7).
+        let one = [(3u32, 4u64)];
+        assert_eq!(quantile_from_buckets(&one, 0.50), 5); // rank 2 → 4 + 3·1/3
+        assert_eq!(quantile_from_buckets(&one, 0.90), 7); // rank 4 → 4 + 3·3/3
+        let q = quantiles_from_buckets(&one);
+        assert_eq!(q, HistQuantiles { count: 4, p50: 5, p90: 7, p99: 7, max: 7 });
+
+        // Spread across buckets: {0}, {1}, two in bucket 4 (8..=15).
+        let multi = [(0u32, 1u64), (1, 1), (4, 2)];
+        assert_eq!(quantile_from_buckets(&multi, 0.50), 1); // rank 2 → bucket 1
+        assert_eq!(quantile_from_buckets(&multi, 0.90), 15); // rank 4, j=2 of 2
+        let q = quantiles_from_buckets(&multi);
+        assert_eq!(q, HistQuantiles { count: 4, p50: 1, p90: 15, p99: 15, max: 15 });
+
+        // Degenerate shapes.
+        assert_eq!(quantiles_from_buckets(&[]), HistQuantiles::default());
+        assert_eq!(
+            quantiles_from_buckets(&[(0, 10)]),
+            HistQuantiles { count: 10, p50: 0, p90: 0, p99: 0, max: 0 }
+        );
+        assert_eq!(
+            quantiles_from_buckets(&[(5, 1)]),
+            HistQuantiles { count: 1, p50: 16, p90: 16, p99: 16, max: 31 }
+        );
+        // Bucket 64 saturates at u64::MAX.
+        assert_eq!(bucket_bounds(64).1, u64::MAX);
+        assert_eq!(bucket_bounds(0), (0, 0));
+        assert_eq!(bucket_bounds(3), (4, 7));
     }
 
     #[test]

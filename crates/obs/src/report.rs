@@ -13,8 +13,9 @@ use crate::span::SpanStat;
 
 /// Version stamp for every JSON document this workspace emits. Bump on
 /// breaking shape changes; comparison tooling skips baselines whose
-/// stamp is newer than its own.
-pub const SCHEMA_VERSION: u32 = 2;
+/// stamp is newer than its own. v3 added derived quantiles to every
+/// exported histogram.
+pub const SCHEMA_VERSION: u32 = 3;
 
 /// Snapshot of everything the observability layer recorded.
 #[derive(Debug, Clone, PartialEq, Serialize)]
@@ -75,7 +76,18 @@ impl ObsReport {
         for h in &self.metrics.histograms {
             let buckets: Vec<String> =
                 h.buckets.iter().map(|&(b, c)| format!("2^{b}:{c}")).collect();
-            let _ = writeln!(out, "  {} (hist, n={}): {}", h.name, h.count, buckets.join(" "));
+            let q = &h.quantiles;
+            let _ = writeln!(
+                out,
+                "  {} (hist, n={}, p50={} p90={} p99={} max<={}): {}",
+                h.name,
+                h.count,
+                q.p50,
+                q.p90,
+                q.p99,
+                q.max,
+                buckets.join(" ")
+            );
         }
         out
     }
@@ -108,11 +120,10 @@ mod tests {
             metrics: MetricsSnapshot {
                 counters: vec![NamedValue { name: "arcs".into(), value: 42 }],
                 gauges: vec![NamedValue { name: "depth".into(), value: 7 }],
-                histograms: vec![NamedHistogram {
-                    name: "batch".into(),
-                    count: 3,
-                    buckets: vec![(0, 1), (4, 2)],
-                }],
+                histograms: vec![NamedHistogram::from_buckets(
+                    "batch".into(),
+                    vec![(0, 1), (4, 2)],
+                )],
             },
         }
     }
@@ -132,5 +143,8 @@ mod tests {
         assert!(text.contains("arcs = 42"));
         assert!(text.contains("depth (max) = 7"));
         assert!(text.contains("2^4:2"));
+        // Derived quantiles of {0, 8..=15 ×2}: p50 = 8, p99 = 15.
+        assert!(text.contains("p50=8"), "summary shows derived quantiles: {text}");
+        assert!(text.contains("p99=15"), "summary shows derived quantiles: {text}");
     }
 }

@@ -44,23 +44,28 @@ thread_local! {
 /// RAII guard of one span activation; records on drop.
 pub struct SpanGuard {
     start: Option<Instant>,
+    name: &'static str,
 }
 
 /// Opens a span named `name` nested under the thread's current span, if
 /// any. When observability is disabled this is a single atomic load and
-/// the returned guard is inert.
+/// the returned guard is inert. On the enabled path the enter (and later
+/// the exit) is also appended to the flight recorder's ring, so a live
+/// `FlightDump` shows phase boundaries interleaved with queries.
 #[inline]
 pub fn enter(name: &'static str) -> SpanGuard {
     if !crate::enabled() {
-        return SpanGuard { start: None };
+        return SpanGuard { start: None, name };
     }
     STACK.with(|stack| stack.borrow_mut().push(name));
-    SpanGuard { start: Some(Instant::now()) }
+    crate::ring::record_span_enter(name);
+    SpanGuard { start: Some(Instant::now()), name }
 }
 
 impl Drop for SpanGuard {
     fn drop(&mut self) {
         let Some(start) = self.start else { return };
+        crate::ring::record_span_exit(self.name);
         let elapsed_ns = start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
         let path = STACK.with(|stack| {
             let mut stack = stack.borrow_mut();

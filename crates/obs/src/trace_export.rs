@@ -1,0 +1,395 @@
+//! Chrome `trace_event` export (DESIGN.md §14).
+//!
+//! Renders the observability layer's three data sources — per-rank
+//! distributed [`Timeline`]s, span activity, and flight-recorder
+//! contents — as the JSON object format understood by `chrome://tracing`
+//! and Perfetto: `{"traceEvents": [...]}` with `B`/`E` duration pairs,
+//! `X` complete events, `i` instants, and `M` metadata records.
+//!
+//! Mapping:
+//!
+//! * **Timeline**: each rank is a process (`pid` = rank). Track (tid) 0
+//!   carries epoch `B`/`E` pairs, track 1 the per-link accounting
+//!   instants, track 2 everything else (faults, retransmits, queue-depth
+//!   samples) as instants. Per-rank recording order is monotone in
+//!   `t_ns`, so every track is time-ordered by construction.
+//! * **Flight recorder**: one process (`pid` = [`FLIGHT_PID`], above any
+//!   plausible rank count); each ring gets a query track (`X` events,
+//!   one per served frame, stage breakdown in the name) and a span track
+//!   (`B`/`E` from enter/exit events). Query `X` events start at
+//!   `t_ns - duration` and are sorted by start time per track.
+//!
+//! Ring overwrite can orphan one half of a `B`/`E` pair, so the builder
+//! repairs shape instead of trusting it: an exit with no open enter is
+//! dropped, and enters still open at the end of a track are closed at
+//! the track's last timestamp. [`TraceBuilder::check_shape`] verifies
+//! the invariants the golden test pins (balanced `B`/`E` per track,
+//! non-decreasing timestamps per track) and [`TraceBuilder::finish`]
+//! output always passes [`crate::json_lint::validate`].
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::events::{EventKind, Timeline};
+use crate::ring::{FlightSnapshot, ETYPE_QUERY, ETYPE_SPAN_ENTER, ETYPE_SPAN_EXIT};
+
+/// The flight recorder's process id in exported traces — far above any
+/// plausible rank id so rank pids never collide with it.
+pub const FLIGHT_PID: u64 = 1_000_000;
+
+/// One `trace_event` record. Kept as a struct (not pre-rendered JSON) so
+/// tests can check shape invariants without a JSON parser.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Event name (also carries stage breakdowns for query events).
+    pub name: String,
+    /// Event category.
+    pub cat: &'static str,
+    /// Phase: 'B', 'E', 'X', 'i', or 'M'.
+    pub ph: char,
+    /// Timestamp, microseconds.
+    pub ts_us: f64,
+    /// Process id (rank, or [`FLIGHT_PID`]).
+    pub pid: u64,
+    /// Track id within the process.
+    pub tid: u64,
+    /// Duration in microseconds; `X` events only.
+    pub dur_us: Option<f64>,
+    /// `args.name` payload; `M` (metadata) events only.
+    pub meta_name: Option<String>,
+}
+
+/// Accumulates [`TraceEvent`]s and renders them as lint-clean JSON.
+#[derive(Debug, Default)]
+pub struct TraceBuilder {
+    events: Vec<TraceEvent>,
+}
+
+impl TraceBuilder {
+    /// Empty builder.
+    pub fn new() -> TraceBuilder {
+        TraceBuilder::default()
+    }
+
+    /// The accumulated events (shape tests read these directly).
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    fn meta(&mut self, which: &str, pid: u64, tid: u64, name: String) {
+        self.events.push(TraceEvent {
+            name: which.to_string(),
+            cat: "__metadata",
+            ph: 'M',
+            ts_us: 0.0,
+            pid,
+            tid,
+            dur_us: None,
+            meta_name: Some(name),
+        });
+    }
+
+    fn push(&mut self, name: String, cat: &'static str, ph: char, ts_us: f64, pid: u64, tid: u64) {
+        self.events.push(TraceEvent { name, cat, ph, ts_us, pid, tid, dur_us: None, meta_name: None });
+    }
+
+    /// Adds a per-rank distributed timeline: ranks as processes, epochs
+    /// as `B`/`E` on track 0, link accounting on track 1, faults/queues
+    /// on track 2.
+    pub fn add_timeline(&mut self, timeline: &Timeline) {
+        for log in &timeline.per_rank {
+            let pid = u64::from(log.rank);
+            self.meta("process_name", pid, 0, format!("rank {}", log.rank));
+            self.meta("thread_name", pid, 0, "epochs".to_string());
+            self.meta("thread_name", pid, 1, "links".to_string());
+            self.meta("thread_name", pid, 2, "faults+queues".to_string());
+            let mut open_epochs = 0u32;
+            let mut last_ts = 0.0f64;
+            for e in &log.events {
+                let ts = e.t_ns as f64 / 1_000.0;
+                last_ts = last_ts.max(ts);
+                match e.kind {
+                    EventKind::EpochStart => {
+                        self.push(format!("epoch {}", e.a), "epoch", 'B', ts, pid, 0);
+                        open_epochs += 1;
+                    }
+                    EventKind::EpochEnd => {
+                        if open_epochs > 0 {
+                            self.push(format!("epoch {}", e.a), "epoch", 'E', ts, pid, 0);
+                            open_epochs -= 1;
+                        }
+                    }
+                    EventKind::LinkSent | EventKind::LinkDelivered => {
+                        let peer = e.peer;
+                        self.push(
+                            format!("{:?} peer={peer} a={} b={}", e.kind, e.a, e.b),
+                            "link",
+                            'i',
+                            ts,
+                            pid,
+                            1,
+                        );
+                    }
+                    _ => {
+                        self.push(
+                            format!("{:?} a={} b={}", e.kind, e.a, e.b),
+                            "fault",
+                            'i',
+                            ts,
+                            pid,
+                            2,
+                        );
+                    }
+                }
+            }
+            // A truncated run can leave epochs open; close them so every
+            // B has a matching E.
+            for _ in 0..open_epochs {
+                self.push("epoch (unclosed)".to_string(), "epoch", 'E', last_ts, pid, 0);
+            }
+        }
+    }
+
+    /// Adds flight-recorder contents: one process, a query track and a
+    /// span track per ring.
+    pub fn add_flight(&mut self, snap: &FlightSnapshot) {
+        if snap.rings.is_empty() {
+            return;
+        }
+        self.meta("process_name", FLIGHT_PID, 0, "flight recorder".to_string());
+        for ring in &snap.rings {
+            let query_tid = ring.ring * 2;
+            let span_tid = ring.ring * 2 + 1;
+            self.meta("thread_name", FLIGHT_PID, query_tid, format!("ring {} queries", ring.ring));
+            self.meta("thread_name", FLIGHT_PID, span_tid, format!("ring {} spans", ring.ring));
+
+            // Queries become X events at [end - duration, end], sorted by
+            // start time (completion order is not start order).
+            let mut queries: Vec<TraceEvent> = ring
+                .events
+                .iter()
+                .filter(|e| e.etype == ETYPE_QUERY)
+                .map(|e| {
+                    let s = &e.stages;
+                    let dur_ns = s.read_ns + s.queue_ns + s.engine_ns + s.write_ns;
+                    let start_ns = e.t_ns.saturating_sub(dur_ns);
+                    TraceEvent {
+                        name: format!(
+                            "q{} kind={} n={} read={} queue={} engine={} cache={} write={}",
+                            e.id,
+                            e.kind,
+                            e.count,
+                            s.read_ns,
+                            s.queue_ns,
+                            s.engine_ns,
+                            s.cache_ns,
+                            s.write_ns
+                        ),
+                        cat: "query",
+                        ph: 'X',
+                        ts_us: start_ns as f64 / 1_000.0,
+                        pid: FLIGHT_PID,
+                        tid: query_tid,
+                        dur_us: Some(dur_ns as f64 / 1_000.0),
+                        meta_name: None,
+                    }
+                })
+                .collect();
+            queries.sort_by(|a, b| a.ts_us.total_cmp(&b.ts_us));
+            self.events.extend(queries);
+
+            // Spans: enter/exit pairs; overwrite may have eaten either
+            // half, so repair to balanced B/E.
+            let mut depth = 0u32;
+            let mut last_ts = 0.0f64;
+            for e in &ring.events {
+                let ts = e.t_ns as f64 / 1_000.0;
+                let name = snap
+                    .span_names
+                    .get(e.id as usize)
+                    .cloned()
+                    .unwrap_or_else(|| format!("span#{}", e.id));
+                match e.etype {
+                    ETYPE_SPAN_ENTER => {
+                        last_ts = last_ts.max(ts);
+                        self.push(name, "span", 'B', ts, FLIGHT_PID, span_tid);
+                        depth += 1;
+                    }
+                    ETYPE_SPAN_EXIT if depth > 0 => {
+                        last_ts = last_ts.max(ts);
+                        self.push(name, "span", 'E', ts, FLIGHT_PID, span_tid);
+                        depth -= 1;
+                    }
+                    _ => {}
+                }
+            }
+            for _ in 0..depth {
+                self.push("span (unclosed)".to_string(), "span", 'E', last_ts, FLIGHT_PID, span_tid);
+            }
+        }
+    }
+
+    /// Verifies the invariants the export promises: within every
+    /// `(pid, tid)` track, timestamps are non-decreasing and `B`/`E`
+    /// events balance with stack discipline (no `E` without an open `B`,
+    /// nothing left open).
+    pub fn check_shape(&self) -> Result<(), String> {
+        use std::collections::BTreeMap;
+        let mut tracks: BTreeMap<(u64, u64), (f64, i64)> = BTreeMap::new();
+        for (i, e) in self.events.iter().enumerate() {
+            if e.ph == 'M' {
+                continue;
+            }
+            let entry = tracks.entry((e.pid, e.tid)).or_insert((f64::NEG_INFINITY, 0));
+            if e.ts_us < entry.0 {
+                return Err(format!(
+                    "event {i} ({}) goes back in time on track ({}, {}): {} < {}",
+                    e.name, e.pid, e.tid, e.ts_us, entry.0
+                ));
+            }
+            entry.0 = e.ts_us;
+            match e.ph {
+                'B' => entry.1 += 1,
+                'E' => {
+                    entry.1 -= 1;
+                    if entry.1 < 0 {
+                        return Err(format!(
+                            "event {i} ({}): E without open B on track ({}, {})",
+                            e.name, e.pid, e.tid
+                        ));
+                    }
+                }
+                'X' | 'i' => {}
+                other => return Err(format!("event {i}: unknown phase {other:?}")),
+            }
+        }
+        for ((pid, tid), (_, depth)) in tracks {
+            if depth != 0 {
+                return Err(format!("track ({pid}, {tid}) ends with {depth} unclosed B"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Renders `{"traceEvents": [...]}`. The output is guaranteed
+    /// lint-clean (asserted in debug builds, unit-tested).
+    pub fn finish(&self) -> String {
+        debug_assert!(self.check_shape().is_ok(), "{:?}", self.check_shape());
+        let mut out = String::with_capacity(64 + self.events.len() * 96);
+        out.push_str("{\"traceEvents\": [");
+        for (i, e) in self.events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n  {\"name\": ");
+            escape_into(&mut out, &e.name);
+            out.push_str(", \"cat\": ");
+            escape_into(&mut out, e.cat);
+            out.push_str(&format!(
+                ", \"ph\": \"{}\", \"ts\": {:.3}, \"pid\": {}, \"tid\": {}",
+                e.ph, e.ts_us, e.pid, e.tid
+            ));
+            if let Some(dur) = e.dur_us {
+                out.push_str(&format!(", \"dur\": {dur:.3}"));
+            }
+            if e.ph == 'i' {
+                // Instants need a scope; "t" (thread) keeps them on-track.
+                out.push_str(", \"s\": \"t\"");
+            }
+            if let Some(meta) = &e.meta_name {
+                out.push_str(", \"args\": {\"name\": ");
+                escape_into(&mut out, meta);
+                out.push('}');
+            }
+            out.push('}');
+        }
+        out.push_str("\n]}\n");
+        debug_assert!(crate::json_lint::validate(&out).is_ok());
+        out
+    }
+
+    /// Writes [`TraceBuilder::finish`] output to `path`.
+    pub fn write_to(&self, path: &Path) -> io::Result<()> {
+        std::fs::write(path, self.finish())
+    }
+}
+
+/// Appends `s` as a JSON string literal (quotes included).
+fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Renders `timeline` as a Chrome trace under the OS temp dir as
+/// `kron_trace_<tag>.trace.json` (tag sanitised to `[A-Za-z0-9._-]`);
+/// chaos-test failure paths call this so a failing cell leaves a
+/// loadable trace next to the text/JSON timeline dumps.
+pub fn dump_timeline_trace(timeline: &Timeline, tag: &str) -> io::Result<PathBuf> {
+    let tag: String = tag
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() || ".-_".contains(c) { c } else { '_' })
+        .collect();
+    let mut tb = TraceBuilder::new();
+    tb.add_timeline(timeline);
+    let path = std::env::temp_dir().join(format!("kron_trace_{tag}.trace.json"));
+    tb.write_to(&path)?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::events::{RankRecorder, NO_PEER};
+
+    #[test]
+    fn timeline_mapping_and_shape() {
+        let _serial = crate::test_serial();
+        crate::events::set_enabled(true);
+        let mut r = RankRecorder::new(2);
+        r.record(EventKind::EpochStart, NO_PEER, 0, 0);
+        r.record(EventKind::Retransmit, 1, 7, 0);
+        r.record(EventKind::EpochEnd, NO_PEER, 0, 123);
+        r.record(EventKind::LinkSent, 1, 9, 0);
+        r.record(EventKind::EpochStart, NO_PEER, 1, 0); // left open
+        crate::events::set_enabled(false);
+        let t = Timeline::from_recorders(vec![r]);
+
+        let mut tb = TraceBuilder::new();
+        tb.add_timeline(&t);
+        tb.check_shape().expect("shape holds");
+        let events = tb.events();
+        let b: Vec<&TraceEvent> =
+            events.iter().filter(|e| e.ph == 'B').collect();
+        let e: Vec<&TraceEvent> =
+            events.iter().filter(|e| e.ph == 'E').collect();
+        assert_eq!(b.len(), 2, "two epoch starts");
+        assert_eq!(e.len(), 2, "closed + synthesized close");
+        assert!(events.iter().any(|ev| ev.ph == 'i' && ev.tid == 1 && ev.name.contains("LinkSent")));
+        assert!(events.iter().any(|ev| ev.ph == 'i' && ev.tid == 2 && ev.name.contains("Retransmit")));
+        assert!(events
+            .iter()
+            .any(|ev| ev.ph == 'M' && ev.name == "process_name" && ev.meta_name.as_deref() == Some("rank 2")));
+
+        let json = tb.finish();
+        crate::json_lint::validate(&json).expect("trace JSON lints");
+        assert!(json.starts_with("{\"traceEvents\": ["));
+    }
+
+    #[test]
+    fn escape_handles_specials() {
+        let mut s = String::new();
+        escape_into(&mut s, "a\"b\\c\nd\u{1}");
+        assert_eq!(s, "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+}

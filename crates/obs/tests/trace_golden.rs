@@ -1,0 +1,187 @@
+//! Trace-export golden + shape tests (DESIGN.md §14): the exact JSON
+//! bytes of a tiny timeline are pinned, every emitted document passes
+//! `json_lint`, and the hand-rolled `trace_event` shape check (balanced
+//! `B`/`E` per track, timestamps non-decreasing per track) holds for
+//! both timeline and flight-recorder renderings — including the repair
+//! of pairs orphaned by ring overwrite.
+
+use kron_obs::events::{Event, EventKind, RankLog, Timeline, NO_PEER};
+use kron_obs::ring::{
+    FlightEvent, FlightSnapshot, RingLog, StageNs, ETYPE_QUERY, ETYPE_SPAN_ENTER, ETYPE_SPAN_EXIT,
+    FLAG_CACHE_HIT, RING_CAPACITY,
+};
+use kron_obs::trace_export::{TraceBuilder, FLIGHT_PID};
+
+fn ev(seq: u64, t_ns: u64, kind: EventKind, a: u64, b: u64) -> Event {
+    Event { seq, t_ns, kind, peer: NO_PEER, a, b }
+}
+
+fn span_event(seq: u64, t_ns: u64, etype: u8, id: u64) -> FlightEvent {
+    FlightEvent {
+        seq,
+        t_ns,
+        etype,
+        kind: 0,
+        flags: 0,
+        count: 0,
+        id,
+        stages: StageNs::default(),
+    }
+}
+
+#[test]
+fn golden_timeline_trace_is_pinned() {
+    let timeline = Timeline {
+        per_rank: vec![RankLog {
+            rank: 0,
+            events: vec![
+                ev(0, 1_000, EventKind::EpochStart, 0, 0),
+                ev(1, 3_500, EventKind::EpochEnd, 0, 2_500),
+            ],
+        }],
+    };
+    let mut tb = TraceBuilder::new();
+    tb.add_timeline(&timeline);
+    let got = tb.finish();
+    let want = concat!(
+        "{\"traceEvents\": [\n",
+        "  {\"name\": \"process_name\", \"cat\": \"__metadata\", \"ph\": \"M\", ",
+        "\"ts\": 0.000, \"pid\": 0, \"tid\": 0, \"args\": {\"name\": \"rank 0\"}},\n",
+        "  {\"name\": \"thread_name\", \"cat\": \"__metadata\", \"ph\": \"M\", ",
+        "\"ts\": 0.000, \"pid\": 0, \"tid\": 0, \"args\": {\"name\": \"epochs\"}},\n",
+        "  {\"name\": \"thread_name\", \"cat\": \"__metadata\", \"ph\": \"M\", ",
+        "\"ts\": 0.000, \"pid\": 0, \"tid\": 1, \"args\": {\"name\": \"links\"}},\n",
+        "  {\"name\": \"thread_name\", \"cat\": \"__metadata\", \"ph\": \"M\", ",
+        "\"ts\": 0.000, \"pid\": 0, \"tid\": 2, \"args\": {\"name\": \"faults+queues\"}},\n",
+        "  {\"name\": \"epoch 0\", \"cat\": \"epoch\", \"ph\": \"B\", ",
+        "\"ts\": 1.000, \"pid\": 0, \"tid\": 0},\n",
+        "  {\"name\": \"epoch 0\", \"cat\": \"epoch\", \"ph\": \"E\", ",
+        "\"ts\": 3.500, \"pid\": 0, \"tid\": 0}\n",
+        "]}\n",
+    );
+    assert_eq!(got, want, "golden trace JSON changed");
+    kron_obs::json_lint::validate(&got).expect("golden trace lints");
+    tb.check_shape().expect("golden trace shape");
+}
+
+#[test]
+fn flight_rendering_shape_and_repair() {
+    // A ring whose overwrite ate the enter of the first span (orphan
+    // exit at seq 100) and the exit of the last (orphan enter at 103);
+    // plus two queries recorded out of start order (q8 completed after
+    // q9 but started first).
+    let snap = FlightSnapshot {
+        capacity: RING_CAPACITY as u64,
+        dropped_threads: 0,
+        span_names: vec!["load".to_string(), "merge".to_string()],
+        rings: vec![RingLog {
+            ring: 1,
+            written: 104,
+            overflow: 0,
+            torn: 0,
+            events: vec![
+                span_event(100, 5_000, ETYPE_SPAN_EXIT, 0), // orphan exit: dropped
+                FlightEvent {
+                    seq: 101,
+                    t_ns: 50_000,
+                    etype: ETYPE_QUERY,
+                    kind: 6,
+                    flags: FLAG_CACHE_HIT,
+                    count: 3,
+                    id: 9,
+                    stages: StageNs {
+                        read_ns: 1_000,
+                        queue_ns: 500,
+                        engine_ns: 2_000,
+                        cache_ns: 300,
+                        write_ns: 500,
+                    },
+                },
+                FlightEvent {
+                    seq: 102,
+                    t_ns: 51_000,
+                    etype: ETYPE_QUERY,
+                    kind: 0,
+                    flags: 0,
+                    count: 1,
+                    id: 8,
+                    stages: StageNs {
+                        read_ns: 40_000,
+                        queue_ns: 100,
+                        engine_ns: 200,
+                        cache_ns: 0,
+                        write_ns: 100,
+                    },
+                },
+                span_event(103, 60_000, ETYPE_SPAN_ENTER, 1), // orphan enter: closed
+            ],
+        }],
+    };
+    let mut tb = TraceBuilder::new();
+    tb.add_flight(&snap);
+    tb.check_shape().expect("flight trace shape");
+
+    let events = tb.events();
+    // Queries: two X events on the query track, sorted by *start* time —
+    // q8 (start 51000-40400=10600ns) before q9 (start 50000-4000=46000ns).
+    let xs: Vec<_> = events.iter().filter(|e| e.ph == 'X').collect();
+    assert_eq!(xs.len(), 2);
+    assert_eq!(xs[0].pid, FLIGHT_PID);
+    assert_eq!(xs[0].tid, 2, "ring 1 query track");
+    assert!(xs[0].name.starts_with("q8 "), "earliest start first: {}", xs[0].name);
+    assert!(xs[1].name.starts_with("q9 "));
+    assert!(xs[1].name.contains("queue=500"), "stage breakdown in name: {}", xs[1].name);
+    assert!(xs[0].ts_us <= xs[1].ts_us);
+
+    // Spans: the orphan exit is dropped, the orphan enter gets a
+    // synthesized close — exactly one B and one E, nested legally.
+    let bs = events.iter().filter(|e| e.ph == 'B').count();
+    let es = events.iter().filter(|e| e.ph == 'E').count();
+    assert_eq!((bs, es), (1, 1));
+
+    let json = tb.finish();
+    kron_obs::json_lint::validate(&json).expect("flight trace lints");
+}
+
+#[test]
+fn combined_document_stays_well_formed() {
+    let timeline = Timeline {
+        per_rank: vec![
+            RankLog {
+                rank: 0,
+                events: vec![
+                    ev(0, 10, EventKind::EpochStart, 0, 0),
+                    ev(1, 90, EventKind::EpochEnd, 0, 80),
+                    ev(2, 95, EventKind::LinkSent, 4, 0),
+                ],
+            },
+            RankLog {
+                rank: 1,
+                events: vec![
+                    ev(0, 15, EventKind::Retransmit, 7, 0),
+                    ev(1, 20, EventKind::EpochStart, 0, 0), // left open → repaired
+                ],
+            },
+        ],
+    };
+    let snap = FlightSnapshot {
+        capacity: RING_CAPACITY as u64,
+        dropped_threads: 0,
+        span_names: vec!["serve".to_string()],
+        rings: vec![RingLog {
+            ring: 0,
+            written: 2,
+            overflow: 0,
+            torn: 0,
+            events: vec![
+                span_event(0, 100, ETYPE_SPAN_ENTER, 0),
+                span_event(1, 900, ETYPE_SPAN_EXIT, 0),
+            ],
+        }],
+    };
+    let mut tb = TraceBuilder::new();
+    tb.add_timeline(&timeline);
+    tb.add_flight(&snap);
+    tb.check_shape().expect("combined shape");
+    kron_obs::json_lint::validate(&tb.finish()).expect("combined lints");
+}

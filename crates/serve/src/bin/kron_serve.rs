@@ -57,6 +57,10 @@ fn main() {
     };
 
     kron_obs::set_enabled(true);
+    // A crash anywhere dumps the flight recorder (recent queries with
+    // stage timings) to a temp file whose path lands in the panic
+    // message — the black box for post-mortem triage.
+    kron_obs::ring::install_panic_hook();
     let engine = {
         let pair = {
             use kron_graph::generators::{rmat, RmatConfig};

@@ -163,7 +163,15 @@ impl RowCache {
         way.row.extend_from_slice(row);
     }
 
-    /// Totals since construction.
+    /// Zeroes the hit/miss/eviction totals (the `ResetStats` admin
+    /// opcode); cached rows stay resident.
+    pub fn reset_stats(&self) {
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+        self.evictions.store(0, Ordering::Relaxed);
+    }
+
+    /// Totals since construction (or the last `reset_stats`).
     pub fn stats(&self) -> CacheStats {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),

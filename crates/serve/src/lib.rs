@@ -13,7 +13,11 @@
 //! Module map:
 //!
 //! * [`protocol`] — the length-prefixed binary wire format and its
-//!   hardened (never panics, never over-allocates) decoders.
+//!   hardened (never panics, never over-allocates) decoders, including
+//!   the versioned admin opcodes (`Stats`, `SlowQueries`, `FlightDump`,
+//!   `ResetStats`).
+//! * [`admin`] — always-on exact [`admin::ServeCounters`] plus the JSON
+//!   builders behind the admin opcodes.
 //! * [`engine`] — [`engine::QueryEngine`]: factor CSRs + precomputed
 //!   class tables; answers every query kind without touching `C`.
 //! * [`queue`] — the bounded blocking MPMC queue between connection
@@ -27,6 +31,7 @@
 //! harness; its `--self` mode hosts the server in-process and writes
 //! the `BENCH_PR7.json` phases consumed by `scripts/bench.sh`).
 
+pub mod admin;
 pub mod cache;
 pub mod engine;
 pub mod load;

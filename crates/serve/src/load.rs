@@ -37,6 +37,7 @@ use kron_core::generate::synthesize_row_block;
 use kron_core::triangles::TriangleOracle;
 use kron_core::KroneckerPair;
 use kron_graph::connectivity::connected_components;
+use kron_obs::metrics::{quantiles_from_buckets, HistQuantiles};
 use rand::distributions::{Distribution, Zipf};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -90,16 +91,24 @@ pub struct LoadStats {
     pub secs: f64,
     /// Queries per second.
     pub qps: f64,
-    /// Median frame RTT in microseconds.
+    /// Median frame RTT in microseconds (derived from log2 buckets via
+    /// the shared [`quantiles_from_buckets`] implementation, the same
+    /// derivation the server's `Stats` reply and `ObsReport` use).
     pub p50_us: f64,
-    /// 95th-percentile frame RTT in microseconds.
-    pub p95_us: f64,
+    /// 90th-percentile frame RTT in microseconds.
+    pub p90_us: f64,
     /// 99th-percentile frame RTT in microseconds.
     pub p99_us: f64,
+    /// Upper bound on the slowest frame RTT in microseconds.
+    pub max_us: f64,
     /// Responses compared bit-for-bit against the oracle path.
     pub validated_frames: u64,
     /// Responses whose bytes differed — must be 0.
     pub mismatched_frames: u64,
+    /// Queries sent per kind, in [`QueryKind::ALL`] wire-tag order —
+    /// the client-side tallies the scrape sidecar cross-checks against
+    /// the server's exact `served_*` counters.
+    pub queries_by_kind: Vec<u64>,
 }
 
 /// Recomputes exact expected response frames through the `kron_core`
@@ -221,6 +230,7 @@ struct ClientStats {
     queries: u64,
     mismatches: u64,
     latencies_ns: Vec<u64>,
+    queries_by_kind: [u64; 6],
 }
 
 /// In-flight bookkeeping: request id, send time, expected frame bytes.
@@ -250,6 +260,7 @@ fn run_client(
         queries: 0,
         mismatches: 0,
         latencies_ns: Vec::with_capacity(cfg.frames_per_client),
+        queries_by_kind: [0; 6],
     };
     let mut inflight: VecDeque<Outstanding> = VecDeque::with_capacity(cfg.window);
     let mut queries: Vec<Query> = Vec::with_capacity(cfg.batch);
@@ -263,7 +274,9 @@ fn run_client(
             let id = ((client_idx as u64) << 32) | sent as u64;
             queries.clear();
             for _ in 0..cfg.batch.max(1) {
-                queries.push(Query { kind: mix.sample(&mut rng), vertex: zipf.sample(&mut rng) });
+                let kind = mix.sample(&mut rng);
+                stats.queries_by_kind[kind as usize] += 1;
+                queries.push(Query { kind, vertex: zipf.sample(&mut rng) });
             }
             req.clear();
             if queries.len() == 1 {
@@ -305,13 +318,24 @@ fn run_client(
     Ok(stats)
 }
 
-/// Sorted-slice percentile (nearest-rank on the sorted data).
-fn percentile_us(sorted_ns: &[u64], p: f64) -> f64 {
-    if sorted_ns.is_empty() {
-        return 0.0;
+/// Folds raw RTTs into sparse log2 buckets and derives the quantiles
+/// through the ONE shared implementation — the same buckets and the
+/// same interpolation rule the server's metric histograms use, so a
+/// client-reported p99 and the server's `serve.latency_ns.*` p99 are
+/// directly comparable.
+fn rtt_quantiles(latencies_ns: &[u64]) -> HistQuantiles {
+    let mut counts = [0u64; 65];
+    for &v in latencies_ns {
+        let b = if v == 0 { 0 } else { 64 - v.leading_zeros() };
+        counts[b as usize] += 1;
     }
-    let rank = ((p / 100.0) * (sorted_ns.len() - 1) as f64).round() as usize;
-    sorted_ns[rank.min(sorted_ns.len() - 1)] as f64 / 1000.0
+    let sparse: Vec<(u32, u64)> = counts
+        .iter()
+        .enumerate()
+        .filter(|(_, &c)| c > 0)
+        .map(|(b, &c)| (b as u32, c))
+        .collect();
+    quantiles_from_buckets(&sparse)
 }
 
 /// Drives `addr` with `cfg` and validates every response against the
@@ -336,23 +360,29 @@ pub fn run_load(engine: &QueryEngine, addr: SocketAddr, cfg: &LoadConfig) -> Loa
     let mut queries = 0;
     let mut frames = 0;
     let mut mismatches = 0;
+    let mut by_kind = [0u64; 6];
     for c in per_client {
         latencies.extend_from_slice(&c.latencies_ns);
         queries += c.queries;
         frames += c.frames;
         mismatches += c.mismatches;
+        for (total, n) in by_kind.iter_mut().zip(c.queries_by_kind) {
+            *total += n;
+        }
     }
-    latencies.sort_unstable();
+    let q = rtt_quantiles(&latencies);
     LoadStats {
         queries,
         frames,
         secs,
         qps: if secs > 0.0 { queries as f64 / secs } else { 0.0 },
-        p50_us: percentile_us(&latencies, 50.0),
-        p95_us: percentile_us(&latencies, 95.0),
-        p99_us: percentile_us(&latencies, 99.0),
+        p50_us: q.p50 as f64 / 1000.0,
+        p90_us: q.p90 as f64 / 1000.0,
+        p99_us: q.p99 as f64 / 1000.0,
+        max_us: q.max as f64 / 1000.0,
         validated_frames: frames,
         mismatched_frames: mismatches,
+        queries_by_kind: by_kind.to_vec(),
     }
 }
 
@@ -374,10 +404,15 @@ mod tests {
     }
 
     #[test]
-    fn percentile_math() {
-        let data: Vec<u64> = (1..=100).map(|v| v * 1000).collect();
-        assert!((percentile_us(&data, 50.0) - 50.0).abs() < 2.0);
-        assert!((percentile_us(&data, 99.0) - 99.0).abs() < 2.0);
-        assert_eq!(percentile_us(&[], 99.0), 0.0);
+    fn rtt_quantiles_use_shared_derivation() {
+        // All samples in one bucket: the shared rule spreads them over
+        // the bucket's range; count is exact either way.
+        let q = rtt_quantiles(&[4000, 5000, 6000, 7000]);
+        assert_eq!(q.count, 4);
+        assert!(q.p50 >= 4096 && q.p50 <= 8191, "p50 inside the [4096,8191] bucket: {}", q.p50);
+        assert_eq!(q.max, 8191, "max is the bucket's upper edge");
+        assert_eq!(rtt_quantiles(&[]), HistQuantiles::default());
+        // Zero maps to bucket 0 without shifting by -1 underflow.
+        assert_eq!(rtt_quantiles(&[0]).max, 0);
     }
 }

@@ -13,10 +13,18 @@
 //!   6      pipelined batch                  body := count:u32le (kind:u8 vertex:u64le)^count
 //!   7      shutdown request                 body := ε
 //!
+//! admin request tags (client → server; same framing, served by the
+//! same worker pool so scrapes obey query backpressure):
+//!   8      Stats                            body := ε
+//!   9      SlowQueries                      body := threshold_ns:u64le limit:u32le
+//!   10     FlightDump                       body := ε
+//!   11     ResetStats                       body := ε
+//!
 //! response tags (server → client):
 //!   0      single reply                     body := reply
 //!   1      batch reply                      body := count:u32le reply^count
 //!   2      shutting down                    body := ε
+//!   3      admin reply                      body := UTF-8 JSON document
 //!
 //! reply    := 0:u8 kind:u8 value            (ok)
 //!           | 1:u8 code:u8 detail:u64le     (error; detail echoes the input)
@@ -118,6 +126,28 @@ pub struct Query {
     pub vertex: u64,
 }
 
+/// Observability requests on the admin opcodes (tags 8–11). Versioned
+/// like everything else by the payload's `version` byte; replies are
+/// [`Response::AdminJson`] documents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdminRequest {
+    /// Full metrics snapshot: always-on serve counters, cache stats,
+    /// registry counters/gauges/histograms with derived p50/p90/p99.
+    Stats,
+    /// Recent queries whose processing time met the threshold, with
+    /// per-stage breakdowns from the flight recorder.
+    SlowQueries {
+        /// Minimum processing time (queue + engine + write), ns.
+        threshold_ns: u64,
+        /// Maximum entries in the reply (also capped server-side).
+        limit: u32,
+    },
+    /// Recent flight-recorder contents (capped to fit one frame).
+    FlightDump,
+    /// Zero the serve counters, registry, and flight recorder.
+    ResetStats,
+}
+
 /// Owned request body (the convenience/test form; the server's hot path
 /// uses [`decode_request_into`] with a reused scratch vector instead).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -128,6 +158,8 @@ pub enum Request {
     Batch(Vec<Query>),
     /// Ask the server to shut down gracefully.
     Shutdown,
+    /// An observability request (tags 8–11).
+    Admin(AdminRequest),
 }
 
 /// Error codes carried inside error replies.
@@ -208,6 +240,8 @@ pub enum Response {
     Batch(Vec<Reply>),
     /// Acknowledgement of a shutdown request.
     ShuttingDown,
+    /// Reply to an admin request: a UTF-8 JSON document.
+    AdminJson(String),
 }
 
 /// Why a payload failed to decode. All variants are connection-fatal
@@ -232,6 +266,8 @@ pub enum ProtoError {
     EmptyBatch,
     /// Batch entry count above [`MAX_BATCH`].
     BatchTooLarge(u32),
+    /// Admin reply body is not valid UTF-8.
+    BadText,
 }
 
 impl std::fmt::Display for ProtoError {
@@ -247,6 +283,7 @@ impl std::fmt::Display for ProtoError {
             ProtoError::BatchTooLarge(n) => {
                 write!(f, "batch of {n} entries exceeds cap {MAX_BATCH}")
             }
+            ProtoError::BadText => write!(f, "admin reply body is not valid UTF-8"),
         }
     }
 }
@@ -255,9 +292,16 @@ impl std::error::Error for ProtoError {}
 
 const TAG_BATCH: u8 = 6;
 const TAG_SHUTDOWN: u8 = 7;
+const TAG_ADMIN_STATS: u8 = 8;
+const TAG_ADMIN_SLOW: u8 = 9;
+const TAG_ADMIN_FLIGHT: u8 = 10;
+const TAG_ADMIN_RESET: u8 = 11;
 const RESP_SINGLE: u8 = 0;
 const RESP_BATCH: u8 = 1;
 const RESP_SHUTTING_DOWN: u8 = 2;
+/// Response tag of admin JSON replies (public so encode helpers outside
+/// this module can begin a frame with it).
+pub const RESP_ADMIN_JSON: u8 = 3;
 
 #[inline]
 fn u32_at(b: &[u8], at: usize) -> u32 {
@@ -372,6 +416,26 @@ pub fn encode_request(request_id: u64, req: &Request, out: &mut Vec<u8>) {
             let start = begin_frame(out, TAG_SHUTDOWN, request_id);
             finish_frame(out, start);
         }
+        Request::Admin(admin) => match admin {
+            AdminRequest::Stats => {
+                let start = begin_frame(out, TAG_ADMIN_STATS, request_id);
+                finish_frame(out, start);
+            }
+            AdminRequest::SlowQueries { threshold_ns, limit } => {
+                let start = begin_frame(out, TAG_ADMIN_SLOW, request_id);
+                out.extend_from_slice(&threshold_ns.to_le_bytes());
+                out.extend_from_slice(&limit.to_le_bytes());
+                finish_frame(out, start);
+            }
+            AdminRequest::FlightDump => {
+                let start = begin_frame(out, TAG_ADMIN_FLIGHT, request_id);
+                finish_frame(out, start);
+            }
+            AdminRequest::ResetStats => {
+                let start = begin_frame(out, TAG_ADMIN_RESET, request_id);
+                finish_frame(out, start);
+            }
+        },
     }
 }
 
@@ -395,7 +459,20 @@ pub fn encode_response(request_id: u64, resp: &Response, out: &mut Vec<u8>) {
             let start = begin_frame(out, RESP_SHUTTING_DOWN, request_id);
             finish_frame(out, start);
         }
+        Response::AdminJson(json) => {
+            put_admin_json(out, request_id, json);
+        }
     }
+}
+
+/// Appends a complete admin-JSON response frame. Builders must keep the
+/// document under `MAX_FRAME_LEN - HEADER_LEN` bytes ([`finish_frame`]
+/// panics otherwise) — the flight-dump builder caps its event count for
+/// exactly this reason.
+pub fn put_admin_json(out: &mut Vec<u8>, request_id: u64, json: &str) {
+    let start = begin_frame(out, RESP_ADMIN_JSON, request_id);
+    out.extend_from_slice(json.as_bytes());
+    finish_frame(out, start);
 }
 
 // ---------------------------------------------------------------------------
@@ -411,6 +488,8 @@ pub enum RequestBody {
     Batch,
     /// Graceful-shutdown request.
     Shutdown,
+    /// An observability request (tags 8–11).
+    Admin(AdminRequest),
 }
 
 /// Decodes a request payload. Batch queries land in `batch` (cleared
@@ -470,6 +549,29 @@ pub fn decode_request_into(
             }
             Ok((request_id, RequestBody::Shutdown))
         }
+        TAG_ADMIN_STATS | TAG_ADMIN_FLIGHT | TAG_ADMIN_RESET => {
+            if !body.is_empty() {
+                return Err(ProtoError::BadLength);
+            }
+            let admin = match tag {
+                TAG_ADMIN_STATS => AdminRequest::Stats,
+                TAG_ADMIN_FLIGHT => AdminRequest::FlightDump,
+                _ => AdminRequest::ResetStats,
+            };
+            Ok((request_id, RequestBody::Admin(admin)))
+        }
+        TAG_ADMIN_SLOW => {
+            if body.len() != 12 {
+                return Err(ProtoError::BadLength);
+            }
+            Ok((
+                request_id,
+                RequestBody::Admin(AdminRequest::SlowQueries {
+                    threshold_ns: u64_at(body, 0),
+                    limit: u32_at(body, 8),
+                }),
+            ))
+        }
         t => Err(ProtoError::BadTag(t)),
     }
 }
@@ -482,6 +584,7 @@ pub fn decode_request(payload: &[u8]) -> Result<(u64, Request), ProtoError> {
         RequestBody::Single(q) => Request::Single(q),
         RequestBody::Batch => Request::Batch(batch),
         RequestBody::Shutdown => Request::Shutdown,
+        RequestBody::Admin(a) => Request::Admin(a),
     };
     Ok((id, req))
 }
@@ -582,6 +685,11 @@ pub fn decode_response(payload: &[u8]) -> Result<(u64, Response), ProtoError> {
             Response::Batch(replies)
         }
         RESP_SHUTTING_DOWN => Response::ShuttingDown,
+        RESP_ADMIN_JSON => {
+            let text = std::str::from_utf8(cur.b).map_err(|_| ProtoError::BadText)?;
+            cur.at = cur.b.len();
+            Response::AdminJson(text.to_string())
+        }
         t => return Err(ProtoError::BadTag(t)),
     };
     if cur.at != cur.b.len() {
@@ -686,6 +794,50 @@ mod tests {
         let mut buf = Vec::new();
         encode_response(5, &resp, &mut buf);
         assert_eq!(decode_response(&buf[4..]).unwrap(), (5, resp));
+    }
+
+    #[test]
+    fn admin_request_and_reply_roundtrip() {
+        for admin in [
+            AdminRequest::Stats,
+            AdminRequest::SlowQueries { threshold_ns: 1_500_000, limit: 32 },
+            AdminRequest::FlightDump,
+            AdminRequest::ResetStats,
+        ] {
+            let req = Request::Admin(admin);
+            let mut buf = Vec::new();
+            encode_request(99, &req, &mut buf);
+            assert_eq!(decode_request(&buf[4..]).unwrap(), (99, req));
+        }
+
+        let resp = Response::AdminJson("{\"served_total\": 12}".to_string());
+        let mut buf = Vec::new();
+        encode_response(7, &resp, &mut buf);
+        assert_eq!(decode_response(&buf[4..]).unwrap(), (7, resp));
+    }
+
+    #[test]
+    fn admin_bad_bodies_rejected() {
+        // Stats with a non-empty body.
+        let mut buf = Vec::new();
+        let start = begin_frame(&mut buf, TAG_ADMIN_STATS, 1);
+        buf.push(0);
+        finish_frame(&mut buf, start);
+        assert_eq!(decode_request(&buf[4..]), Err(ProtoError::BadLength));
+
+        // SlowQueries body must be exactly 12 bytes.
+        let mut buf = Vec::new();
+        let start = begin_frame(&mut buf, TAG_ADMIN_SLOW, 1);
+        buf.extend_from_slice(&[0u8; 11]);
+        finish_frame(&mut buf, start);
+        assert_eq!(decode_request(&buf[4..]), Err(ProtoError::BadLength));
+
+        // Admin reply body must be UTF-8.
+        let mut buf = Vec::new();
+        let start = begin_frame(&mut buf, RESP_ADMIN_JSON, 1);
+        buf.extend_from_slice(&[0xff, 0xfe, 0x80]);
+        finish_frame(&mut buf, start);
+        assert_eq!(decode_response(&buf[4..]), Err(ProtoError::BadText));
     }
 
     #[test]

@@ -47,7 +47,7 @@ impl<T> BoundedQueue<T> {
             }
             if inner.buf.len() < self.cap {
                 inner.buf.push_back(item);
-                kron_obs::gauge!("serve.queue_depth_max").observe(inner.buf.len() as u64);
+                kron_obs::gauge!("serve.queue_depth").observe(inner.buf.len() as u64);
                 self.not_empty.notify_one();
                 return Ok(());
             }

@@ -39,7 +39,19 @@
 //! Payload buffers cycle through a bounded pool; workers own reusable
 //! decode/evaluate/encode scratch; the row cache refills slots in place.
 //! After warmup a request is handled end to end with zero heap
-//! allocation (asserted in `tests/steady_state_alloc.rs`).
+//! allocation (asserted in `tests/steady_state_alloc.rs`) — including
+//! the flight-recorder write and the always-on counter bumps.
+//!
+//! ## Observability (DESIGN.md §14)
+//!
+//! Every query frame is stage-timed (read → queue-wait → engine →
+//! cache → write) and recorded in the [`kron_obs::ring`] flight
+//! recorder; [`admin::ServeCounters`] keeps exact always-on totals; the
+//! admin opcodes (`Stats`, `SlowQueries`, `FlightDump`, `ResetStats`)
+//! are answered by the same worker pool under the same backpressure as
+//! query traffic. `read_ns` covers the blocking `read_frame` call and
+//! therefore absorbs socket idle between a client's frames — which is
+//! why the slow-query criterion `proc_ns` excludes it.
 
 use std::io::Write;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
@@ -48,9 +60,12 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use kron_obs::ring::{self, StageNs, FLAG_CACHE_HIT};
+
+use crate::admin::{self, CountersSnapshot, ServeCounters};
 use crate::cache::{CacheStats, RowCache};
 use crate::engine::QueryEngine;
-use crate::protocol::{self, Query, QueryKind, RequestBody};
+use crate::protocol::{self, AdminRequest, Query, QueryKind, RequestBody};
 use crate::queue::BoundedQueue;
 
 /// Server tuning knobs.
@@ -91,6 +106,12 @@ struct ConnState {
 struct Job {
     conn: Arc<ConnState>,
     payload: Vec<u8>,
+    /// Wall time the reader spent inside `read_frame` for this payload
+    /// (absorbs socket idle between the client's frames).
+    read_ns: u64,
+    /// When the reader enqueued the job; the worker's pop time minus
+    /// this is the frame's queue-wait stage.
+    enqueued: Instant,
 }
 
 /// Buffers above this capacity are dropped instead of pooled, so one
@@ -116,6 +137,14 @@ struct Shared {
     conns: Mutex<Vec<(u64, TcpStream)>>,
     readers: Mutex<Vec<JoinHandle<()>>>,
     write_timeout: Duration,
+    /// Exact always-on scrape counters (see [`crate::admin`]).
+    counters: ServeCounters,
+    /// Spawn instant, for the `Stats` uptime field.
+    started: Instant,
+    /// Queue capacity, echoed in `Stats`.
+    queue_depth: u64,
+    /// Worker pool size, echoed in `Stats`.
+    workers_n: u64,
 }
 
 impl Shared {
@@ -174,15 +203,33 @@ fn served_counter(kind: QueryKind) -> kron_obs::metrics::Counter {
     }
 }
 
-/// Answers one query into `out`, routing Neighbors through the cache.
-fn answer(shared: &Shared, q: Query, row: &mut Vec<u64>, out: &mut Vec<u8>) {
+/// Per-frame cache-stage accumulator filled by [`answer`] and folded
+/// into the frame's flight-recorder entry.
+#[derive(Default, Clone, Copy)]
+struct CacheAcc {
+    /// Time spent inside row-cache lookups and inserts.
+    cache_ns: u64,
+    /// Whether any query in the frame hit the cache.
+    hit: bool,
+}
+
+/// Answers one query into `out`, routing Neighbors through the cache;
+/// cache lookup/insert time and hit status accumulate into `acc`.
+fn answer(shared: &Shared, q: Query, row: &mut Vec<u64>, out: &mut Vec<u8>, acc: &mut CacheAcc) {
     let t0 = Instant::now();
     if q.kind == QueryKind::Neighbors && q.vertex < shared.engine.n_c() {
         match &shared.cache {
             Some(cache) => {
-                if !cache.lookup(q.vertex, row) {
+                let c0 = Instant::now();
+                let hit = cache.lookup(q.vertex, row);
+                acc.cache_ns += c0.elapsed().as_nanos() as u64;
+                if hit {
+                    acc.hit = true;
+                } else {
                     shared.engine.synthesize_row(q.vertex, row);
+                    let c1 = Instant::now();
                     cache.insert(q.vertex, row);
+                    acc.cache_ns += c1.elapsed().as_nanos() as u64;
                 }
                 protocol::put_ok_neighbors(out, row);
             }
@@ -196,6 +243,7 @@ fn answer(shared: &Shared, q: Query, row: &mut Vec<u64>, out: &mut Vec<u8>) {
     }
     latency_histogram(q.kind).observe(t0.elapsed().as_nanos() as u64);
     served_counter(q.kind).inc();
+    shared.counters.bump_served(q.kind);
 }
 
 /// Writes a complete frame under the connection's write lock; on failure
@@ -207,15 +255,56 @@ fn write_frame(shared: &Shared, conn: &ConnState, frame: &[u8]) {
     };
     if !ok {
         kron_obs::counter!("serve.write_failures").inc();
+        shared.counters.write_failures.fetch_add(1, Ordering::Relaxed);
         shared.drop_conn(conn);
     }
+}
+
+/// Handles one admin opcode: performs any side effects, builds the JSON
+/// reply, frames it. Served by the same workers as query traffic, so
+/// admin scrapes obey the same queue backpressure.
+fn answer_admin(shared: &Shared, req: AdminRequest, id: u64, resp: &mut Vec<u8>) {
+    shared.counters.frames_admin.fetch_add(1, Ordering::Relaxed);
+    let json = match req {
+        AdminRequest::Stats => admin::stats_json(&admin::StatsInput {
+            counters: shared.counters.snapshot(),
+            cache: shared
+                .cache
+                .as_ref()
+                .map(|c| c.stats())
+                .unwrap_or(CacheStats { hits: 0, misses: 0, evictions: 0 }),
+            queue_len: shared.queue.len() as u64,
+            queue_depth: shared.queue_depth,
+            workers: shared.workers_n,
+            uptime_ns: shared.started.elapsed().as_nanos() as u64,
+        }),
+        AdminRequest::SlowQueries { threshold_ns, limit } => {
+            admin::slow_queries_json(threshold_ns, limit)
+        }
+        AdminRequest::FlightDump => admin::flight_dump_json(),
+        AdminRequest::ResetStats => {
+            // Exact for the always-on counters, the cache atomics and
+            // the flight rings; best-effort for the sharded registry
+            // (other threads' unflushed shards survive the reset).
+            shared.counters.reset();
+            if let Some(cache) = &shared.cache {
+                cache.reset_stats();
+            }
+            ring::reset();
+            kron_obs::reset();
+            admin::reset_json()
+        }
+    };
+    protocol::put_admin_json(resp, id, &json);
 }
 
 fn worker_loop(shared: &Shared) {
     let mut batch: Vec<Query> = Vec::new();
     let mut row: Vec<u64> = Vec::new();
     let mut resp: Vec<u8> = Vec::new();
-    while let Some(Job { conn, payload }) = shared.queue.pop() {
+    while let Some(Job { conn, payload, read_ns, enqueued }) = shared.queue.pop() {
+        let queue_ns = enqueued.elapsed().as_nanos() as u64;
+        kron_obs::histogram!("serve.queue_wait_ns").observe(queue_ns);
         resp.clear();
         let decoded = protocol::decode_request_into(&payload, &mut batch);
         // The request now lives in `batch`/`decoded` scratch; recycle the
@@ -226,21 +315,52 @@ fn worker_loop(shared: &Shared) {
             Err(_) => {
                 // Framing/syntax violation: the stream can't be trusted.
                 kron_obs::counter!("serve.bad_frames").inc();
+                shared.counters.bad_frames.fetch_add(1, Ordering::Relaxed);
                 shared.drop_conn(&conn);
             }
             Ok((id, RequestBody::Single(q))) => {
+                shared.counters.frames_single.fetch_add(1, Ordering::Relaxed);
+                let mut acc = CacheAcc::default();
+                let t_engine = Instant::now();
                 let start = protocol::begin_frame(&mut resp, 0, id);
-                answer(shared, q, &mut row, &mut resp);
+                answer(shared, q, &mut row, &mut resp, &mut acc);
                 protocol::finish_frame(&mut resp, start);
+                let engine_ns = t_engine.elapsed().as_nanos() as u64;
+                let t_write = Instant::now();
                 write_frame(shared, &conn, &resp);
+                record_frame(id, q.kind as u8, 1, acc, StageNs {
+                    read_ns,
+                    queue_ns,
+                    engine_ns,
+                    cache_ns: acc.cache_ns,
+                    write_ns: t_write.elapsed().as_nanos() as u64,
+                });
             }
             Ok((id, RequestBody::Batch)) => {
+                shared.counters.frames_batch.fetch_add(1, Ordering::Relaxed);
+                let mut acc = CacheAcc::default();
+                let t_engine = Instant::now();
                 let start = protocol::begin_frame(&mut resp, 1, id);
                 resp.extend_from_slice(&(batch.len() as u32).to_le_bytes());
                 for e in 0..batch.len() {
-                    answer(shared, batch[e], &mut row, &mut resp);
+                    answer(shared, batch[e], &mut row, &mut resp, &mut acc);
                 }
                 protocol::finish_frame(&mut resp, start);
+                let engine_ns = t_engine.elapsed().as_nanos() as u64;
+                let t_write = Instant::now();
+                write_frame(shared, &conn, &resp);
+                // MAX_BATCH (4096) fits u16; saturate defensively.
+                let n = batch.len().min(u16::MAX as usize) as u16;
+                record_frame(id, FLIGHT_KIND_BATCH, n, acc, StageNs {
+                    read_ns,
+                    queue_ns,
+                    engine_ns,
+                    cache_ns: acc.cache_ns,
+                    write_ns: t_write.elapsed().as_nanos() as u64,
+                });
+            }
+            Ok((id, RequestBody::Admin(req))) => {
+                answer_admin(shared, req, id, &mut resp);
                 write_frame(shared, &conn, &resp);
             }
             Ok((id, RequestBody::Shutdown)) => {
@@ -255,12 +375,30 @@ fn worker_loop(shared: &Shared) {
     kron_obs::metrics::flush_thread();
 }
 
+/// Flight-recorder `kind` byte for a whole batch frame (per-query kinds
+/// use the 0–5 wire tags).
+pub const FLIGHT_KIND_BATCH: u8 = 6;
+
+/// Records one answered query frame in the flight recorder.
+#[inline]
+fn record_frame(id: u64, kind: u8, count: u16, acc: CacheAcc, stages: StageNs) {
+    let flags = if acc.hit { FLAG_CACHE_HIT } else { 0 };
+    ring::record_query(id, kind, flags, count, stages);
+}
+
 fn reader_loop(shared: &Shared, conn: Arc<ConnState>, mut stream: TcpStream) {
     loop {
         let mut buf = shared.take_buf();
+        let t_read = Instant::now();
         match protocol::read_frame(&mut stream, &mut buf) {
             Ok(true) => {
-                if shared.queue.push(Job { conn: Arc::clone(&conn), payload: buf }).is_err() {
+                let job = Job {
+                    conn: Arc::clone(&conn),
+                    payload: buf,
+                    read_ns: t_read.elapsed().as_nanos() as u64,
+                    enqueued: Instant::now(),
+                };
+                if shared.queue.push(job).is_err() {
                     break; // queue closed mid-shutdown
                 }
             }
@@ -271,6 +409,7 @@ fn reader_loop(shared: &Shared, conn: Arc<ConnState>, mut stream: TcpStream) {
             Err(_) => {
                 // Bad length prefix or torn frame: drop the connection.
                 kron_obs::counter!("serve.bad_frames").inc();
+                shared.counters.bad_frames.fetch_add(1, Ordering::Relaxed);
                 shared.return_buf(buf);
                 shared.drop_conn(&conn);
                 break;
@@ -300,6 +439,7 @@ fn accept_loop(shared: Arc<Shared>, listener: TcpListener) {
         let id = next_id;
         next_id += 1;
         kron_obs::counter!("serve.connections").inc();
+        shared.counters.connections.fetch_add(1, Ordering::Relaxed);
         // Two clones of the socket: one kept in the registry so
         // shutdown can unblock the reader, one for the reader itself;
         // the original becomes the locked write half.
@@ -357,6 +497,12 @@ impl ServerHandle {
             .unwrap_or(CacheStats { hits: 0, misses: 0, evictions: 0 })
     }
 
+    /// Exact always-on serving counters at this instant (the same
+    /// numbers the `Stats` admin opcode reports).
+    pub fn counters(&self) -> CountersSnapshot {
+        self.shared.counters.snapshot()
+    }
+
     /// Blocks until some client sends a Shutdown frame (or
     /// [`ServerHandle::request_shutdown`] is called).
     pub fn wait_shutdown_requested(&self) {
@@ -404,6 +550,24 @@ impl ServerHandle {
 
         // Drop remaining write halves.
         shared.conns.lock().expect("conns poisoned").clear();
+
+        // Mirror the always-on internals (shutdown drain counts,
+        // frame-type tallies, flight-recorder totals) into the metrics
+        // registry so ObsReport carries them — the same close-the-gap
+        // treatment RankStats got for registry-bypassing counters.
+        let c = shared.counters.snapshot();
+        kron_obs::counter!("serve.shutdown.workers_joined").add(workers_joined as u64);
+        kron_obs::counter!("serve.shutdown.readers_joined").add(readers_joined as u64);
+        kron_obs::counter!("serve.shutdown.jobs_left").add(jobs_left as u64);
+        kron_obs::counter!("serve.frames.single").add(c.frames_single);
+        kron_obs::counter!("serve.frames.batch").add(c.frames_batch);
+        kron_obs::counter!("serve.frames.admin").add(c.frames_admin);
+        let flight = ring::snapshot();
+        kron_obs::counter!("serve.flight.recorded").add(flight.total_written());
+        kron_obs::counter!("serve.flight.overflow").add(flight.total_overflow());
+        kron_obs::counter!("serve.flight.dropped_threads").add(flight.dropped_threads);
+        kron_obs::metrics::flush_thread();
+
         ShutdownStats { workers_joined, readers_joined, jobs_left }
     }
 }
@@ -427,6 +591,10 @@ pub fn spawn(engine: Arc<QueryEngine>, cfg: ServerConfig) -> std::io::Result<Ser
         conns: Mutex::new(Vec::new()),
         readers: Mutex::new(Vec::new()),
         write_timeout: cfg.write_timeout,
+        counters: ServeCounters::new(),
+        started: Instant::now(),
+        queue_depth: cfg.queue_depth.max(1) as u64,
+        workers_n: cfg.workers.max(1) as u64,
     });
     let accept = {
         let shared = Arc::clone(&shared);

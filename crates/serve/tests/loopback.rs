@@ -1,6 +1,7 @@
 //! End-to-end loopback tests: concurrent clients over real TCP against
 //! a small engine, bit-identical validation against the `kron_core`
-//! oracles, malformed-frame resilience, and graceful shutdown.
+//! oracles, malformed-frame resilience, graceful shutdown, and the live
+//! admin scrape plane (DESIGN.md §14).
 
 use std::io::Write;
 use std::net::TcpStream;
@@ -10,8 +11,16 @@ use kron_core::KroneckerPair;
 use kron_graph::generators::{cycle, erdos_renyi};
 use kron_serve::engine::QueryEngine;
 use kron_serve::load::{run_load, LoadConfig};
-use kron_serve::protocol::{self, Query, QueryKind, Reply, Request, Response, Value};
+use kron_serve::protocol::{self, AdminRequest, Query, QueryKind, Reply, Request, Response, Value};
 use kron_serve::server::{self, ServerConfig};
+
+/// The flight recorder and metrics registry are process-global; the two
+/// tests that reset or read them take this lock (the other tests only
+/// append, which is safe concurrently).
+fn obs_serial() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
 
 fn small_engine() -> Arc<QueryEngine> {
     let pair = KroneckerPair::with_full_self_loops(erdos_renyi(9, 0.4, 3), cycle(7)).unwrap();
@@ -200,6 +209,127 @@ fn graceful_shutdown_flushes_pipelined_replies_and_joins_every_thread() {
     assert_eq!(stats.workers_joined, 2);
     assert!(stats.readers_joined >= 2, "both connections' readers joined");
     assert_eq!(stats.jobs_left, 0, "queue fully drained before workers exited");
+}
+
+/// Unwraps an AdminJson reply and lint-checks the document.
+fn admin_json(resp: Response) -> String {
+    let Response::AdminJson(json) = resp else { panic!("expected AdminJson, got {resp:?}") };
+    kron_obs::json_lint::validate(&json).expect("admin reply lints clean");
+    json
+}
+
+#[test]
+fn admin_opcodes_answer_live_with_lint_clean_json() {
+    let _g = obs_serial();
+    kron_obs::set_enabled(true);
+    kron_obs::ring::set_enabled(true);
+    let (engine, handle) = spawn_small(1);
+    let mut stream = connect(&handle);
+
+    // Reset so the per-server counters cover exactly this test's
+    // traffic (ServeCounters are per-server; the ring/registry resets
+    // are global, which obs_serial() makes safe).
+    let (_, resp) = roundtrip(&mut stream, 1, &Request::Admin(AdminRequest::ResetStats));
+    assert!(admin_json(resp).contains("\"reset\": true"));
+
+    for i in 0..7u64 {
+        roundtrip(
+            &mut stream,
+            10 + i,
+            &Request::Single(Query { kind: QueryKind::Degree, vertex: i % engine.n_c() }),
+        );
+    }
+    roundtrip(&mut stream, 20, &Request::Single(Query { kind: QueryKind::Neighbors, vertex: 2 }));
+    roundtrip(&mut stream, 21, &Request::Single(Query { kind: QueryKind::Neighbors, vertex: 2 }));
+
+    // Stats mid-connection: exact counts, no drain or flush needed.
+    let (_, resp) = roundtrip(&mut stream, 30, &Request::Admin(AdminRequest::Stats));
+    let stats = admin_json(resp);
+    assert!(stats.contains("\"served_degree\": 7"), "{stats}");
+    assert!(stats.contains("\"served_neighbors\": 2"), "{stats}");
+    assert!(stats.contains("\"served_total\": 9"), "{stats}");
+    assert!(stats.contains("\"admin_schema\": 1"), "{stats}");
+    assert!(stats.contains("\"cache_hits\": 1"), "second neighbors query hit: {stats}");
+    assert!(stats.contains("\"registry\":"), "{stats}");
+
+    // The in-process accessor agrees with the wire answer.
+    let c = handle.counters();
+    assert_eq!(c.served_of(QueryKind::Degree), 7);
+    assert_eq!(c.served_total(), 9);
+    // ResetStats zeroes its own frame count, so only Stats remains.
+    assert_eq!(c.frames_admin, 1);
+
+    // SlowQueries with threshold 0 matches everything flight-recorded;
+    // at least this test's 9 query frames are in the global ring.
+    let (_, resp) = roundtrip(
+        &mut stream,
+        31,
+        &Request::Admin(AdminRequest::SlowQueries { threshold_ns: 0, limit: 50 }),
+    );
+    let slow = admin_json(resp);
+    assert!(slow.contains("\"queries\":"), "{slow}");
+    assert!(slow.contains("\"stages\":"), "slow entries carry stage breakdowns: {slow}");
+
+    // FlightDump returns the raw rings.
+    let (_, resp) = roundtrip(&mut stream, 32, &Request::Admin(AdminRequest::FlightDump));
+    let dump = admin_json(resp);
+    assert!(dump.contains("\"rings\":"), "{dump}");
+    assert!(dump.contains("\"truncated_events\":"), "{dump}");
+
+    handle.shutdown();
+}
+
+#[test]
+fn single_client_closed_loop_queue_wait_is_negligible() {
+    let _g = obs_serial();
+    kron_obs::set_enabled(true);
+    kron_obs::ring::set_enabled(true);
+    let (engine, handle) = spawn_small(1);
+    let mut stream = connect(&handle);
+
+    // Closed loop: exactly one frame in flight, one worker — every job
+    // is popped the moment it is enqueued, so the recorded queue-wait
+    // stage must be scheduler noise, not queueing.
+    const BASE: u64 = 0x51AB_0000_0000_0000;
+    const FRAMES: u64 = 40;
+    for i in 0..FRAMES {
+        roundtrip(
+            &mut stream,
+            BASE + i,
+            &Request::Single(Query { kind: QueryKind::Degree, vertex: i % engine.n_c() }),
+        );
+    }
+
+    // The worker records each frame *after* writing the reply, so the
+    // last record can trail the client's read — poll until all 40 land.
+    let recorded = || -> Vec<u64> {
+        kron_obs::ring::snapshot()
+            .rings
+            .iter()
+            .flat_map(|r| &r.events)
+            .filter(|e| {
+                e.etype == kron_obs::ring::ETYPE_QUERY && (BASE..BASE + FRAMES).contains(&e.id)
+            })
+            .map(|e| e.stages.queue_ns)
+            .collect()
+    };
+    let mut waits = recorded();
+    for _ in 0..2000 {
+        if waits.len() >= FRAMES as usize {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        waits = recorded();
+    }
+    assert_eq!(waits.len(), FRAMES as usize, "every frame flight-recorded with its id");
+    waits.sort_unstable();
+    let median = waits[waits.len() / 2];
+    assert!(
+        median < 5_000_000,
+        "closed-loop single-client queue wait must be ≈0, got median {median}ns"
+    );
+
+    handle.shutdown();
 }
 
 #[test]

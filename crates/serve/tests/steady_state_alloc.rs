@@ -41,6 +41,11 @@ fn pass(
 
 #[test]
 fn steady_state_request_handling_does_not_allocate() {
+    // Full observability ON for the measured window: sharded metrics,
+    // stage timing, and the flight recorder all ride the hot path, and
+    // the zero-allocation claim must hold with them enabled.
+    kron_obs::set_enabled(true);
+    kron_obs::ring::set_enabled(true);
     let pair = KroneckerPair::with_full_self_loops(erdos_renyi(9, 0.4, 3), cycle(7)).unwrap();
     let engine = Arc::new(QueryEngine::from_pair(pair, 5).unwrap());
     let n_c = engine.n_c();
@@ -84,6 +89,31 @@ fn steady_state_request_handling_does_not_allocate() {
     pass(&mut stream, &requests, frames, &mut payload, &mut expected, true);
     pass(&mut stream, &requests, frames, &mut payload, &mut expected, false);
 
+    // Counted outside the measured window: the recorder must actually
+    // be capturing, or the zero-alloc claim would be vacuous. Count only
+    // query events (span enter/exits from engine construction share the
+    // rings), and quiesce first — the worker records each frame *after*
+    // writing the reply, so the last record can trail the client's read.
+    let query_events = || {
+        let snap = kron_obs::ring::snapshot();
+        snap.rings
+            .iter()
+            .flat_map(|r| &r.events)
+            .filter(|e| e.etype == kron_obs::ring::ETYPE_QUERY)
+            .count() as u64
+    };
+    let wait_recorded = |target: u64| {
+        for _ in 0..2000 {
+            if query_events() >= target {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+    };
+    wait_recorded(2 * frames as u64);
+    let recorded_before = query_events();
+    assert_eq!(recorded_before, 2 * frames as u64, "both warmup passes flight-recorded");
+
     let ((), m) = kron_obs::alloc::measure(|| {
         pass(&mut stream, &requests, frames, &mut payload, &mut expected, false);
     });
@@ -92,6 +122,12 @@ fn steady_state_request_handling_does_not_allocate() {
         m.allocs, 0,
         "steady-state request handling must not allocate (saw {} allocations, peak {} bytes)",
         m.allocs, m.peak_bytes
+    );
+    wait_recorded(recorded_before + frames as u64);
+    assert_eq!(
+        query_events() - recorded_before,
+        frames as u64,
+        "every frame of the measured pass must be flight-recorded"
     );
 
     handle.shutdown();

@@ -22,7 +22,7 @@
 # gate cannot pass.
 #
 # After the kernel phases, the serve tier runs: `kron-load --self`
-# writes the three query-server phases to BENCH_PR7.json (median-of-3,
+# writes the three query-server phases to BENCH_PR7.json (median-of-5,
 # every response validated bit-for-bit against the oracles), gated with
 # the same comparator against the previous BENCH_PR7.json when present,
 # with its own injected-regression self-test.
@@ -33,6 +33,14 @@
 # build first, v1/v2/mixed formats cross-checked, one-pass output
 # byte-compared to two-pass), gated the same way against the previous
 # BENCH_PR9.json, with its own injected-regression self-test.
+#
+# Finally the observability tier: `obs_bench` times the flight recorder
+# itself (record on vs off on a ~1 µs synthetic request, ring drain,
+# shared quantile derivation) into BENCH_PR10.json. Its built-in gate
+# fails the run if always-on flight recording adds more than GATE_PCT
+# percent to the request loop; a previous BENCH_PR10.json additionally
+# gates absolute phase times, with its own injected-regression
+# self-test.
 #
 # Usage: scripts/bench.sh [--scale S] [--out PATH] [--baseline PATH]
 #                         [--gate-pct P]
@@ -85,7 +93,7 @@ fi
 # ---------------------------------------------------------------------------
 # Serve phases: kron-load --self hosts the query server in process and
 # times the three standard serving shapes (closed-loop mixed, pipelined
-# mixed, zipfian neighbors-hot) into BENCH_PR7.json, median-of-3 per
+# mixed, zipfian neighbors-hot) into BENCH_PR7.json, median-of-5 per
 # phase with every response validated bit-for-bit. When a previous
 # BENCH_PR7.json exists it becomes the baseline and the same >15%
 # comparator gates the serve phases too — with its own self-test.
@@ -103,7 +111,7 @@ if [[ -f "${SERVE_OUT}" ]]; then
   cp "${SERVE_OUT}" "${SERVE_BASE}"
 fi
 
-echo "== kron-load --self: serve phases, median-of-3, bit-exact validation =="
+echo "== kron-load --self: serve phases, median-of-5, bit-exact validation =="
 ./target/release/kron-load --self --out "${SERVE_OUT}"
 
 if [[ -n "${SERVE_BASE}" ]]; then
@@ -189,3 +197,56 @@ if ./target/release/bench_smoke --compare "${SHARD_OUT}" --baseline "${SHARD_FAK
   exit 1
 fi
 echo "bench.sh: shard gate self-test OK (injected regression was rejected)"
+
+# ---------------------------------------------------------------------------
+# Observability phases: obs_bench times the flight recorder on/off delta
+# on a synthetic ~1 µs request (interleaved median-of-5), the ring drain
+# the admin opcodes pay, and the shared log2-bucket quantile derivation,
+# into BENCH_PR10.json. The binary's own gate enforces the "flight
+# recorder stays within the bench gate" acceptance line; a previous
+# BENCH_PR10.json becomes the baseline for the same >15% comparator,
+# with its own injected-regression self-test.
+# ---------------------------------------------------------------------------
+
+OBS_OUT=BENCH_PR10.json
+OBS_BASE=""
+OBS_FAKE=""
+trap 'rm -f "${FAKE:-}" "${SERVE_BASE}" "${SERVE_FAKE}" "${SHARD_BASE}" "${SHARD_FAKE}" "${OBS_BASE}" "${OBS_FAKE}"' EXIT
+
+if [[ -f "${OBS_OUT}" ]]; then
+  OBS_BASE="$(mktemp /tmp/bench_obs_base_XXXX.json)"
+  cp "${OBS_OUT}" "${OBS_BASE}"
+fi
+
+echo "== obs_bench: flight recorder overhead, gated at ${GATE_PCT}% =="
+./target/release/obs_bench --out "${OBS_OUT}" --gate-pct "${GATE_PCT}"
+
+if [[ -n "${OBS_BASE}" ]]; then
+  echo "== obs gate: ${OBS_OUT} vs previous baseline at ${GATE_PCT}% =="
+  ./target/release/bench_smoke --compare "${OBS_OUT}" --baseline "${OBS_BASE}" \
+    --gate-pct "${GATE_PCT}"
+fi
+
+echo "== obs gate self-test: injected regression must fail =="
+OBS_FAKE="$(mktemp /tmp/bench_obs_selftest_XXXX.json)"
+cat > "${OBS_FAKE}" <<EOF
+{
+  "schema_version": 2,
+  "phases": [
+    {
+      "name": "flight_record_on",
+      "secs_threads_1": 0.000000001
+    },
+    {
+      "name": "quantiles_derive",
+      "secs_threads_1": 0.000000001
+    }
+  ]
+}
+EOF
+if ./target/release/bench_smoke --compare "${OBS_OUT}" --baseline "${OBS_FAKE}" \
+    --gate-pct "${GATE_PCT}" >/dev/null 2>&1; then
+  echo "bench.sh: FATAL: obs gate self-test passed an injected regression" >&2
+  exit 1
+fi
+echo "bench.sh: obs gate self-test OK (injected regression was rejected)"

@@ -6,6 +6,9 @@
 #                package's own test target does not cover)
 #   2. chaos:    scripts/chaos.sh — fault-injected distributed conformance
 #   3. obs:      scripts/obs.sh — observability determinism + allocator
+#                configurations, Chrome-trace sidecar lint, and the live
+#                scrape: a background kron-serve polled over the admin
+#                opcodes mid-load with a bit-for-bit count cross-check
 #   4. serve:    scripts/serve.sh — query-server smoke: process-level
 #                loopback serving, bit-exact load validation, graceful
 #                shutdown, steady-state zero-allocation proof
@@ -16,7 +19,8 @@
 #   6. bench:    scripts/bench.sh — instrumented benchmark with the >15%
 #                stripped-phase regression gate and its self-test (kernel
 #                phases in BENCH_PR6.json, serve phases in BENCH_PR7.json,
-#                shard phases in BENCH_PR9.json)
+#                shard phases in BENCH_PR9.json, flight-recorder overhead
+#                phases in BENCH_PR10.json)
 #
 # Any failing stage aborts the run with that stage's exit code. Run this
 # before every PR; it is the enforced superset of the tier-1 contract in

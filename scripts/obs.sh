@@ -1,13 +1,21 @@
 #!/usr/bin/env bash
-# Observability smoke check (DESIGN.md §9).
+# Observability smoke check (DESIGN.md §9, §14).
 #
 # Proves the kron-obs layer end to end without trusting any single
 # component: runs the obs unit suite (span tree, sharded metrics merge,
-# allocation watermark, event timeline, JSON lint) in both allocator
-# configurations, runs the obs-on/obs-off determinism suite (results must
-# be bit-identical with probes enabled), then drives a tiny instrumented
-# benchmark run and re-lints the emitted report from the outside: the
-# file must exist, parse, and carry a schema_version stamp.
+# allocation watermark, event timeline, flight-recorder ring, JSON lint)
+# in both allocator configurations, runs the obs-on/obs-off determinism
+# suite (results must be bit-identical with probes enabled), then drives
+# a tiny instrumented benchmark run and re-lints the emitted report —
+# and its Chrome trace_event sidecar — from the outside: the files must
+# exist, parse, and carry their stamps.
+#
+# Finally the live-scrape stage (PR 10): a real kron-serve process is
+# started in the background, kron-load drives it over TCP with the admin
+# sidecar polling `Stats` mid-run, and the server's exact served_*
+# counters are cross-checked bit for bit against the client tallies.
+# The saved final Stats JSON is re-parsed with the system python when
+# available.
 #
 # Usage: scripts/obs.sh
 set -euo pipefail
@@ -22,21 +30,72 @@ cargo test -q --offline -p kron-obs --features measure-alloc
 echo "== obs-on/obs-off determinism + conservation invariants =="
 cargo test -q --offline --test obs_determinism
 
-echo "== instrumented smoke run -> emitted report must lint =="
+echo "== instrumented smoke run -> emitted report + trace must lint =="
 cargo build --release --offline -p kron-bench
 OUT="$(mktemp -t kron_obs_smoke_XXXXXX.json)"
-trap 'rm -f "${OUT}"' EXIT
+SCRAPE_OUT=""
+SERVE_LOG=""
+SERVE_PID=""
+cleanup() {
+    [[ -n "${SERVE_PID}" ]] && kill "${SERVE_PID}" 2>/dev/null || true
+    rm -f "${OUT}" "${OUT}.trace.json" "${SCRAPE_OUT}" "${SERVE_LOG}"
+}
+trap cleanup EXIT
 ./target/release/bench_smoke --scale 4 --out "${OUT}" --baseline /nonexistent >/dev/null
 
 test -s "${OUT}" || { echo "obs.sh: ${OUT} is missing or empty" >&2; exit 1; }
 grep -q '"schema_version": ' "${OUT}" || {
     echo "obs.sh: ${OUT} lacks a schema_version stamp" >&2; exit 1;
 }
+test -s "${OUT}.trace.json" || {
+    echo "obs.sh: ${OUT}.trace.json (chrome trace sidecar) is missing" >&2; exit 1;
+}
+grep -q '"traceEvents"' "${OUT}.trace.json" || {
+    echo "obs.sh: trace sidecar lacks a traceEvents array" >&2; exit 1;
+}
 # bench_smoke lints its own output before exiting; cross-check with the
 # system python as an independent JSON parser when one is available.
 if command -v python3 >/dev/null 2>&1; then
     python3 -c "import json,sys; json.load(open(sys.argv[1]))" "${OUT}"
-    echo "obs.sh: report parses under python3 json"
+    python3 -c "import json,sys; json.load(open(sys.argv[1]))" "${OUT}.trace.json"
+    echo "obs.sh: report + trace parse under python3 json"
+fi
+
+echo "== live scrape: kron-serve under kron-load with admin sidecar =="
+cargo build --release --offline -p kron-serve
+SCRAPE_OUT="$(mktemp -t kron_obs_scrape_XXXXXX.json)"
+SERVE_LOG="$(mktemp -t kron_obs_serve_XXXXXX.log)"
+# Small scale keeps the engine build fast; --quiet suppresses the
+# shutdown report so the log holds only the banner line scripts parse.
+./target/release/kron-serve --scale 5 --workers 2 --quiet > "${SERVE_LOG}" &
+SERVE_PID=$!
+ADDR=""
+for _ in $(seq 1 100); do
+    ADDR="$(sed -n 's/^kron-serve: listening on \([0-9.:]*\) .*/\1/p' "${SERVE_LOG}")"
+    [[ -n "${ADDR}" ]] && break
+    kill -0 "${SERVE_PID}" 2>/dev/null || {
+        echo "obs.sh: kron-serve died before binding" >&2; cat "${SERVE_LOG}" >&2; exit 1;
+    }
+    sleep 0.1
+done
+test -n "${ADDR}" || { echo "obs.sh: no listening banner from kron-serve" >&2; exit 1; }
+echo "obs.sh: kron-serve up on ${ADDR}"
+
+# The load run fails (exit 1) on any mismatched response OR any
+# server-vs-client scrape count mismatch — the bit-for-bit cross-check.
+./target/release/kron-load --addr "${ADDR}" --scale 5 \
+    --clients 2 --frames 400 --scrape-interval 50 \
+    --scrape-out "${SCRAPE_OUT}" --shutdown
+wait "${SERVE_PID}"
+SERVE_PID=""
+
+test -s "${SCRAPE_OUT}" || { echo "obs.sh: no final Stats scrape saved" >&2; exit 1; }
+grep -q '"admin_schema": 1' "${SCRAPE_OUT}" || {
+    echo "obs.sh: scrape output lacks the admin_schema stamp" >&2; exit 1;
+}
+if command -v python3 >/dev/null 2>&1; then
+    python3 -c "import json,sys; json.load(open(sys.argv[1]))" "${SCRAPE_OUT}"
+    echo "obs.sh: final Stats scrape parses under python3 json"
 fi
 
 echo "obs smoke check passed"
